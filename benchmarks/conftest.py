@@ -1,0 +1,30 @@
+"""Shared benchmark environment.
+
+One session-scoped :class:`~repro.bench.harness.BenchEnv` backs every
+figure/table benchmark: the synthetic datasets are generated and stored
+under raw/gzip/lz4 once, and each bench replays the paper's loads against
+the calibrated simulated testbed (see DESIGN.md §6).
+
+Resolution defaults to 64^3 so the whole suite runs in minutes; set
+``REPRO_BENCH_DIM=96`` (or higher) for closer-to-paper statistics.  The
+printed tables carry simulated seconds; the paper's absolute numbers
+correspond to 500^3 arrays, so only *ratios* are comparable, which is what
+EXPERIMENTS.md records.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import BenchEnv
+
+BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "64"))
+
+
+@pytest.fixture(scope="session")
+def env():
+    return BenchEnv(dims=(BENCH_DIM,) * 3, with_nyx=True)
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: dataset resolution {BENCH_DIM}^3"

@@ -1,0 +1,30 @@
+"""Ablation — selection wire-encoding choice (beyond the paper).
+
+Compares the delta-coded id encoding, the bitmap encoding, and the auto
+chooser across the run's selectivity range.  Expected: ids wins at the
+low selectivities the paper's workloads live at; bitmap wins once
+selectivity climbs past a few percent; auto always matches the winner.
+"""
+
+from repro.bench.experiments import run_encoding_ablation
+from repro.bench.reporting import print_table
+from repro.core.encoding import decode_selection, encode_selection
+
+
+def test_abl_encoding_sizes(benchmark, env):
+    for array in ("v02", "v03"):
+        rows = run_encoding_ablation(env, array)
+        print_table(rows, title=f"Ablation — wire encoding sizes (kB), {array}")
+        for row in rows:
+            assert row["auto_kb"] <= min(row["ids_kb"], row["bitmap_kb"]) + 1e-9
+            # Compressing the payload always shrinks the wire further.
+            assert row["auto+lz4_kb"] < row["auto_kb"]
+            assert row["auto+gzip_kb"] < row["auto_kb"]
+        # At the asteroid's tiny selectivity, ids must beat bitmap.
+        v03_rows = rows if array == "v03" else None
+    assert v03_rows is not None
+    for row in v03_rows:
+        assert row["ids_kb"] < row["bitmap_kb"]
+
+    sel = env.selection("asteroid", env.timesteps[-1], "v02", [0.1, 0.3, 0.5, 0.7, 0.9])
+    benchmark(lambda: decode_selection(encode_selection(sel)))

@@ -1,0 +1,24 @@
+"""Ablation — NDP speedup vs network:SSD bandwidth ratio (beyond the paper).
+
+The paper notes NDP's gain "is upperbounded by local data read times"
+(Sec. VI): the slower the link relative to the SSD path, the bigger the
+win; with a link as fast as the SSD there is little left to save.  This
+sweep makes the crossover explicit, and is the quantitative form of the
+planner's decision rule.
+"""
+
+from repro.bench.experiments import run_link_sweep
+from repro.bench.reporting import print_table
+from repro.core.planner import OffloadPlanner
+
+
+def test_abl_link_bandwidth_sweep(benchmark, env):
+    rows = run_link_sweep(env, ratios=(0.125, 0.25, 0.5, 1.0, 2.0, 4.0))
+    print_table(rows, title="Ablation — NDP speedup vs link:SSD bandwidth ratio")
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups, reverse=True)  # monotone
+    assert speedups[0] > 3.0   # slow link: big NDP win
+    assert speedups[-1] < 1.5  # fast link: little to save
+
+    planner = OffloadPlanner(env.testbed)
+    benchmark(lambda: planner.decide(500_000_000, 500_000_000, "raw", 0.002))

@@ -1,0 +1,71 @@
+"""Extension — offloading further filter types (the paper's future work).
+
+The paper's prototype splits only the contour filter.  This bench
+exercises the threshold and axis-aligned slice splits over the asteroid
+dataset, reporting the same network-reduction statistic:
+
+* slice ships <= 2/N of the grid regardless of content,
+* threshold ships exactly its result set, so its reduction tracks the
+  range's volume fraction (reported across a sweep).
+"""
+
+from repro.bench.reporting import print_table
+from repro.core import ndp_slice, ndp_threshold
+
+
+def test_ext_slice_offload(benchmark, env):
+    grid = env.grid("asteroid", env.timesteps[-1])
+    n = grid.dims[2]
+    rows = []
+    for frac in (0.2, 0.5, 0.8):
+        coord = grid.origin[2] + frac * (n - 1) * grid.spacing[2]
+        pd, stats = ndp_slice(
+            env.ndp_client, env.key("asteroid", "raw", env.timesteps[-1]),
+            "v02", 2, coord,
+        )
+        rows.append(
+            {
+                "z_fraction": frac,
+                "triangles": pd.triangles().shape[0],
+                "selected_pts": stats["selected_points"],
+                "wire_kb": stats["wire_bytes"] / 1e3,
+                "reduction_x": stats["raw_bytes"] / stats["wire_bytes"],
+            }
+        )
+    print_table(rows, title="Extension — offloaded axis-aligned slice (v02)")
+    for row in rows:
+        assert row["selected_pts"] <= 2 * grid.dims[0] * grid.dims[1]
+        assert row["reduction_x"] > 5
+
+    coord = grid.origin[2] + 0.3 * (n - 1) * grid.spacing[2]
+    env.testbed.reset()
+    benchmark(
+        lambda: ndp_slice(
+            env.ndp_client, env.key("asteroid", "raw", env.timesteps[-1]),
+            "v02", 2, coord,
+        )
+    )
+
+
+def test_ext_threshold_offload(benchmark, env):
+    step = env.timesteps[-1]
+    key = env.key("asteroid", "raw", step)
+    rows = []
+    for lo, hi in ((0.999, 1.0), (0.5, 1.0), (0.05, 0.95)):
+        pd, stats = ndp_threshold(env.ndp_client, key, "v02", lo, hi)
+        rows.append(
+            {
+                "range": f"[{lo}, {hi}]",
+                "selected_pts": stats["selected_points"],
+                "fraction": stats["selected_points"] / stats["total_points"],
+                "wire_kb": stats["wire_bytes"] / 1e3,
+                "reduction_x": stats["raw_bytes"] / max(stats["wire_bytes"], 1),
+            }
+        )
+    print_table(rows, title="Extension — offloaded threshold (v02)")
+    # Narrower ranges select less and reduce more.
+    assert rows[0]["selected_pts"] < rows[1]["selected_pts"]
+    assert rows[0]["reduction_x"] > rows[2]["reduction_x"]
+
+    env.testbed.reset()
+    benchmark(lambda: ndp_threshold(env.ndp_client, key, "v02", 0.999, 1.0))

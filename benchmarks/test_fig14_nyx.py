@@ -1,0 +1,38 @@
+"""Figs. 12 & 14 — the Nyx cosmology dataset.
+
+Fig. 12's statistic: the baryon-density halo contour at 81.66 selects
+~0.06% of the data.  Fig. 14's shape: NDP cuts load times 1.8x-2.3x for
+raw and both codecs, while GZip itself barely helps (11% size cut) and
+adds decompression overhead — the worst of the three baselines.
+"""
+
+from repro.bench.experiments import run_fig14
+from repro.bench.reporting import print_table
+from repro.datasets.nyx import HALO_THRESHOLD
+
+
+def test_fig12_halo_selectivity(benchmark, env):
+    permille = env.selection_permillage("nyx", 0, "baryon_density", [HALO_THRESHOLD])
+    print(f"\nFig. 12 — halo contour selectivity: {permille:.3f} permille "
+          f"(paper: 0.6 permille = 0.06%)")
+    assert 0.2 < permille < 1.5
+
+    grid = env.grid("nyx", 0)
+    from repro.core.prefilter import prefilter_contour
+
+    benchmark(lambda: prefilter_contour(grid, "baryon_density", [HALO_THRESHOLD]))
+
+
+def test_fig14_nyx_load_times(benchmark, env):
+    rows = run_fig14(env)
+    print_table(rows, title="Fig. 14 — Nyx load times (paper: NDP 1.8-2.3x)")
+    for row in rows:
+        assert 1.5 < row["speedup"] < 3.2
+    raw = next(r for r in rows if r["codec"] == "raw")
+    gzip_ = next(r for r in rows if r["codec"] == "gzip")
+    # GZip bought almost nothing on Nyx and pays decompression on top:
+    # it is the slowest baseline (paper Sec. VII).
+    assert gzip_["stored_mb"] > 0.85 * raw["stored_mb"]
+    assert gzip_["baseline_s"] >= raw["baseline_s"]
+
+    benchmark(lambda: env.ndp_load("nyx", "raw", 0, "baryon_density", [HALO_THRESHOLD]))

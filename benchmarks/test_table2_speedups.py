@@ -1,0 +1,54 @@
+"""Table II — speedup matrix over data-reduction technique combinations.
+
+Paper values (500^3 testbed): NDP 2.30-2.80x, GZip ~3.95x, LZ4 ~4.60x,
+GZip+NDP 4.77-7.36x, LZ4+NDP 6.22-11.87x; within each array NDP's speedup
+rises slightly with the contour value, and every v03 row beats its v02
+counterpart.  The assertions check those *orderings*; EXPERIMENTS.md
+records measured-vs-paper magnitudes.
+"""
+
+from repro.bench.experiments import run_table2
+from repro.bench.reporting import print_table
+
+
+def test_table2_speedup_matrix(benchmark, env):
+    rows = run_table2(env)
+    print_table(
+        rows,
+        title=(
+            "Table II — speedups vs RAW baseline "
+            "(paper: NDP 2.3-2.8, GZip 3.95, LZ4 4.6, G+N 4.8-7.4, L+N 6.2-11.9)"
+        ),
+    )
+
+    by_array = {"v02": [], "v03": []}
+    for row in rows:
+        by_array[row["array"]].append(row)
+        # Combinations always beat NDP alone, and LZ4+NDP leads overall.
+        assert row["GZip+NDP"] > row["NDP"]
+        assert row["LZ4+NDP"] > row["GZip+NDP"]
+        # Paper band sanity: NDP alone is a modest 1.2x-3.5x.
+        assert 1.2 < row["NDP"] < 3.5
+        # Adding NDP on top of a codec strictly helps on v03 (as in the
+        # paper); on v02 our bench-resolution selections are ~5x the
+        # paper's relative size (selectivity ~ 1/N), so allow a small
+        # inversion there, bounded to 15%.
+        if row["array"] == "v03":
+            assert row["GZip+NDP"] > row["GZip"]
+            assert row["LZ4+NDP"] > row["LZ4"]
+        else:
+            assert row["GZip+NDP"] > 0.85 * row["GZip"]
+            assert row["LZ4+NDP"] > 0.85 * row["LZ4"]
+
+    # NDP speedup rises with contour value within each array.
+    for rows_a in by_array.values():
+        ndps = [r["NDP"] for r in sorted(rows_a, key=lambda r: r["value"])]
+        assert ndps[-1] > ndps[0]
+
+    # v03 consistently beats v02 at the same contour value.
+    for r02, r03 in zip(by_array["v02"], by_array["v03"]):
+        assert r03["NDP"] > r02["NDP"]
+        assert r03["LZ4+NDP"] > r02["LZ4+NDP"]
+
+    step = env.timesteps[0]
+    benchmark(lambda: env.baseline_load("asteroid", "raw", step, "v02"))

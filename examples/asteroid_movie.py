@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""The paper's Figs. 4/7/8 workload: a contour movie of the asteroid impact.
+
+End to end, exactly as the paper's Fig. 11a deploys it:
+
+* the synthetic deep-water impact dataset is written, LZ4-compressed, into
+  a directory-backed object store (the MinIO stand-in),
+* an NDP server mounts the store *locally* and listens on TCP,
+* the client connects over the socket and iterates an
+  :class:`~repro.core.prefetch.NDPPrefetcher` — the next timesteps' offload
+  requests run on the storage node while the current frame is being
+  post-filtered and rendered — drawing v02 (water, cyan) and v03
+  (asteroid, yellow) at value 0.1 per timestep.
+
+Run:  python examples/asteroid_movie.py [resolution] [out_dir]
+Writes: asteroid_movie/frame_<timestep>.ppm
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+from repro.core import NDPServer
+from repro.core.prefetch import NDPPrefetcher
+from repro.datasets import AsteroidImpactDataset, AsteroidParams
+from repro.io import write_ppm, write_vgf
+from repro.render import Camera, Scene
+from repro.rpc import RPCClient
+from repro.storage import DirectoryBackend, ObjectStore, S3FileSystem
+
+RESOLUTION = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+OUT_DIR = sys.argv[2] if len(sys.argv) > 2 else "asteroid_movie"
+
+
+def populate(store_root: str) -> tuple[ObjectStore, AsteroidImpactDataset]:
+    """The simulation phase: write each timestep as an LZ4 VGF object."""
+    store = ObjectStore(DirectoryBackend(store_root))
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    dataset = AsteroidImpactDataset(
+        AsteroidParams(dims=(RESOLUTION, RESOLUTION, RESOLUTION))
+    )
+    for step in dataset.timesteps:
+        t0 = time.perf_counter()
+        grid = dataset.generate_arrays(step, ["v02", "v03"])
+        blob = write_vgf(grid, codec="lz4", meta={"timestep": step})
+        fs.write_object(f"ts{step:05d}.vgf", blob)
+        print(
+            f"  wrote ts{step:05d}.vgf ({len(blob) / 1e6:.2f} MB, "
+            f"{time.perf_counter() - t0:.1f}s)"
+        )
+    return store, dataset
+
+
+def main() -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_root:
+        print(f"simulation: writing {RESOLUTION}^3 timesteps to the object store")
+        store, dataset = populate(store_root)
+
+        # Storage node: local mount + NDP service on a TCP socket.
+        server = NDPServer(S3FileSystem(store, "sim"))
+        listener = server.serve_tcp()
+        print(f"NDP server listening on {listener.host}:{listener.port}")
+
+        # Client node: a prefetching iterator keeps the next offloads in
+        # flight on the server while this loop post-filters and renders.
+        client = RPCClient.connect_tcp(listener.host, listener.port)
+        requests = []
+        for step in dataset.timesteps:
+            key = f"ts{step:05d}.vgf"
+            requests.append({"key": key, "kind": "contour", "array": "v02",
+                             "values": [0.1]})
+            requests.append({"key": key, "kind": "contour", "array": "v03",
+                             "values": [0.1]})
+        camera = None
+        frame_parts: dict[str, list] = {}
+        try:
+            for key, polydata, stats in NDPPrefetcher(client, requests, depth=3):
+                frame_parts.setdefault(key, []).append((polydata, stats))
+                if len(frame_parts[key]) < 2:
+                    continue
+                (water, wstats), (asteroid, astats) = frame_parts.pop(key)
+                t0 = time.perf_counter()
+                scene = Scene()
+                scene.add_mesh(water, color=(0.25, 0.8, 0.85))   # cyan ocean
+                if asteroid.num_points:
+                    scene.add_mesh(asteroid, color=(0.95, 0.85, 0.2))  # yellow
+                if camera is None:  # fix the view on the first frame
+                    camera = Camera.fit_bounds(scene.bounds())
+                frame = scene.render(640, 480, camera=camera)
+                path = os.path.join(OUT_DIR, f"frame_{key[2:7]}.ppm")
+                write_ppm(path, frame)
+                wire_kb = (wstats["wire_bytes"] + astats["wire_bytes"]) / 1e3
+                raw_mb = (wstats["raw_bytes"] + astats["raw_bytes"]) / 1e6
+                print(
+                    f"  {path}: {water.triangles().shape[0]:6d} water tris, "
+                    f"{asteroid.triangles().shape[0]:5d} asteroid tris | "
+                    f"transferred {wire_kb:7.1f} kB of {raw_mb:.1f} MB raw "
+                    f"(render {time.perf_counter() - t0:.1f}s)"
+                )
+        finally:
+            client.close()
+            listener.stop()
+    print(f"done — {len(dataset.timesteps)} frames in {OUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's Fig. 3: a value-5 contour over an 8x6 mesh of digits 0..9.
+
+Recreates the walkthrough from Sec. II-B: random single-digit values on a
+small 2-D mesh, the contour at value 5, and — the part the whole paper
+builds on — which edges are *interesting* (straddle the contour value)
+and which mesh points the pre-filter would therefore transfer.
+
+Run:  python examples/contour2d_fig3.py
+"""
+
+import numpy as np
+
+from repro.core import prefilter_contour
+from repro.core.interesting import interesting_point_mask
+from repro.filters import contour_grid
+from repro.grid import DataArray, UniformGrid
+
+NX, NY, VALUE = 8, 6, 5.0
+
+rng = np.random.default_rng(20240517)
+values = rng.integers(0, 10, NX * NY).astype(np.float32)
+
+grid = UniformGrid((NX, NY, 1))
+grid.point_data.add(DataArray("v", values))
+
+# ---------------------------------------------------------------------------
+# Print the mesh with the selected (interesting) points marked.
+# ---------------------------------------------------------------------------
+field = grid.scalar_field("v")                      # (1, NY, NX)
+mask = interesting_point_mask(field, [VALUE])[0]    # (NY, NX)
+
+print(f"mesh values ({NX}x{NY}), contour value {VALUE:g}")
+print("a point is [bracketed] when it touches an interesting edge:\n")
+for j in reversed(range(NY)):                       # y up, like the figure
+    cells = [
+        f"[{int(field[0, j, i])}]" if mask[j, i] else f" {int(field[0, j, i])} "
+        for i in range(NX)
+    ]
+    print("   " + " ".join(cells))
+
+# ---------------------------------------------------------------------------
+# The contour itself: line segments in the mesh plane.
+# ---------------------------------------------------------------------------
+poly = contour_grid(grid, "v", VALUE)
+segments = poly.segments()
+print(f"\ncontour: {segments.shape[0]} line segments")
+for a, b in segments[:6]:
+    pa, pb = poly.points[a], poly.points[b]
+    print(f"  ({pa[0]:5.2f}, {pa[1]:5.2f}) -- ({pb[0]:5.2f}, {pb[1]:5.2f})")
+if segments.shape[0] > 6:
+    print(f"  ... and {segments.shape[0] - 6} more")
+
+# ---------------------------------------------------------------------------
+# What the pre-filter would ship for this pipeline.
+# ---------------------------------------------------------------------------
+sel = prefilter_contour(grid, "v", [VALUE], mode="edge")
+closure = prefilter_contour(grid, "v", [VALUE])
+print(
+    f"\npre-filter selection: {sel.count}/{grid.num_points} points "
+    f"(paper's Fig. 6 statistic: {sel.permillage:.0f} permille)"
+)
+print(
+    f"cell-closure selection (exact reconstruction): {closure.count} points; "
+    "as the paper notes, a random mesh shows limited reduction — real\n"
+    "simulation fields (see examples/asteroid_movie.py) select far less."
+)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""A miniature Table II: baseline vs NDP load times on the simulated testbed.
+
+Builds the benchmark environment at a small resolution, replays the
+paper's Sec. VI experiment (9 timesteps x 5 contour values x
+{RAW, GZip, LZ4} x {baseline, NDP}), prints the Fig. 13-style series and
+the Table II speedup matrix, and shows what the offload planner would
+have decided for each configuration.
+
+Run:  python examples/ndp_vs_baseline.py [resolution]
+"""
+
+import sys
+
+from repro.bench import BenchEnv, print_table
+from repro.bench.experiments import run_fig13, run_table2
+from repro.core.planner import OffloadPlanner
+
+RESOLUTION = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+
+
+def main() -> None:
+    print(f"populating the simulated testbed at {RESOLUTION}^3 "
+          "(paper-calibrated SSD/NIC/codec constants) ...")
+    env = BenchEnv(dims=(RESOLUTION,) * 3)
+
+    print_table(
+        run_fig13(env, "v02", "raw"),
+        title="Fig. 13a-style series — RAW v02 (simulated seconds)",
+    )
+    print_table(
+        run_table2(env),
+        title=(
+            "Table II — speedups vs RAW baseline "
+            "(paper: NDP 2.3-2.8, GZip 3.95, LZ4 4.6, G+N 4.8-7.4, L+N 6.2-11.9)"
+        ),
+    )
+
+    # What would the planner have chosen, given only header statistics?
+    planner = OffloadPlanner(env.testbed)
+    rows = []
+    for codec in ("raw", "gzip", "lz4"):
+        step = env.timesteps[-1]
+        sizes = env.stored_sizes("asteroid", step, "v02")
+        sel = env.selection("asteroid", step, "v02", [0.1])
+        raw_bytes = env.grid("asteroid", step).point_data.get("v02").nbytes
+        decision = planner.decide(sizes[codec], raw_bytes, codec, sel.selectivity)
+        rows.append(
+            {
+                "codec": codec,
+                "use_ndp": decision.use_ndp,
+                "predicted_speedup": decision.predicted_speedup,
+            }
+        )
+    print_table(rows, title="Offload planner decisions (final timestep, v02 @ 0.1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's Fig. 12: halo candidates in the Nyx cosmology dataset.
+
+Generates the synthetic Nyx snapshot, contours baryon density at the
+halo-formation threshold 81.66 through the NDP offload path, reports the
+selectivity statistic the paper quotes (0.06%), and renders the halo
+surfaces.
+
+Run:  python examples/nyx_halos.py [resolution]
+Writes: nyx_halos.ppm
+"""
+
+import sys
+
+from repro.core import NDPServer, ndp_contour
+from repro.core.prefilter import selection_rate
+from repro.filters.geometry import component_sizes, surface_area
+from repro.datasets import NyxDataset, NyxParams
+from repro.datasets.nyx import HALO_THRESHOLD
+from repro.io import write_ppm, write_vgf
+from repro.render import Scene
+from repro.rpc import InProcessTransport, RPCClient
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+RESOLUTION = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+
+
+def main() -> None:
+    print(f"generating the Nyx-like snapshot at {RESOLUTION}^3 ...")
+    grid = NyxDataset(NyxParams(dims=(RESOLUTION,) * 3)).generate()
+    density = grid.point_data.get("baryon_density")
+    lo, hi = density.range()
+    print(f"baryon density range: [{lo:.3g}, {hi:.3g}], "
+          f"halo threshold {HALO_THRESHOLD}")
+
+    permille = selection_rate(grid, "baryon_density", [HALO_THRESHOLD])
+    print(f"data selectivity at the threshold: {permille / 10:.3f}% "
+          f"(paper: 0.06%)")
+
+    # Store the snapshot and contour it through the NDP path.
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sdrbench")
+    fs = S3FileSystem(store, "sdrbench")
+    fs.write_object("nyx.vgf", write_vgf(grid, codec="gzip"))
+    server = NDPServer(fs)
+    client = RPCClient(InProcessTransport(server.dispatch))
+
+    halos, stats = ndp_contour(client, "nyx.vgf", "baryon_density", [HALO_THRESHOLD])
+    print(
+        f"halo surfaces: {halos.triangles().shape[0]} triangles; "
+        f"transferred {stats['wire_bytes'] / 1e3:.1f} kB of "
+        f"{stats['raw_bytes'] / 1e6:.1f} MB raw "
+        f"(gzip stored {stats['stored_bytes'] / 1e6:.1f} MB — the paper's "
+        "~11% finding)"
+    )
+
+    # The science the figure supports: each closed isosurface is a halo
+    # candidate (small fragments are mesh noise, not halos).
+    sizes = component_sizes(halos, min_points=12)
+    print(
+        f"halo candidates: {len(sizes)} connected surfaces "
+        f"(largest {sizes[0]} points; total area {surface_area(halos):.4f})"
+        if sizes else "halo candidates: none at this resolution"
+    )
+
+    scene = Scene(background=(0.02, 0.02, 0.05))
+    scene.add_mesh(halos, color=(0.9, 0.55, 0.25))
+    write_ppm("nyx_halos.ppm", scene.render(640, 480))
+    print("wrote nyx_halos.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; this shim lets ``pip install -e .`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Near-data processing for scientific visualization pipelines "
+        "(reproduction of Zheng et al., SC 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+    entry_points={"console_scripts": ["repro-viz = repro.cli:main"]},
+)

@@ -1,0 +1,15 @@
+"""Benchmark harness: environments, per-figure experiments, reporting.
+
+``benchmarks/`` (pytest-benchmark) drives this package: a
+:class:`~repro.bench.harness.BenchEnv` populates an object store with the
+synthetic datasets under every codec, wires the baseline and NDP paths
+over the paper-calibrated simulated testbed, and
+:mod:`~repro.bench.experiments` reproduces each figure/table as a list of
+rows that :mod:`~repro.bench.reporting` prints next to the paper's
+expected shape.
+"""
+
+from repro.bench.harness import BenchEnv, LoadResult
+from repro.bench.reporting import format_table, print_table
+
+__all__ = ["BenchEnv", "LoadResult", "format_table", "print_table"]

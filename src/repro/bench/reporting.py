@@ -1,0 +1,44 @@
+"""Aligned-table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table", "format_value"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if columns is None:
+        columns = list(rows[0]) if rows else []
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                title: str | None = None) -> None:
+    print()
+    print(format_table(rows, columns, title))

@@ -1,0 +1,221 @@
+"""Command-line interface: generate datasets, serve, inspect, contour.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro generate asteroid --dim 64 --store /data/impact --codec lz4
+    python -m repro info --store /data/impact
+    python -m repro serve --store /data/impact --port 9090
+    python -m repro contour --connect 127.0.0.1:9090 --key asteroid/ts00000.vgf \\
+        --array v02 --values 0.1 --render frame.ppm
+    python -m repro contour --store /data/impact --key asteroid/ts00000.vgf \\
+        --array v02 --values 0.1,0.5          # local, no server
+
+The CLI wires together the same public APIs the examples use; it exists
+so a downstream user can drive the system without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.ndp_client import ndp_contour
+from repro.core.ndp_server import NDPServer
+from repro.datasets.asteroid import AsteroidImpactDataset, AsteroidParams
+from repro.datasets.nyx import NyxDataset, NyxParams
+from repro.io.ppm import write_ppm
+from repro.io.vgf import read_vgf_info, write_vgf
+from repro.rpc.client import RPCClient
+from repro.storage.object_store import DirectoryBackend, ObjectStore
+from repro.storage.s3fs import S3FileSystem
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BUCKET = "sim"
+
+
+def _open_fs(store_dir: str, bucket: str, create: bool = False) -> S3FileSystem:
+    store = ObjectStore(DirectoryBackend(store_dir))
+    if create:
+        store.create_bucket(bucket)
+    return S3FileSystem(store, bucket)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args) -> int:
+    fs = _open_fs(args.store, args.bucket, create=True)
+    dims = (args.dim, args.dim, args.dim)
+    if args.dataset == "asteroid":
+        dataset = AsteroidImpactDataset(AsteroidParams(dims=dims))
+        arrays = args.arrays.split(",") if args.arrays else ["v02", "v03"]
+        for step in dataset.timesteps:
+            grid = dataset.generate_arrays(step, arrays)
+            key = f"asteroid/ts{step:05d}.vgf"
+            fs.write_object(key, write_vgf(grid, codec=args.codec,
+                                           meta={"timestep": step}))
+            print(f"wrote {key}")
+    else:
+        grid = NyxDataset(NyxParams(dims=dims)).generate()
+        if args.arrays:
+            keep = args.arrays.split(",")
+            from repro.grid.uniform import UniformGrid
+
+            sub = UniformGrid(grid.dims, grid.origin, grid.spacing)
+            for name in keep:
+                sub.point_data.add(grid.point_data.get(name))
+            grid = sub
+        fs.write_object("nyx/snapshot.vgf", write_vgf(grid, codec=args.codec))
+        print("wrote nyx/snapshot.vgf")
+    return 0
+
+
+def cmd_info(args) -> int:
+    fs = _open_fs(args.store, args.bucket)
+    keys = fs.listdir(args.prefix)
+    if not keys:
+        print("no objects found")
+        return 1
+    shown = 0
+    for key in keys:
+        try:
+            with fs.open(key) as fh:
+                info = read_vgf_info(fh)
+        except Exception:
+            continue  # selection blobs etc. share the bucket
+        shown += 1
+        arrays = ", ".join(
+            f"{a.name}[{a.codec},{a.stored_bytes}B]" for a in info.arrays
+        )
+        print(f"{key}: dims={info.dims} meta={info.meta}")
+        print(f"    {arrays}")
+        if args.stats:
+            server = NDPServer(fs)
+            for a in info.arrays:
+                st = server.array_statistics(key, a.name, bins=8)
+                print(
+                    f"    {a.name}: min={st['min']:.4g} max={st['max']:.4g} "
+                    f"mean={st['mean']:.4g} std={st['std']:.4g}"
+                )
+    return 0 if shown else 1
+
+
+def cmd_serve(args) -> int:
+    fs = _open_fs(args.store, args.bucket)
+    server = NDPServer(fs)
+    listener = server.rpc.serve_tcp(host=args.host, port=args.port)
+    print(f"NDP server on {listener.host}:{listener.port} "
+          f"(store={args.store}, bucket={args.bucket})")
+    try:
+        import threading
+
+        threading.Event().wait(args.timeout if args.timeout > 0 else None)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.stop()
+    return 0
+
+
+def cmd_contour(args) -> int:
+    values = [float(v) for v in args.values.split(",")]
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        client = RPCClient.connect_tcp(host or "127.0.0.1", int(port))
+        close = client.close
+    else:
+        if not args.store:
+            print("error: provide --connect host:port or --store DIR",
+                  file=sys.stderr)
+            return 2
+        fs = _open_fs(args.store, args.bucket)
+        client = RPCClient.in_process(NDPServer(fs).rpc)
+        close = lambda: None  # noqa: E731 - nothing to release in-process
+    try:
+        polydata, stats = ndp_contour(client, args.key, args.array, values)
+    finally:
+        close()
+    print(
+        f"contour: {polydata.triangles().shape[0]} triangles, "
+        f"{polydata.num_points} points"
+    )
+    if stats:
+        print(
+            f"transferred {stats['wire_bytes'] / 1e3:.1f} kB of "
+            f"{stats['raw_bytes'] / 1e6:.2f} MB raw "
+            f"({stats['selected_points']} of {stats['total_points']} points)"
+        )
+    if args.render:
+        from repro.render.scene import Scene
+
+        scene = Scene()
+        scene.add_mesh(polydata, color=(0.3, 0.75, 0.9))
+        write_ppm(args.render, scene.render(args.width, args.height))
+        print(f"wrote {args.render}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Near-data visualization pipelines (SC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset into a store")
+    p.add_argument("dataset", choices=["asteroid", "nyx"])
+    p.add_argument("--store", required=True, help="directory-backed store root")
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--dim", type=int, default=64, help="grid points per axis")
+    p.add_argument("--codec", default="lz4", help="storage codec per array")
+    p.add_argument("--arrays", default="", help="comma-separated array subset")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("info", help="list and describe VGF objects in a store")
+    p.add_argument("--store", required=True)
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--prefix", default="")
+    p.add_argument("--stats", action="store_true",
+                   help="also print per-array value statistics")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("serve", help="run an NDP server over a store")
+    p.add_argument("--store", required=True)
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=0,
+                   help="exit after N seconds (0 = run forever)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("contour", help="offloaded contour of a stored array")
+    p.add_argument("--connect", default="", metavar="HOST:PORT",
+                   help="NDP server address (omit for in-process over --store)")
+    p.add_argument("--store", default="")
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--key", required=True)
+    p.add_argument("--array", required=True)
+    p.add_argument("--values", required=True, help="comma-separated isovalues")
+    p.add_argument("--render", default="", help="write a PPM frame here")
+    p.add_argument("--width", type=int, default=640)
+    p.add_argument("--height", type=int, default=480)
+    p.set_defaults(func=cmd_contour)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Error-bounded lossy float codec (the paper's "future work" direction).
+
+The paper anticipates that "highly optimized floating-point data
+compressors could achieve higher compression ratios" on the Nyx dataset
+(Sec. VII) but leaves them to future work.  :class:`QuantizerCodec` is a
+minimal member of that family: SZ-style absolute-error-bounded uniform
+quantization followed by deflate entropy coding.
+
+Encoding of a float32 payload:
+
+1. quantize each value to ``q = round(x / (2 * abs_bound))`` (int64 bins),
+2. delta-encode the bin indices (scientific fields are smooth, so deltas
+   concentrate near zero),
+3. zig-zag map deltas to unsigned and pack to the narrowest of
+   uint8/uint16/uint32/uint64,
+4. deflate the packed stream.
+
+Decoding inverts the chain; every reconstructed value satisfies
+``|x' - x| <= abs_bound`` in exact arithmetic (storing the reconstruction
+back to float32 can add up to one ulp on top).  Non-finite inputs are
+rejected.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.compression.base import Codec, register_codec
+from repro.errors import CodecError
+
+__all__ = ["QuantizerCodec"]
+
+_MAGIC = b"QNTZ"
+_HEADER = struct.Struct("<4sdBQ")  # magic, abs_bound, width code, count
+_WIDTHS = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def _zigzag(v: np.ndarray) -> np.ndarray:
+    """Map signed int64 to unsigned: 0,-1,1,-2,... -> 0,1,2,3,..."""
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def _unzigzag(u: np.ndarray) -> np.ndarray:
+    v = u.astype(np.int64)
+    return (v >> 1) ^ -(v & 1)
+
+
+class QuantizerCodec(Codec):
+    """Absolute-error-bounded quantizer for float32 payloads.
+
+    Parameters
+    ----------
+    abs_bound:
+        Maximum absolute reconstruction error, > 0.
+    level:
+        Deflate level for the entropy-coding stage.
+    """
+
+    name = "quantizer"
+    lossless = False
+
+    def __init__(self, abs_bound: float = 1e-3, level: int = 6):
+        if not (abs_bound > 0 and np.isfinite(abs_bound)):
+            raise CodecError(f"abs_bound must be finite and > 0, got {abs_bound}")
+        self.abs_bound = float(abs_bound)
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        data = bytes(data)
+        if len(data) % 4:
+            raise CodecError("quantizer expects a float32 payload")
+        x = np.frombuffer(data, dtype=np.float32).astype(np.float64)
+        if x.size and not np.isfinite(x).all():
+            raise CodecError("quantizer cannot encode non-finite values")
+        step = 2.0 * self.abs_bound
+        q = np.round(x / step).astype(np.int64)
+        deltas = np.empty_like(q)
+        if q.size:
+            deltas[0] = q[0]
+            np.subtract(q[1:], q[:-1], out=deltas[1:])
+        zz = _zigzag(deltas)
+        width = 1
+        if zz.size:
+            peak = int(zz.max())
+            for w in (1, 2, 4, 8):
+                if peak < (1 << (8 * w)):
+                    width = w
+                    break
+        packed = zz.astype(_WIDTHS[width]).tobytes()
+        body = zlib.compress(packed, self.level)
+        return _HEADER.pack(_MAGIC, self.abs_bound, width, x.size) + body
+
+    def decompress(self, data: bytes) -> bytes:
+        data = bytes(data)
+        if len(data) < _HEADER.size:
+            raise CodecError("quantizer frame too short")
+        magic, abs_bound, width, count = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise CodecError(f"bad quantizer magic {magic!r}")
+        if width not in _WIDTHS:
+            raise CodecError(f"bad quantizer width code {width}")
+        try:
+            packed = zlib.decompress(data[_HEADER.size :])
+        except zlib.error as exc:
+            raise CodecError(f"quantizer entropy stage failed: {exc}") from exc
+        zz = np.frombuffer(packed, dtype=_WIDTHS[width]).astype(np.uint64)
+        if zz.size != count:
+            raise CodecError(
+                f"quantizer frame declared {count} values but holds {zz.size}"
+            )
+        deltas = _unzigzag(zz)
+        q = np.cumsum(deltas)
+        x = q.astype(np.float64) * (2.0 * abs_bound)
+        return x.astype(np.float32).tobytes()
+
+
+register_codec(QuantizerCodec())

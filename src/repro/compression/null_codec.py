@@ -1,0 +1,22 @@
+"""The identity codec: the paper's "RAW" configuration."""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec, register_codec
+
+__all__ = ["NullCodec"]
+
+
+class NullCodec(Codec):
+    """Pass-through codec; lets RAW share the codec-configured code paths."""
+
+    name = "raw"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+register_codec(NullCodec())

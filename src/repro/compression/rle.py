@@ -1,0 +1,63 @@
+"""Byte run-length codec.
+
+Not part of the paper's evaluation; used by the ablation benchmarks as a
+cheap lower bound on what "any compression at all" buys on
+material-fraction arrays, which are dominated by long constant runs early
+in a simulation.
+
+Format: repeating ``(count: uint8 >= 1, value: uint8)`` pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec, register_codec
+from repro.errors import CodecError
+
+__all__ = ["RLECodec"]
+
+
+class RLECodec(Codec):
+    """Run-length coding of raw bytes, vectorized with NumPy."""
+
+    name = "rle"
+
+    def compress(self, data: bytes) -> bytes:
+        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+        if arr.size == 0:
+            return b""
+        # Run boundaries: positions where the byte changes.
+        change = np.nonzero(np.diff(arr))[0] + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [arr.size]))
+        lengths = ends - starts
+        values = arr[starts]
+        # Split runs longer than 255 into ceil(len/255) chunks.
+        n_chunks = (lengths + 254) // 255
+        total = int(n_chunks.sum())
+        out = np.empty((total, 2), dtype=np.uint8)
+        rep_values = np.repeat(values, n_chunks)
+        counts = np.full(total, 255, dtype=np.int64)
+        # The final chunk of each run carries the remainder.
+        last_idx = np.cumsum(n_chunks) - 1
+        remainder = lengths - (n_chunks - 1) * 255
+        counts[last_idx] = remainder
+        out[:, 0] = counts.astype(np.uint8)
+        out[:, 1] = rep_values
+        return out.tobytes()
+
+    def decompress(self, data: bytes) -> bytes:
+        raw = np.frombuffer(bytes(data), dtype=np.uint8)
+        if raw.size == 0:
+            return b""
+        if raw.size % 2:
+            raise CodecError("RLE payload must be (count, value) pairs")
+        pairs = raw.reshape(-1, 2)
+        counts = pairs[:, 0].astype(np.int64)
+        if (counts == 0).any():
+            raise CodecError("RLE count of zero is invalid")
+        return np.repeat(pairs[:, 1], counts).tobytes()
+
+
+register_codec(RLECodec())

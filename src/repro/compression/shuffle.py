@@ -1,0 +1,90 @@
+"""Byte-shuffle preconditioning codec (HDF5's shuffle filter).
+
+Float arrays from simulations vary smoothly, so the *high* bytes of
+adjacent values are nearly constant while the low (mantissa) bytes look
+random.  Transposing the byte planes — all first-bytes together, then all
+second-bytes, ... — turns that structure into long runs that LZ-family
+codecs exploit.  This is exactly HDF5's ``shuffle`` filter; VTK users get
+it implicitly when simulations write shuffled HDF5.
+
+The codec wraps any registered inner codec:
+
+``b"SHFL" | uint8 itemsize | uint8 tail_len | tail bytes | inner frame``
+
+Values whose byte count is not a multiple of ``itemsize`` keep their
+remainder unshuffled in the header ("tail").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Codec, get_codec, register_codec
+from repro.errors import CodecError
+
+__all__ = ["ShuffleCodec"]
+
+_MAGIC = b"SHFL"
+
+
+class ShuffleCodec(Codec):
+    """Byte-plane transpose followed by an inner codec.
+
+    Parameters
+    ----------
+    inner:
+        Name of the registered codec applied after shuffling.
+    itemsize:
+        Width of the values being shuffled (4 for float32).
+    """
+
+    def __init__(self, inner: str = "lz4", itemsize: int = 4):
+        if itemsize < 2 or itemsize > 255:
+            raise CodecError(f"itemsize must be in [2, 255], got {itemsize}")
+        self.inner_name = inner
+        self.itemsize = itemsize
+        self.name = f"shuffle-{inner}"
+
+    def _inner(self) -> Codec:
+        return get_codec(self.inner_name)
+
+    def compress(self, data: bytes) -> bytes:
+        data = bytes(data)
+        n_items = len(data) // self.itemsize
+        body_len = n_items * self.itemsize
+        tail = data[body_len:]
+        arr = np.frombuffer(data, dtype=np.uint8, count=body_len)
+        shuffled = np.ascontiguousarray(
+            arr.reshape(n_items, self.itemsize).T
+        ).tobytes()
+        inner_frame = self._inner().compress(shuffled)
+        return (
+            _MAGIC
+            + bytes([self.itemsize, len(tail)])
+            + tail
+            + inner_frame
+        )
+
+    def decompress(self, data: bytes) -> bytes:
+        data = bytes(data)
+        if len(data) < 6 or data[:4] != _MAGIC:
+            raise CodecError("bad shuffle frame")
+        itemsize = data[4]
+        tail_len = data[5]
+        if itemsize != self.itemsize:
+            raise CodecError(
+                f"frame shuffled with itemsize {itemsize}; codec expects "
+                f"{self.itemsize}"
+            )
+        tail = data[6 : 6 + tail_len]
+        shuffled = self._inner().decompress(data[6 + tail_len :])
+        if len(shuffled) % itemsize:
+            raise CodecError("shuffled payload length not a multiple of itemsize")
+        n_items = len(shuffled) // itemsize
+        arr = np.frombuffer(shuffled, dtype=np.uint8)
+        body = np.ascontiguousarray(arr.reshape(itemsize, n_items).T).tobytes()
+        return body + tail
+
+
+register_codec(ShuffleCodec("lz4"))
+register_codec(ShuffleCodec("gzip"))

@@ -1,0 +1,126 @@
+"""Pre/post splits for further filter types (the paper's future work).
+
+The paper's prototype splits only the contour filter and its conclusion
+flags generalization as future work ("our current experiments were
+limited to a single filter type").  Two more selective filters split
+naturally onto the same :class:`~repro.grid.selection.PointSelection`
+hand-off:
+
+* **threshold** — the pre-filter ships exactly the in-range points; the
+  post-filter materializes them as vertex geometry.  Selectivity equals
+  the range's volume fraction.
+* **axis-aligned slice** — the pre-filter ships the one or two lattice
+  planes bracketing the slice coordinate (a 2/N fraction of the grid);
+  the post-filter interpolates the plane exactly as the stock filter
+  does.
+
+Both reconstructions are bit-exact against their stock filters, with the
+same argument shape as the contour split: the selection carries true
+values for every point the downstream kernel will read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FilterError
+from repro.filters.slice import slice_grid, slice_plane_indices
+from repro.filters.threshold import threshold_point_ids
+from repro.grid.array import DataArray
+from repro.grid.cells import point_count
+from repro.grid.polydata import CellArray, PolyData
+from repro.grid.selection import PointSelection
+from repro.grid.uniform import UniformGrid
+
+__all__ = [
+    "prefilter_threshold",
+    "postfilter_threshold",
+    "prefilter_slice",
+    "postfilter_slice",
+]
+
+
+# ---------------------------------------------------------------------------
+# Threshold
+# ---------------------------------------------------------------------------
+
+
+def prefilter_threshold(
+    grid: UniformGrid, array_name: str, lower: float, upper: float
+) -> PointSelection:
+    """Storage-side half of :class:`~repro.filters.threshold.ThresholdPoints`."""
+    ids = threshold_point_ids(grid, array_name, lower, upper)
+    return PointSelection.from_grid(grid, array_name, ids)
+
+
+def postfilter_threshold(selection: PointSelection) -> PolyData:
+    """Client-side half: materialize the selected points as vertices.
+
+    Identical to running the stock threshold filter on the full grid: the
+    selection *is* the filter's result set, so no recomputation is needed
+    — thresholding is the ideal offload case.
+    """
+    if selection.axes is not None:
+        from repro.grid.rectilinear import RectilinearGrid
+
+        grid = RectilinearGrid(*selection.axes)
+    else:
+        grid = UniformGrid(selection.dims, selection.origin, selection.spacing)
+    points = grid.point_ids_to_coords(selection.ids)
+    out = PolyData(points)
+    out.verts = CellArray.from_uniform(
+        np.arange(selection.count, dtype=np.int64).reshape(-1, 1)
+    )
+    out.point_data.add(DataArray(selection.array_name, selection.values.copy()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Axis-aligned slice
+# ---------------------------------------------------------------------------
+
+
+def prefilter_slice(
+    grid: UniformGrid, array_name: str, axis: int, coordinate: float
+) -> PointSelection:
+    """Storage-side half of :class:`~repro.filters.slice.SliceFilter`.
+
+    Ships the lattice plane(s) bracketing ``coordinate`` — everything the
+    client-side interpolation will read.
+    """
+    i0, i1, _t = slice_plane_indices(grid, axis, coordinate)
+    nx, ny, _nz = grid.dims
+    strides = (1, nx, nx * ny)
+    stride = strides[axis]
+    n_plane = point_count(grid.dims) // grid.dims[axis]
+    # Flat ids of every point on plane index i along `axis`: enumerate the
+    # other two axes in id order.
+    all_ids = np.arange(point_count(grid.dims), dtype=np.int64)
+    axis_index = (all_ids // stride) % grid.dims[axis]
+    ids = all_ids[(axis_index == i0) | (axis_index == i1)]
+    if ids.size not in (n_plane, 2 * n_plane):
+        raise FilterError("internal error: plane extraction miscounted")
+    return PointSelection.from_grid(grid, array_name, ids)
+
+
+def postfilter_slice(
+    selection: PointSelection, axis: int, coordinate: float
+) -> PolyData:
+    """Client-side half: interpolate the slice from the shipped planes.
+
+    Bit-exact against :func:`~repro.filters.slice.slice_grid` on the full
+    grid: the interpolation reads only the bracketing planes, which the
+    selection carries with true values.
+    """
+    grid, mask = selection.to_grid(fill=np.nan)
+    i0, i1, _t = slice_plane_indices(grid, axis, coordinate)
+    # Guard: the planes the kernel will read must be fully present.
+    nx, ny, _nz = grid.dims
+    stride = (1, nx, nx * ny)[axis]
+    axis_index = (np.arange(mask.size) // stride) % grid.dims[axis]
+    needed = (axis_index == i0) | (axis_index == i1)
+    if not mask[needed].all():
+        raise FilterError(
+            "selection does not contain the planes required for this slice"
+        )
+    return slice_grid(grid, axis, coordinate, [selection.array_name])

@@ -1,0 +1,194 @@
+"""Interesting-edge analysis: the data-selection core of the paper.
+
+An *interesting edge* is a lattice edge whose endpoint values straddle a
+contour value — "edges where one end is above 5 and the other is below 5"
+in the paper's Fig. 3 walkthrough.  Only points touching such edges carry
+information the downstream contour filter needs.
+
+Three vectorized primitives operate on a scalar field shaped ``(nz, ny,
+nx)`` (degenerate axes of size 1 are handled, so 2-D grids work
+unchanged):
+
+* :func:`interesting_point_mask` — points incident to at least one
+  interesting edge, for any of the given contour values.  This is the
+  quantity the paper's Fig. 6 reports as the *data selection rate*.
+* :func:`active_cell_mask` — cells with mixed corner classification, i.e.
+  cells that will emit contour geometry.
+* :func:`cell_closure_point_mask` — all corners of all active cells: the
+  minimal superset of the interesting-point set that lets the client
+  rebuild the contour *exactly* (every cell the contour kernel visits has
+  all corners present; see :mod:`repro.core.postfilter`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FilterError
+from repro.filters.contour import normalize_values
+
+__all__ = [
+    "interesting_point_mask",
+    "active_cell_mask",
+    "cell_closure_point_mask",
+    "point_mask_to_cell_complete",
+    "cell_mask_to_point_mask",
+    "roi_cell_mask",
+]
+
+
+def _as_field(field: np.ndarray) -> np.ndarray:
+    f = np.asarray(field)
+    if f.ndim != 3:
+        raise FilterError(f"field must be 3-D (nz, ny, nx); got shape {f.shape}")
+    if f.size == 0:
+        raise FilterError("field is empty")
+    # Classify in float64, exactly like the marching kernels do: comparing
+    # a float32 array against a Python float would cast the *value* down
+    # to float32 (NEP 50), silently flipping classifications for values
+    # outside float32's range — and a selection that disagrees with the
+    # kernel's classification breaks the reconstruction invariant.
+    return f.astype(np.float64, copy=False)
+
+
+def interesting_point_mask(field: np.ndarray, values) -> np.ndarray:
+    """Boolean mask of points incident to >= 1 interesting edge.
+
+    Parameters
+    ----------
+    field:
+        ``(nz, ny, nx)`` scalar field.
+    values:
+        One or more contour values; a point qualifies if any of its lattice
+        edges crosses any value.
+
+    Returns
+    -------
+    mask : ndarray of bool, same shape as ``field``.
+    """
+    f = _as_field(field)
+    vals = normalize_values(values)
+    mask = np.zeros(f.shape, dtype=bool)
+    for v in vals:
+        inside = f >= v
+        # x edges: neighbours along the last axis
+        if f.shape[2] > 1:
+            cross = inside[:, :, :-1] != inside[:, :, 1:]
+            mask[:, :, :-1] |= cross
+            mask[:, :, 1:] |= cross
+        # y edges
+        if f.shape[1] > 1:
+            cross = inside[:, :-1, :] != inside[:, 1:, :]
+            mask[:, :-1, :] |= cross
+            mask[:, 1:, :] |= cross
+        # z edges
+        if f.shape[0] > 1:
+            cross = inside[:-1, :, :] != inside[1:, :, :]
+            mask[:-1, :, :] |= cross
+            mask[1:, :, :] |= cross
+    return mask
+
+
+def active_cell_mask(field: np.ndarray, values) -> np.ndarray:
+    """Boolean mask of cells whose corners straddle any contour value.
+
+    The returned shape is ``(max(nz-1,1), max(ny-1,1), max(nx-1,1))`` —
+    degenerate axes keep a single layer so 2-D grids yield their pixel
+    cells.
+    """
+    f = _as_field(field)
+    vals = normalize_values(values)
+    # Per-cell corner min/max by pairwise folding along each axis.
+    lo = f
+    hi = f
+    for axis in range(3):
+        if f.shape[axis] > 1:
+            a = [slice(None)] * 3
+            b = [slice(None)] * 3
+            a[axis] = slice(None, -1)
+            b[axis] = slice(1, None)
+            lo = np.minimum(lo[tuple(a)], lo[tuple(b)])
+            hi = np.maximum(hi[tuple(a)], hi[tuple(b)])
+    active = np.zeros(lo.shape, dtype=bool)
+    for v in vals:
+        # Mixed classification: some corner >= v and some corner < v.
+        active |= (hi >= v) & (lo < v)
+    return active
+
+
+def cell_closure_point_mask(field: np.ndarray, values,
+                            cell_mask: np.ndarray | None = None) -> np.ndarray:
+    """Boolean mask of every corner point of every active cell.
+
+    ``cell_mask`` (e.g. a region of interest) restricts which cells count
+    as active.
+    """
+    f = _as_field(field)
+    active = active_cell_mask(f, values)
+    if cell_mask is not None:
+        active = active & np.asarray(cell_mask, dtype=bool)
+    mask = np.zeros(f.shape, dtype=bool)
+    # Scatter each cell flag to its corner points: along each non-degenerate
+    # axis a cell (index c) touches point layers c and c+1.
+    nz, ny, nx = f.shape
+    z_off = (0, 1) if nz > 1 else (0,)
+    y_off = (0, 1) if ny > 1 else (0,)
+    x_off = (0, 1) if nx > 1 else (0,)
+    cz, cy, cx = active.shape
+    for dz in z_off:
+        for dy in y_off:
+            for dx in x_off:
+                mask[dz : dz + cz, dy : dy + cy, dx : dx + cx] |= active
+    return mask
+
+
+def cell_mask_to_point_mask(cell_mask: np.ndarray, point_shape) -> np.ndarray:
+    """Scatter a cell mask to the corner points it touches (closure shape)."""
+    cell_mask = np.asarray(cell_mask, dtype=bool)
+    nz, ny, nx = point_shape
+    mask = np.zeros(point_shape, dtype=bool)
+    cz, cy, cx = cell_mask.shape
+    for dz in (0, 1) if nz > 1 else (0,):
+        for dy in (0, 1) if ny > 1 else (0,):
+            for dx in (0, 1) if nx > 1 else (0,):
+                mask[dz : dz + cz, dy : dy + cy, dx : dx + cx] |= cell_mask
+    return mask
+
+
+def roi_cell_mask(grid, bounds) -> np.ndarray:
+    """Cells whose corners all lie inside an axis-aligned world box.
+
+    Used to restrict contouring (and its offload) to a region of
+    interest; shape conventions match :func:`active_cell_mask`.
+    """
+    lo = (bounds.xmin, bounds.ymin, bounds.zmin)
+    hi = (bounds.xmax, bounds.ymax, bounds.zmax)
+    nx, ny, nz = grid.dims
+    in_box = np.ones((nz, ny, nx), dtype=bool)
+    # Broadcast per-axis coordinate membership onto the point lattice.
+    shapes = ((1, 1, nx), (1, ny, 1), (nz, 1, 1))
+    for axis in range(3):
+        coords = np.asarray(grid.axis_coords(axis))
+        ok = (coords >= lo[axis]) & (coords <= hi[axis])
+        in_box &= ok.reshape(shapes[axis])
+    return point_mask_to_cell_complete(in_box)
+
+
+def point_mask_to_cell_complete(point_mask: np.ndarray) -> np.ndarray:
+    """Cells whose every corner point is present in ``point_mask``.
+
+    The post-filter's admission rule: only *complete* cells are contoured.
+    Shape conventions match :func:`active_cell_mask`.
+    """
+    m = np.asarray(point_mask, dtype=bool)
+    if m.ndim != 3:
+        raise FilterError(f"point mask must be 3-D; got shape {m.shape}")
+    out = m
+    for axis in range(3):
+        if m.shape[axis] > 1:
+            a = [slice(None)] * 3
+            b = [slice(None)] * 3
+            a[axis] = slice(None, -1)
+            b[axis] = slice(1, None)
+            out = out[tuple(a)] & out[tuple(b)]
+    return out

@@ -1,0 +1,197 @@
+"""The client-side NDP source (paper Fig. 10, right half / Fig. 11a).
+
+:class:`NDPContourSource` is what replaces the reader in the client's
+pipeline: instead of pulling whole arrays through a remote mount, it asks
+the storage-side :class:`~repro.core.ndp_server.NDPServer` to run the
+pre-filter and emits the decoded
+:class:`~repro.grid.selection.PointSelection`, ready for a
+:class:`~repro.core.postfilter.ContourPostFilter`.
+
+:func:`ndp_contour` is the one-call convenience wrapping source +
+post-filter for scripts.
+"""
+
+from __future__ import annotations
+
+from repro.core.encoding import decode_selection
+from repro.core.postfilter import postfilter_contour
+from repro.errors import PipelineError
+from repro.filters.contour import normalize_values
+from repro.grid.polydata import PolyData
+from repro.grid.selection import PointSelection
+from repro.pipeline.source import Source
+from repro.rpc.client import RPCClient
+
+__all__ = ["NDPContourSource", "ndp_contour", "ndp_threshold", "ndp_slice", "ndp_batch"]
+
+
+class NDPContourSource(Source):
+    """Pipeline source that fetches a pre-filtered selection over RPC.
+
+    Parameters
+    ----------
+    client:
+        An :class:`~repro.rpc.client.RPCClient` connected to an NDP server.
+    key, array_name, values:
+        Which object/array to contour and at which values.
+    mode, encoding:
+        Selection mode and wire encoding, forwarded to the server.
+    """
+
+    def __init__(
+        self,
+        client: RPCClient | None = None,
+        key: str | None = None,
+        array_name: str | None = None,
+        values=(),
+        mode: str = "cell-closure",
+        encoding: str = "auto",
+        wire_codec: str = "lz4",
+    ):
+        super().__init__()
+        self._client = client
+        self._key = key
+        self._array_name = array_name
+        self._values: tuple[float, ...] = ()
+        self._mode = mode
+        self._encoding = encoding
+        self._wire_codec = wire_codec
+        self.last_stats: dict | None = None
+        if values != () and values is not None:
+            self.set_values(values)
+
+    # ------------------------------------------------------------------
+    def set_client(self, client: RPCClient) -> None:
+        self._client = client
+        self.modified()
+
+    def set_key(self, key: str) -> None:
+        self._key = key
+        self.modified()
+
+    def set_array_name(self, name: str) -> None:
+        self._array_name = name
+        self.modified()
+
+    def set_values(self, values) -> None:
+        self._values = normalize_values(values)
+        self.modified()
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return self._values
+
+    # ------------------------------------------------------------------
+    def _execute(self) -> PointSelection:
+        if self._client is None:
+            raise PipelineError("NDPContourSource has no RPC client")
+        if self._key is None or self._array_name is None or not self._values:
+            raise PipelineError(
+                "NDPContourSource needs key, array_name, and values configured"
+            )
+        encoded = self._client.call(
+            "prefilter_contour",
+            self._key,
+            self._array_name,
+            list(self._values),
+            self._mode,
+            self._encoding,
+            self._wire_codec,
+        )
+        self.last_stats = encoded.get("stats")
+        return decode_selection(encoded)
+
+
+def ndp_threshold(
+    client: RPCClient,
+    key: str,
+    array_name: str,
+    lower: float,
+    upper: float,
+    wire_codec: str = "lz4",
+) -> tuple[PolyData, dict | None]:
+    """Offloaded threshold filter: vertices for every in-range point."""
+    from repro.core.filter_splits import postfilter_threshold
+
+    encoded = client.call(
+        "prefilter_threshold", key, array_name, float(lower), float(upper),
+        "auto", wire_codec,
+    )
+    selection = decode_selection(encoded)
+    return postfilter_threshold(selection), encoded.get("stats")
+
+
+def ndp_slice(
+    client: RPCClient,
+    key: str,
+    array_name: str,
+    axis: int,
+    coordinate: float,
+    wire_codec: str = "lz4",
+) -> tuple[PolyData, dict | None]:
+    """Offloaded axis-aligned slice: interpolated plane geometry."""
+    from repro.core.filter_splits import postfilter_slice
+
+    encoded = client.call(
+        "prefilter_slice", key, array_name, int(axis), float(coordinate),
+        "auto", wire_codec,
+    )
+    selection = decode_selection(encoded)
+    return postfilter_slice(selection, int(axis), float(coordinate)), encoded.get("stats")
+
+
+def ndp_batch(client: RPCClient, key: str, requests: list[dict]) -> list:
+    """Several offloaded pre-filters in one round trip.
+
+    Returns one finished :class:`~repro.grid.polydata.PolyData` per
+    request (post-filters run locally), each paired with its stats dict.
+    """
+    from repro.core.filter_splits import postfilter_slice, postfilter_threshold
+
+    replies = client.call("prefilter_batch", key, requests)
+    results = []
+    for req, encoded in zip(requests, replies):
+        selection = decode_selection(encoded)
+        kind = req["kind"]
+        if kind == "contour":
+            pd = postfilter_contour(selection, req["values"])
+        elif kind == "threshold":
+            pd = postfilter_threshold(selection)
+        elif kind == "slice":
+            pd = postfilter_slice(selection, req["axis"], req["coordinate"])
+        else:
+            raise ValueError(f"unknown batch request kind {kind!r}")
+        results.append((pd, encoded.get("stats")))
+    return results
+
+
+def ndp_contour(
+    client: RPCClient,
+    key: str,
+    array_name: str,
+    values,
+    mode: str = "cell-closure",
+    encoding: str = "auto",
+    wire_codec: str = "lz4",
+    roi=None,
+) -> tuple[PolyData, dict | None]:
+    """One-call NDP contour: offload the pre-filter, finish locally.
+
+    Returns ``(polydata, stats)`` where ``stats`` is the server's phase
+    report (stored/raw/wire bytes, selection counts).  ``roi`` is an
+    optional :class:`~repro.grid.bounds.Bounds` region of interest,
+    applied identically on both sides.
+    """
+    if roi is not None:
+        encoded = client.call(
+            "prefilter_contour", key, array_name, list(normalize_values(values)),
+            mode, encoding, wire_codec, list(roi.as_tuple()),
+        )
+        selection = decode_selection(encoded)
+        return (
+            postfilter_contour(selection, values, roi=roi),
+            encoded.get("stats"),
+        )
+    source = NDPContourSource(client, key, array_name, values, mode, encoding, wire_codec)
+    selection = source.output()
+    return postfilter_contour(selection, values), source.last_stats

@@ -1,0 +1,373 @@
+"""The storage-side NDP service (paper Fig. 10, left half / Fig. 11a).
+
+Runs next to the object store: mounts the bucket through a *local*
+:class:`~repro.storage.s3fs.S3FileSystem` (no network link), and exposes
+over RPC:
+
+* ``prefilter_contour(key, array, values, mode, encoding)`` — the offload:
+  read the array block, decompress, pre-filter, return the encoded
+  selection plus per-phase statistics,
+* ``read_array(key, array)`` — a whole-array fetch (lets a client fall
+  back to baseline through the same endpoint),
+* ``list_objects(prefix)`` / ``describe(key)`` — discovery.
+
+If constructed with a :class:`~repro.storage.netsim.Testbed`, the server
+charges its CPU phases (decompression, pre-filter scan) to the simulated
+clock, mirroring where those costs land in the paper's NDP runs.  The
+real work always happens; only time is modelled.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.encoding import encode_selection, wire_size
+from repro.core.filter_splits import prefilter_slice, prefilter_threshold
+from repro.core.prefilter import prefilter_contour
+from repro.errors import RPCError
+from repro.grid.bounds import Bounds
+from repro.io.vgf import read_vgf_array, read_vgf_info
+from repro.rpc.server import RPCServer
+from repro.storage.s3fs import S3FileSystem
+
+__all__ = ["NDPServer"]
+
+
+class NDPServer:
+    """Storage-side partial-pipeline host.
+
+    Parameters
+    ----------
+    fs:
+        A *locally mounted* filesystem over the object store (its ``link``
+        should be ``None``: in the NDP placement s3fs is colocated with
+        the store, paper Fig. 11a).
+    testbed:
+        Optional cost model; when present, decompress and scan phases
+        advance its simulated clock.
+    """
+
+    def __init__(self, fs: S3FileSystem, testbed=None):
+        self.fs = fs
+        self.testbed = testbed
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "requests": 0,
+            "prefilter_calls": 0,
+            "raw_bytes_scanned": 0,
+            "wire_bytes_sent": 0,
+            "selected_points": 0,
+        }
+        self.rpc = RPCServer(
+            {
+                "prefilter_contour": self.prefilter_contour,
+                "prefilter_threshold": self.prefilter_threshold,
+                "prefilter_slice": self.prefilter_slice,
+                "prefilter_batch": self.prefilter_batch,
+                "probe_selectivity": self.probe_selectivity,
+                "array_statistics": self.array_statistics,
+                "render_contour": self.render_contour,
+                "read_array": self.read_array,
+                "list_objects": self.list_objects,
+                "describe": self.describe,
+                "server_stats": self.server_stats,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def list_objects(self, prefix: str = "") -> list:
+        return self.fs.listdir(prefix)
+
+    def describe(self, key: str) -> dict:
+        """Header summary of one VGF object."""
+        with self.fs.open(key) as fh:
+            info = read_vgf_info(fh)
+        return {
+            "dims": list(info.dims),
+            "origin": list(info.origin),
+            "spacing": list(info.spacing),
+            "meta": info.meta,
+            "arrays": [
+                {
+                    "name": a.name,
+                    "dtype": a.dtype,
+                    "codec": a.codec,
+                    "stored_bytes": a.stored_bytes,
+                    "raw_bytes": a.raw_bytes,
+                }
+                for a in info.arrays
+            ],
+        }
+
+    def _load_array(self, key: str, array: str):
+        """Read + decode one array block, charging read/decompress phases."""
+        with self.fs.open(key) as fh:
+            info = read_vgf_info(fh)
+            entry = info.array(array)
+            data_array, _ = read_vgf_array(fh, array, info)
+        if self.testbed is not None:
+            self.testbed.charge_decompress(entry.codec, entry.raw_bytes)
+        grid = info.make_grid()
+        grid.point_data.add(data_array)
+        return grid, entry
+
+    def prefilter_contour(
+        self,
+        key: str,
+        array: str,
+        values: list,
+        mode: str = "cell-closure",
+        encoding: str = "auto",
+        wire_codec: str = "lz4",
+        roi: list | None = None,
+    ) -> dict:
+        """The offloaded pre-filter: returns the encoded selection + stats.
+
+        ``wire_codec`` compresses the selection payload before transfer —
+        the paper's Fig. 9 compression/NDP composition applied to the NDP
+        reply itself.  ``roi`` is an optional 6-tuple
+        ``(xmin, xmax, ymin, ymax, zmin, zmax)`` restricting the offload
+        to a region of interest.
+        """
+        grid, entry = self._load_array(key, array)
+        if self.testbed is not None:
+            self.testbed.charge_filter_scan(entry.raw_bytes)
+        bounds = Bounds(*roi) if roi is not None else None
+        selection = prefilter_contour(grid, array, values, mode=mode, roi=bounds)
+        return self._finish(selection, entry, encoding, wire_codec)
+
+    def _finish(self, selection, entry, encoding: str, wire_codec: str) -> dict:
+        """Shared tail: encode, charge wire compression, attach stats."""
+        encoded = encode_selection(selection, method=encoding, payload_codec=wire_codec)
+        if self.testbed is not None and wire_codec != "raw":
+            self.testbed.charge_compress(wire_codec, selection.payload_nbytes)
+        encoded["stats"] = {
+            "stored_bytes": entry.stored_bytes,
+            "raw_bytes": entry.raw_bytes,
+            "codec": entry.codec,
+            "selected_points": int(selection.count),
+            "total_points": int(selection.total_points),
+            "wire_bytes": wire_size(encoded),
+        }
+        self._record(encoded["stats"])
+        return encoded
+
+    def _record(self, stats: dict) -> None:
+        """Accumulate per-request statistics (thread-safe: the TCP
+        listener serves each connection on its own thread)."""
+        with self._stats_lock:
+            self._stats["requests"] += 1
+            self._stats["prefilter_calls"] += 1
+            self._stats["raw_bytes_scanned"] += stats["raw_bytes"]
+            self._stats["wire_bytes_sent"] += stats["wire_bytes"]
+            self._stats["selected_points"] += stats["selected_points"]
+
+    def server_stats(self) -> dict:
+        """Lifetime counters: offload calls, bytes scanned vs shipped.
+
+        The scanned-to-shipped ratio is the server's aggregate view of the
+        paper's data-reduction claim.
+        """
+        with self._stats_lock:
+            out = dict(self._stats)
+        scanned = out["raw_bytes_scanned"]
+        out["reduction_ratio"] = (
+            scanned / out["wire_bytes_sent"] if out["wire_bytes_sent"] else 0.0
+        )
+        return out
+
+    def prefilter_threshold(
+        self,
+        key: str,
+        array: str,
+        lower: float,
+        upper: float,
+        encoding: str = "auto",
+        wire_codec: str = "lz4",
+    ) -> dict:
+        """Offloaded threshold: ship exactly the in-range points."""
+        grid, entry = self._load_array(key, array)
+        if self.testbed is not None:
+            self.testbed.charge_filter_scan(entry.raw_bytes)
+        selection = prefilter_threshold(grid, array, lower, upper)
+        return self._finish(selection, entry, encoding, wire_codec)
+
+    def prefilter_slice(
+        self,
+        key: str,
+        array: str,
+        axis: int,
+        coordinate: float,
+        encoding: str = "auto",
+        wire_codec: str = "lz4",
+    ) -> dict:
+        """Offloaded axis-aligned slice: ship the bracketing planes."""
+        grid, entry = self._load_array(key, array)
+        if self.testbed is not None:
+            self.testbed.charge_filter_scan(entry.raw_bytes)
+        selection = prefilter_slice(grid, array, axis, coordinate)
+        return self._finish(selection, entry, encoding, wire_codec)
+
+    def prefilter_batch(self, key: str, requests: list) -> list:
+        """Run several pre-filters against one object in one round trip.
+
+        Each request is a dict with a ``kind`` ("contour" / "threshold" /
+        "slice") plus that kind's arguments.  The object's array blocks
+        are still read per-request (they may differ), but the client pays
+        a single RPC round trip — the paper's multi-instance pipelines
+        (one filter per array, Sec. VI) map onto this directly.
+        """
+        replies = []
+        for req in requests:
+            kind = req.get("kind")
+            common = {
+                "encoding": req.get("encoding", "auto"),
+                "wire_codec": req.get("wire_codec", "lz4"),
+            }
+            if kind == "contour":
+                replies.append(
+                    self.prefilter_contour(
+                        key, req["array"], req["values"],
+                        req.get("mode", "cell-closure"), **common,
+                    )
+                )
+            elif kind == "threshold":
+                replies.append(
+                    self.prefilter_threshold(
+                        key, req["array"], req["lower"], req["upper"], **common
+                    )
+                )
+            elif kind == "slice":
+                replies.append(
+                    self.prefilter_slice(
+                        key, req["array"], req["axis"], req["coordinate"], **common
+                    )
+                )
+            else:
+                raise RPCError(f"unknown batch request kind {kind!r}")
+        return replies
+
+    def probe_selectivity(
+        self,
+        key: str,
+        array: str,
+        values: list,
+        mode: str = "cell-closure",
+    ) -> dict:
+        """Measure a contour's selection statistics without transferring it.
+
+        Costs one storage-side array read + scan but only a ~100-byte
+        reply — clients probe a representative timestep once, then let the
+        offload planner route every subsequent load (see
+        :class:`~repro.core.planner.AdaptiveContourClient`).
+        """
+        grid, entry = self._load_array(key, array)
+        if self.testbed is not None:
+            self.testbed.charge_filter_scan(entry.raw_bytes)
+        selection = prefilter_contour(grid, array, values, mode=mode)
+        encoded = encode_selection(selection, payload_codec="lz4")
+        return {
+            "stored_bytes": entry.stored_bytes,
+            "raw_bytes": entry.raw_bytes,
+            "codec": entry.codec,
+            "selected_points": int(selection.count),
+            "total_points": int(selection.total_points),
+            "selectivity": selection.selectivity,
+            "permillage": selection.permillage,
+            "wire_bytes": wire_size(encoded),
+        }
+
+    def array_statistics(self, key: str, array: str, bins: int = 32) -> dict:
+        """Summary statistics + histogram of a stored array.
+
+        How an interactive client picks contour values without pulling the
+        array: min/max/mean/std and a histogram cross the wire instead of
+        the data (the same near-data idea applied to value exploration).
+        """
+        if not 1 <= int(bins) <= 4096:
+            raise RPCError(f"bins must be in [1, 4096], got {bins}")
+        grid, entry = self._load_array(key, array)
+        if self.testbed is not None:
+            self.testbed.charge_filter_scan(entry.raw_bytes)
+        values = grid.point_data.get(array).values.astype(np.float64)
+        counts, edges = np.histogram(values, bins=int(bins))
+        return {
+            "count": int(values.size),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "mean": float(values.mean()),
+            "std": float(values.std()),
+            "histogram_counts": [int(c) for c in counts],
+            "histogram_edges": [float(e) for e in edges],
+            "stored_bytes": entry.stored_bytes,
+            "raw_bytes": entry.raw_bytes,
+        }
+
+    def render_contour(
+        self,
+        key: str,
+        array: str,
+        values: list,
+        width: int = 640,
+        height: int = 480,
+        color: list | None = None,
+    ) -> dict:
+        """Server-side rendering: contour AND rasterize near the data.
+
+        The third placement option (ParaView's render-server mode): only
+        pixels cross the network.  Returns a PPM frame plus stats; the
+        bench ``test_ext_strategies`` compares all three placements.
+        """
+        from repro.filters.contour import contour_grid
+        from repro.io.ppm import encode_ppm
+        from repro.render.scene import Scene
+
+        grid, entry = self._load_array(key, array)
+        if self.testbed is not None:
+            self.testbed.charge_filter_scan(entry.raw_bytes)
+        polydata = contour_grid(grid, array, values)
+        scene = Scene()
+        scene.add_mesh(polydata, color=tuple(color) if color else (0.3, 0.75, 0.9))
+        frame = encode_ppm(scene.render(int(width), int(height)))
+        return {
+            "ppm": frame,
+            "stats": {
+                "stored_bytes": entry.stored_bytes,
+                "raw_bytes": entry.raw_bytes,
+                "codec": entry.codec,
+                "triangles": int(polydata.polys.num_cells),
+                "wire_bytes": len(frame),
+            },
+        }
+
+    def read_array(self, key: str, array: str) -> dict:
+        """Whole-array fetch (baseline-through-RPC path)."""
+        grid, entry = self._load_array(key, array)
+        arr = grid.point_data.get(array)
+        return {
+            "dims": list(grid.dims),
+            "origin": list(grid.origin),
+            "spacing": list(grid.spacing),
+            "array": array,
+            "dtype": arr.values.dtype.str,
+            "values": np.ascontiguousarray(arr.values).tobytes(),
+            "stats": {
+                "stored_bytes": entry.stored_bytes,
+                "raw_bytes": entry.raw_bytes,
+                "codec": entry.codec,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def dispatch(self):
+        """Frame dispatcher, for in-process/simulated transports."""
+        return self.rpc.dispatch
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Listen on TCP; returns the started listener."""
+        return self.rpc.serve_tcp(host=host, port=port)

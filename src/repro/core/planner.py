@@ -1,0 +1,156 @@
+"""Offload planner: decide baseline vs NDP from cost estimates.
+
+An extension beyond the paper (its Conclusion notes offload benefit is
+workload-dependent): given an array's stored/raw sizes, its codec, an
+estimated selectivity, and a :class:`~repro.storage.netsim.Testbed`'s
+device constants, estimate both paths' load times and pick the winner.
+
+The estimates use exactly the cost structure of the paper's Sec. VI
+discussion: the baseline pays SSD + network on the stored bytes plus
+client-side decompression; NDP pays SSD on the stored bytes, storage-side
+decompression and scan on the raw bytes, and network only on the encoded
+selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.storage.netsim import Testbed
+
+__all__ = ["OffloadPlanner", "OffloadDecision"]
+
+#: Wire bytes per selected point under the ids encoding: value (4 for
+#: float32) + delta (<= 4 in practice); a deliberately pessimistic 8.
+_BYTES_PER_SELECTED_POINT = 8.0
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """The planner's verdict for one load."""
+
+    use_ndp: bool
+    baseline_seconds: float
+    ndp_seconds: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        if self.ndp_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.ndp_seconds
+
+
+class OffloadPlanner:
+    """Estimates and compares baseline vs NDP load times."""
+
+    def __init__(self, testbed: Testbed | None = None):
+        self.testbed = testbed if testbed is not None else Testbed()
+
+    # ------------------------------------------------------------------
+    def estimate_baseline(self, stored_bytes: int, raw_bytes: int, codec: str) -> float:
+        """Seconds for the remote-mount whole-array path."""
+        tb = self.testbed
+        seconds = stored_bytes / tb.ssd_bps + stored_bytes / tb.net_bps
+        decomp = tb.codec_timing(codec).decompress_bps
+        if decomp != float("inf"):
+            seconds += raw_bytes / decomp
+        return seconds
+
+    def estimate_ndp(
+        self, stored_bytes: int, raw_bytes: int, codec: str, selectivity: float
+    ) -> float:
+        """Seconds for the offloaded pre-filter path."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise ReproError(f"selectivity must be in [0, 1], got {selectivity}")
+        tb = self.testbed
+        seconds = stored_bytes / tb.ssd_bps
+        decomp = tb.codec_timing(codec).decompress_bps
+        if decomp != float("inf"):
+            seconds += raw_bytes / decomp
+        seconds += raw_bytes / tb.prefilter_bps
+        # Selection wire cost: points * pessimistic per-point bytes.
+        points = raw_bytes / 4.0  # float32 arrays; upper-bounds others
+        wire = selectivity * points * _BYTES_PER_SELECTED_POINT
+        seconds += wire / tb.net_bps
+        return seconds
+
+    def decide(
+        self, stored_bytes: int, raw_bytes: int, codec: str, selectivity: float
+    ) -> OffloadDecision:
+        """Compare both paths and return the decision."""
+        baseline = self.estimate_baseline(stored_bytes, raw_bytes, codec)
+        ndp = self.estimate_ndp(stored_bytes, raw_bytes, codec, selectivity)
+        return OffloadDecision(ndp < baseline, baseline, ndp)
+
+
+class AdaptiveContourClient:
+    """Probe once, then route every load through the cheaper path.
+
+    The planner needs an (array, values)-specific selectivity to decide
+    between the baseline and NDP; measuring it costs a storage-side scan.
+    This client pays that probe once per configuration on a representative
+    object, caches the decision, and then serves every contour either:
+
+    * **NDP** — via :func:`~repro.core.ndp_client.ndp_contour`, or
+    * **baseline** — reading the array through the remote mount and
+      contouring locally,
+
+    whichever the model predicts is faster.  Movie workloads (many
+    timesteps, fixed values) amortize the probe to nothing.
+
+    Parameters
+    ----------
+    client:
+        RPC client connected to the NDP server.
+    remote_fs:
+        A client-side mount of the same store (the baseline path).
+    testbed:
+        Optional cost model for the planner's estimates.
+    """
+
+    def __init__(self, client, remote_fs, testbed: Testbed | None = None):
+        self._client = client
+        self._remote_fs = remote_fs
+        self.planner = OffloadPlanner(testbed)
+        self._decisions: dict = {}
+
+    # ------------------------------------------------------------------
+    def decision_for(self, key: str, array: str, values,
+                     mode: str = "cell-closure") -> OffloadDecision:
+        """The cached (or freshly probed) decision for this configuration."""
+        from repro.filters.contour import normalize_values
+
+        cache_key = (array, normalize_values(values), mode)
+        if cache_key not in self._decisions:
+            probe = self._client.call(
+                "probe_selectivity", key, array, list(values), mode
+            )
+            self._decisions[cache_key] = self.planner.decide(
+                probe["stored_bytes"],
+                probe["raw_bytes"],
+                probe["codec"],
+                probe["selectivity"],
+            )
+        return self._decisions[cache_key]
+
+    def contour(self, key: str, array: str, values,
+                mode: str = "cell-closure"):
+        """Contour ``key``'s array via whichever path the planner chose.
+
+        Returns ``(polydata, info)`` where ``info`` records the route.
+        """
+        from repro.core.ndp_client import ndp_contour
+        from repro.filters.contour import contour_grid
+        from repro.io.vgf import read_vgf
+
+        decision = self.decision_for(key, array, values, mode)
+        if decision.use_ndp:
+            polydata, stats = ndp_contour(self._client, key, array, values, mode)
+            info = {"route": "ndp", "decision": decision, "stats": stats}
+        else:
+            with self._remote_fs.open(key) as fh:
+                grid = read_vgf(fh, [array])
+            polydata = contour_grid(grid, array, values)
+            info = {"route": "baseline", "decision": decision, "stats": None}
+        return polydata, info

@@ -1,0 +1,116 @@
+"""Pipelined NDP requests for movie workloads.
+
+The paper's Sec. VI experiment "proceeds sequentially, reading data from
+the first timestep, generating a contour, and then moving on" — the
+client idles while the storage node pre-filters, and vice versa.
+:class:`NDPPrefetcher` overlaps them: it keeps up to ``depth`` offload
+requests in flight on a worker thread while the caller post-filters and
+renders the current frame, hiding storage-side latency behind client-side
+compute.  Results are yielded strictly in request order.
+
+Works with any request the batch endpoint understands (contour /
+threshold / slice), one object key per request::
+
+    requests = [
+        {"key": f"ts{t:05d}.vgf", "kind": "contour",
+         "array": "v02", "values": [0.1]}
+        for t in timesteps
+    ]
+    for key, polydata, stats in NDPPrefetcher(client, requests):
+        render(polydata)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterator
+
+from repro.core.encoding import decode_selection
+from repro.core.filter_splits import postfilter_slice, postfilter_threshold
+from repro.core.postfilter import postfilter_contour
+from repro.errors import ReproError
+from repro.grid.polydata import PolyData
+
+__all__ = ["NDPPrefetcher"]
+
+_KINDS = ("contour", "threshold", "slice")
+
+
+class NDPPrefetcher:
+    """Iterate offloaded filter results with lookahead.
+
+    Parameters
+    ----------
+    client:
+        An :class:`~repro.rpc.client.RPCClient` connected to an NDP server.
+    requests:
+        Request dicts; each needs a ``key`` plus the fields its ``kind``
+        requires (see :meth:`~repro.core.ndp_server.NDPServer.prefilter_batch`).
+    depth:
+        Number of requests kept in flight ahead of the consumer (>= 1).
+    """
+
+    def __init__(self, client, requests: list[dict], depth: int = 2):
+        if depth < 1:
+            raise ReproError(f"prefetch depth must be >= 1, got {depth}")
+        for req in requests:
+            if "key" not in req:
+                raise ReproError(f"request missing 'key': {req!r}")
+            if req.get("kind", "contour") not in _KINDS:
+                raise ReproError(f"unknown request kind {req.get('kind')!r}")
+        self._client = client
+        self._requests = list(requests)
+        self._depth = depth
+
+    # ------------------------------------------------------------------
+    def _issue(self, req: dict):
+        kind = req.get("kind", "contour")
+        common = (req.get("encoding", "auto"), req.get("wire_codec", "lz4"))
+        if kind == "contour":
+            return self._client.call(
+                "prefilter_contour", req["key"], req["array"], list(req["values"]),
+                req.get("mode", "cell-closure"), *common,
+            )
+        if kind == "threshold":
+            return self._client.call(
+                "prefilter_threshold", req["key"], req["array"],
+                float(req["lower"]), float(req["upper"]), *common,
+            )
+        return self._client.call(
+            "prefilter_slice", req["key"], req["array"],
+            int(req["axis"]), float(req["coordinate"]), *common,
+        )
+
+    @staticmethod
+    def _finish(req: dict, encoded: dict) -> PolyData:
+        selection = decode_selection(encoded)
+        kind = req.get("kind", "contour")
+        if kind == "contour":
+            return postfilter_contour(selection, req["values"])
+        if kind == "threshold":
+            return postfilter_threshold(selection)
+        return postfilter_slice(selection, int(req["axis"]), float(req["coordinate"]))
+
+    def __iter__(self) -> Iterator[tuple[str, PolyData, dict | None]]:
+        """Yield ``(key, polydata, stats)`` in request order."""
+        if not self._requests:
+            return
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            in_flight: list[tuple[dict, Future]] = []
+            pending = iter(self._requests)
+            # Prime the window.
+            for req in self._requests[: self._depth]:
+                next(pending)
+                in_flight.append((req, pool.submit(self._issue, req)))
+            while in_flight:
+                req, future = in_flight.pop(0)
+                encoded = future.result()  # propagate remote errors
+                # Refill before the (potentially slow) local post-filter so
+                # the server works while we do.
+                try:
+                    nxt = next(pending)
+                except StopIteration:
+                    nxt = None
+                if nxt is not None:
+                    in_flight.append((nxt, pool.submit(self._issue, nxt)))
+                yield req["key"], self._finish(req, encoded), encoded.get("stats")

@@ -1,0 +1,137 @@
+"""Synthetic Nyx cosmology dataset (the paper's Sec. VII data).
+
+The paper's second dataset is a single-timestep Nyx snapshot from
+SDRBench with six arrays; the evaluation contours **baryon density** at
+the halo-formation threshold 81.66, with measured data selectivity of
+0.06%.  This generator reproduces that statistical situation:
+
+* baryon density is a log-normal transform of a Gaussian random field
+  with a power-law spectrum — the standard approximation for the cosmic
+  density field — so high-density halos are rare, compact peaks;
+* the field is rescaled so that the paper's threshold value 81.66 lands
+  at the paper's 0.06% edge-selectivity (the calibration is part of
+  dataset construction, documented here, not hidden in benches);
+* float32 mantissas of a log-normal field are close to incompressible,
+  reproducing the paper's finding that GZip bought only ~11% on Nyx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.interesting import interesting_point_mask
+from repro.datasets.fields import fractal_noise
+from repro.errors import ReproError
+from repro.grid.array import DataArray
+from repro.grid.uniform import UniformGrid
+
+__all__ = ["NyxParams", "NyxDataset", "HALO_THRESHOLD"]
+
+#: The paper's halo-formation threshold on baryon density.
+HALO_THRESHOLD = 81.66
+
+#: The paper's measured data selectivity at that threshold.
+TARGET_SELECTIVITY = 0.0006
+
+
+@dataclass(frozen=True)
+class NyxParams:
+    """Generator configuration (defaults sized like the benches)."""
+
+    dims: tuple[int, int, int] = (96, 96, 96)
+    seed: int = 1701
+    spectral_index: float = -2.2
+    sigma: float = 1.9           # log-normal width: controls halo rarity
+    target_selectivity: float = TARGET_SELECTIVITY
+
+    def __post_init__(self):
+        if self.sigma <= 0:
+            raise ReproError(f"sigma must be > 0, got {self.sigma}")
+        if not 0 < self.target_selectivity < 1:
+            raise ReproError("target_selectivity must be in (0, 1)")
+
+
+class NyxDataset:
+    """Generates the single-timestep, six-array Nyx-like grid."""
+
+    ARRAY_NAMES = (
+        "velocity_x",
+        "velocity_y",
+        "velocity_z",
+        "temperature",
+        "dark_matter_density",
+        "baryon_density",
+    )
+
+    def __init__(self, params: NyxParams | None = None):
+        self.params = params if params is not None else NyxParams()
+
+    # ------------------------------------------------------------------
+    def _calibrate_scale(self, raw_density: np.ndarray) -> float:
+        """Scale factor putting HALO_THRESHOLD at the target selectivity.
+
+        Bisects on the threshold-in-raw-units whose edge-selectivity
+        matches the paper's 0.06%, then maps it onto 81.66.
+        """
+        p = self.params
+        total = raw_density.size
+        lo = float(np.percentile(raw_density, 90.0))
+        hi = float(raw_density.max())
+        if not hi > lo:
+            raise ReproError("degenerate density field; cannot calibrate")
+        for _ in range(48):
+            mid = 0.5 * (lo + hi)
+            sel = interesting_point_mask(raw_density, mid).sum() / total
+            # Higher threshold -> rarer level set -> lower selectivity.
+            if sel > p.target_selectivity:
+                lo = mid
+            else:
+                hi = mid
+        return HALO_THRESHOLD / (0.5 * (lo + hi))
+
+    def generate(self) -> UniformGrid:
+        """Build the six-array grid."""
+        p = self.params
+        rng = np.random.default_rng(p.seed)
+        shape = (p.dims[2], p.dims[1], p.dims[0])
+
+        delta = fractal_noise(shape, rng, spectral_index=p.spectral_index)
+        # Log-normal density: rare, compact high-density peaks (halos).
+        raw = np.exp(p.sigma * delta)
+        scale = self._calibrate_scale(raw)
+        baryon = (raw * scale).astype(np.float32)
+
+        # Dark matter traces baryons with extra small-scale power.
+        dm_extra = fractal_noise(shape, rng, spectral_index=p.spectral_index + 0.5)
+        dark = (np.exp(p.sigma * (0.9 * delta + 0.45 * dm_extra)) * scale * 1.4)
+
+        # Temperature: density-correlated polytrope + scatter.
+        t_scatter = fractal_noise(shape, rng, spectral_index=-1.8)
+        temperature = 1.0e4 * (raw ** 0.6) * np.exp(0.3 * t_scatter)
+
+        # Velocities: independent large-scale flows (km/s-ish magnitudes).
+        vel = [
+            2.5e7 * fractal_noise(shape, rng, spectral_index=-2.6)
+            for _ in range(3)
+        ]
+
+        grid = UniformGrid(p.dims, origin=(0.0, 0.0, 0.0),
+                           spacing=tuple(1.0 / max(d - 1, 1) for d in p.dims))
+        fields = {
+            "velocity_x": vel[0],
+            "velocity_y": vel[1],
+            "velocity_z": vel[2],
+            "temperature": temperature,
+            "dark_matter_density": dark,
+            "baryon_density": baryon,
+        }
+        for name in self.ARRAY_NAMES:
+            grid.point_data.add(
+                DataArray(
+                    name,
+                    np.ascontiguousarray(fields[name], dtype=np.float32).reshape(-1),
+                )
+            )
+        return grid

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GridError",
+    "PipelineError",
+    "PortError",
+    "FilterError",
+    "FormatError",
+    "CodecError",
+    "RPCError",
+    "RPCRemoteError",
+    "RPCTransportError",
+    "StorageError",
+    "NoSuchObjectError",
+    "NoSuchBucketError",
+    "SelectionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GridError(ReproError):
+    """Invalid grid construction or incompatible grid operation."""
+
+
+class PipelineError(ReproError):
+    """Pipeline construction or execution failure."""
+
+
+class PortError(PipelineError):
+    """Invalid port index or connection."""
+
+
+class FilterError(PipelineError):
+    """A filter received input it cannot process."""
+
+
+class FormatError(ReproError):
+    """Malformed file or wire payload."""
+
+
+class CodecError(ReproError):
+    """Compression or decompression failure."""
+
+
+class RPCError(ReproError):
+    """Base class for RPC-layer failures."""
+
+
+class RPCRemoteError(RPCError):
+    """The remote handler raised; carries the remote traceback text."""
+
+    def __init__(self, method: str, remote_message: str):
+        super().__init__(f"remote call {method!r} failed: {remote_message}")
+        self.method = method
+        self.remote_message = remote_message
+
+
+class RPCTransportError(RPCError):
+    """The transport failed (connection refused, truncated frame, ...)."""
+
+
+class StorageError(ReproError):
+    """Object-store failure."""
+
+
+class NoSuchBucketError(StorageError):
+    """The requested bucket does not exist."""
+
+
+class NoSuchObjectError(StorageError):
+    """The requested object does not exist."""
+
+
+class SelectionError(ReproError):
+    """Invalid sparse point selection."""

@@ -1,0 +1,63 @@
+"""Array calculator: derive new point arrays from existing ones.
+
+The equivalent of ParaView's Calculator filter, restricted to NumPy
+ufunc-style expressions supplied as Python callables (no string parsing —
+callables keep the filter safe and fast).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import FilterError
+from repro.grid.array import DataArray
+from repro.grid.uniform import UniformGrid
+from repro.pipeline.filter_base import Filter
+
+__all__ = ["ArrayCalculator"]
+
+
+class ArrayCalculator(Filter):
+    """Compute ``result = func(*input_arrays)`` as a new point array.
+
+    Parameters
+    ----------
+    result_name:
+        Name of the array added to the output grid.
+    input_names:
+        Names of the point arrays passed (as NumPy arrays) to ``func``.
+    func:
+        Vectorized callable returning an array of the same length.
+    """
+
+    def __init__(
+        self,
+        result_name: str,
+        input_names: Sequence[str],
+        func: Callable[..., np.ndarray],
+    ):
+        super().__init__()
+        if not result_name:
+            raise FilterError("result_name must be non-empty")
+        if not input_names:
+            raise FilterError("at least one input array name is required")
+        self._result_name = result_name
+        self._input_names = tuple(input_names)
+        self._func = func
+
+    def _execute(self, grid: UniformGrid) -> UniformGrid:
+        if not isinstance(grid, UniformGrid):
+            raise FilterError(
+                f"ArrayCalculator expects a UniformGrid, got {type(grid).__name__}"
+            )
+        inputs = [grid.point_data.get(n).values for n in self._input_names]
+        result = np.asarray(self._func(*inputs))
+        if result.shape != inputs[0].shape:
+            raise FilterError(
+                f"calculator produced shape {result.shape}; expected {inputs[0].shape}"
+            )
+        out = grid.shallow_copy()
+        out.point_data.add(DataArray(self._result_name, result))
+        return out

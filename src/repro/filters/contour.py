@@ -1,0 +1,229 @@
+"""The contour filter: the pipeline stage the paper splits in half.
+
+:func:`contour_grid` is the functional kernel; :class:`ContourFilter` wraps
+it as a pipeline filter equivalent to ``vtkContourFilter`` on image data.
+Both support:
+
+* multiple simultaneous contour values (paper Sec. VI: "generating contours
+  at multiple contour values at the same time"),
+* 2-D grids (line output) and 3-D grids (triangle output),
+* an optional *cell mask* restricting extraction to complete cells, which is
+  how the post-filter consumes sparse reconstructions.
+
+Output is a :class:`~repro.grid.polydata.PolyData` whose point data carries
+a ``"contour_value"`` array recording which isovalue produced each vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FilterError
+from repro.filters.marching_squares import marching_squares
+from repro.filters.marching_tets import marching_tetrahedra
+from repro.grid.array import DataArray
+from repro.grid.polydata import CellArray, PolyData
+from repro.grid.rectilinear import RectilinearGrid
+from repro.grid.uniform import UniformGrid
+from repro.pipeline.filter_base import Filter
+
+#: Grid types the contour filter accepts (structured topology + per-axis
+#: geometry).  The paper's prototype supports uniform grids; rectilinear
+#: support is this library's implementation of its stated future work.
+STRUCTURED_GRID_TYPES = (UniformGrid, RectilinearGrid)
+
+__all__ = ["ContourFilter", "contour_grid", "normalize_values"]
+
+
+def normalize_values(values) -> tuple[float, ...]:
+    """Validate and canonicalize contour values: a sorted, unique tuple."""
+    if np.isscalar(values):
+        values = [values]
+    vals = sorted({float(v) for v in values})
+    if not vals:
+        raise FilterError("at least one contour value is required")
+    for v in vals:
+        if not np.isfinite(v):
+            raise FilterError(f"contour value must be finite, got {v}")
+    return tuple(vals)
+
+
+def _squeeze_2d(grid: UniformGrid, field3d: np.ndarray):
+    """Map a 2-D grid (one degenerate axis) to a (ny, nx) field + axes info.
+
+    Returns (field2d, axis_u, axis_v, flat_axis) where axis_u/axis_v are the
+    world axes spanned by the columns/rows of field2d.
+    """
+    dims = grid.dims
+    flat_axis = dims.index(1)
+    # field3d is (nz, ny, nx) == axes (2, 1, 0)
+    if flat_axis == 2:  # nz == 1: xy plane
+        f2 = field3d[0]
+        return f2, 0, 1, flat_axis
+    if flat_axis == 1:  # ny == 1: xz plane
+        f2 = field3d[:, 0, :]
+        return f2, 0, 2, flat_axis
+    # nx == 1: yz plane
+    f2 = field3d[:, :, 0]
+    return f2, 1, 2, flat_axis
+
+
+def _combine_roi(grid, cell_mask, roi):
+    """Fold a region-of-interest bounds into the cell mask."""
+    if roi is None:
+        return cell_mask
+    from repro.core.interesting import roi_cell_mask
+
+    mask3 = roi_cell_mask(grid, roi)
+    if grid.is_2d:
+        flat_axis = grid.dims.index(1)
+        mask = (mask3[0] if flat_axis == 2
+                else mask3[:, 0, :] if flat_axis == 1
+                else mask3[:, :, 0])
+    else:
+        mask = mask3
+    if cell_mask is not None:
+        mask = mask & np.asarray(cell_mask, dtype=bool)
+    return mask
+
+
+def contour_grid(
+    grid,
+    array_name: str,
+    values,
+    cell_mask: np.ndarray | None = None,
+    roi=None,
+) -> PolyData:
+    """Contour a grid's named scalar array at one or more values.
+
+    Parameters
+    ----------
+    grid:
+        The input :class:`UniformGrid` or :class:`RectilinearGrid`.
+    array_name:
+        Name of a scalar point-data array on ``grid``.
+    values:
+        One value or an iterable of values.
+    cell_mask:
+        Optional boolean cell mask (``(nz-1, ny-1, nx-1)`` shaped for 3-D
+        grids, squeezed 2-D shape for 2-D grids); False cells are skipped.
+    roi:
+        Optional :class:`~repro.grid.bounds.Bounds` region of interest:
+        only cells fully inside the box are contoured.
+
+    Returns
+    -------
+    PolyData
+        Line segments (2-D input) or a triangle soup (3-D input), with a
+        ``"contour_value"`` point-data array.
+    """
+    vals = normalize_values(values)
+    field = grid.scalar_field(array_name)
+    cell_mask = _combine_roi(grid, cell_mask, roi)
+
+    if grid.is_2d:
+        return _contour_2d(grid, field, vals, cell_mask)
+    return _contour_3d(grid, field, vals, cell_mask)
+
+
+def _contour_3d(grid, field, vals, cell_mask) -> PolyData:
+    axes = tuple(grid.axis_coords(a) for a in range(3))
+    tri_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for v in vals:
+        tris = marching_tetrahedra(field, v, cell_mask=cell_mask, axes=axes)
+        if tris.shape[0]:
+            tri_parts.append(tris)
+            val_parts.append(np.full(tris.shape[0] * 3, v, dtype=np.float64))
+    if tri_parts:
+        all_tris = np.concatenate(tri_parts)
+        points = all_tris.reshape(-1, 3)
+        conn = np.arange(points.shape[0], dtype=np.int64).reshape(-1, 3)
+        cvals = np.concatenate(val_parts)
+    else:
+        points = np.zeros((0, 3), dtype=np.float64)
+        conn = np.zeros((0, 3), dtype=np.int64)
+        cvals = np.zeros(0, dtype=np.float64)
+    out = PolyData(points)
+    out.polys = CellArray.from_uniform(conn)
+    out.point_data.add(DataArray("contour_value", cvals))
+    return out
+
+
+def _contour_2d(grid, field, vals, cell_mask) -> PolyData:
+    f2, au, av, _ = _squeeze_2d(grid, field)
+    axes2 = (grid.axis_coords(au), grid.axis_coords(av))
+    seg_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for v in vals:
+        segs = marching_squares(f2, v, cell_mask=cell_mask, axes=axes2)
+        if segs.shape[0]:
+            seg_parts.append(segs)
+            val_parts.append(np.full(segs.shape[0] * 2, v, dtype=np.float64))
+    if seg_parts:
+        segs = np.concatenate(seg_parts)
+        pts2 = segs.reshape(-1, 2)
+        points = np.zeros((pts2.shape[0], 3), dtype=np.float64)
+        points[:, au] = pts2[:, 0]
+        points[:, av] = pts2[:, 1]
+        flat_axis = grid.dims.index(1)
+        points[:, flat_axis] = grid.axis_coords(flat_axis)[0]
+        conn = np.arange(points.shape[0], dtype=np.int64).reshape(-1, 2)
+        cvals = np.concatenate(val_parts)
+    else:
+        points = np.zeros((0, 3), dtype=np.float64)
+        conn = np.zeros((0, 2), dtype=np.int64)
+        cvals = np.zeros(0, dtype=np.float64)
+    out = PolyData(points)
+    out.lines = CellArray.from_uniform(conn)
+    out.point_data.add(DataArray("contour_value", cvals))
+    return out
+
+
+class ContourFilter(Filter):
+    """Pipeline filter: :class:`UniformGrid` in, contour :class:`PolyData` out.
+
+    Mirrors ``vtkContourFilter``'s configuration surface for the features
+    the paper uses: a target array and a set of contour values.  A pipeline
+    may hold several instances, "each dedicated to processing a specific
+    data array" (paper Sec. VI).
+    """
+
+    def __init__(self, array_name: str | None = None, values: Sequence[float] | float = ()):
+        super().__init__()
+        self._array_name = array_name
+        self._values: tuple[float, ...] = ()
+        if values != () and values is not None:
+            self.set_values(values)
+
+    # ------------------------------------------------------------------
+    def set_array_name(self, name: str) -> None:
+        self._array_name = name
+        self.modified()
+
+    @property
+    def array_name(self) -> str | None:
+        return self._array_name
+
+    def set_values(self, values) -> None:
+        self._values = normalize_values(values)
+        self.modified()
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return self._values
+
+    # ------------------------------------------------------------------
+    def _execute(self, grid) -> PolyData:
+        if not isinstance(grid, STRUCTURED_GRID_TYPES):
+            raise FilterError(
+                f"ContourFilter expects a UniformGrid or RectilinearGrid, "
+                f"got {type(grid).__name__}"
+            )
+        if self._array_name is None:
+            raise FilterError("ContourFilter has no array name configured")
+        if not self._values:
+            raise FilterError("ContourFilter has no contour values configured")
+        return contour_grid(grid, self._array_name, self._values)

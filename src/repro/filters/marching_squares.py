@@ -1,0 +1,212 @@
+"""Vectorized marching squares: 2-D contour lines over uniform grids.
+
+This is the algorithm behind the paper's Fig. 3 example (a contour of value
+5 over an 8x6 mesh).  Cells are the lattice squares; a point is *inside*
+when its value is ``>= value``; a contour segment crosses every cell edge
+whose endpoints classify differently, with linear interpolation locating the
+crossing.
+
+Ambiguous saddle cases (two opposite corners inside) are resolved with the
+midpoint decider: the cell-centre average picks which diagonal pairing is
+used, the same rule VTK's synchronized templates apply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FilterError
+
+__all__ = ["marching_squares"]
+
+# Cell-local corner layout (x right, y up):
+#   c3 --e2-- c2
+#   |          |
+#   e3        e1
+#   |          |
+#   c0 --e0-- c1
+# Case index = c0 | c1<<1 | c2<<2 | c3<<3, bit set when corner >= value.
+#
+# For each non-ambiguous case the table lists the cell edges joined by
+# contour segments, as (edge_a, edge_b) pairs.
+_SEGMENTS: dict[int, list[tuple[int, int]]] = {
+    0: [],
+    1: [(3, 0)],
+    2: [(0, 1)],
+    3: [(3, 1)],
+    4: [(1, 2)],
+    6: [(0, 2)],
+    7: [(3, 2)],
+    8: [(2, 3)],
+    9: [(2, 0)],
+    11: [(2, 1)],
+    12: [(1, 3)],
+    13: [(1, 0)],
+    14: [(0, 3)],
+    15: [],
+}
+# Ambiguous cases: 5 (c0,c2 inside) and 10 (c1,c3 inside); resolved at runtime.
+_CASE5_JOINED = [(3, 2), (1, 0)]   # centre inside: contours hug c1/c3 corners
+_CASE5_SPLIT = [(3, 0), (1, 2)]    # centre outside: contours hug c0/c2 corners
+_CASE10_JOINED = [(0, 3), (2, 1)]  # centre inside: contours hug c0/c2 corners
+_CASE10_SPLIT = [(0, 1), (2, 3)]   # centre outside: contours hug c1/c3 corners
+
+
+def _interp_on_edges(edge_ids, t, us, vs, ci, cj):
+    """World coordinates of crossing points on cell edges.
+
+    ``edge_ids``: which local edge (0..3); ``t``: interpolation parameter
+    in [0, 1] along that edge's canonical direction; ``us``/``vs``: the
+    per-axis lattice coordinates; ``ci``/``cj``: cell column/row indices.
+    """
+    xs = np.empty(edge_ids.size, dtype=np.float64)
+    ys = np.empty(edge_ids.size, dtype=np.float64)
+    for e in range(4):
+        m = edge_ids == e
+        if not m.any():
+            continue
+        i = ci[m]
+        j = cj[m]
+        tt = t[m]
+        if e == 0:      # c0 -> c1 (bottom, +x)
+            xs[m] = us[i] + tt * (us[i + 1] - us[i])
+            ys[m] = vs[j]
+        elif e == 1:    # c1 -> c2 (right, +y)
+            xs[m] = us[i + 1]
+            ys[m] = vs[j] + tt * (vs[j + 1] - vs[j])
+        elif e == 2:    # c3 -> c2 (top, +x)
+            xs[m] = us[i] + tt * (us[i + 1] - us[i])
+            ys[m] = vs[j + 1]
+        else:           # c0 -> c3 (left, +y)
+            xs[m] = us[i]
+            ys[m] = vs[j] + tt * (vs[j + 1] - vs[j])
+    return xs, ys
+
+
+def marching_squares(
+    field: np.ndarray,
+    value: float,
+    origin=(0.0, 0.0),
+    spacing=(1.0, 1.0),
+    cell_mask: np.ndarray | None = None,
+    axes=None,
+) -> np.ndarray:
+    """Contour a 2-D scalar field at ``value``.
+
+    Parameters
+    ----------
+    field:
+        ``(ny, nx)`` scalar array (row = y, column = x).
+    value:
+        Contour value.
+    origin, spacing:
+        World placement of a *uniform* lattice; ignored when ``axes`` is
+        given.
+    cell_mask:
+        Optional ``(ny-1, nx-1)`` boolean array; cells where it is False are
+        skipped.  Used by the post-filter to restrict contouring to complete
+        cells.
+    axes:
+        Optional ``(u_coords, v_coords)`` for rectilinear lattices.
+
+    Returns
+    -------
+    segments : ndarray
+        ``(n, 2, 2)`` array of line segments, ``segments[s, endpoint, xy]``.
+    """
+    field = np.asarray(field)
+    if field.ndim != 2 or field.shape[0] < 2 or field.shape[1] < 2:
+        raise FilterError(f"field must be (ny>=2, nx>=2); got shape {field.shape}")
+    ny, nx = field.shape
+    if axes is None:
+        us = float(origin[0]) + float(spacing[0]) * np.arange(nx)
+        vs = float(origin[1]) + float(spacing[1]) * np.arange(ny)
+    else:
+        us = np.ascontiguousarray(axes[0], dtype=np.float64)
+        vs = np.ascontiguousarray(axes[1], dtype=np.float64)
+        if us.size != nx or vs.size != ny:
+            raise FilterError(
+                f"axes lengths ({us.size}, {vs.size}) do not match field "
+                f"shape (nx={nx}, ny={ny})"
+            )
+
+    f = field.astype(np.float64, copy=False)
+    inside = f >= value
+    c0 = inside[:-1, :-1]
+    c1 = inside[:-1, 1:]
+    c2 = inside[1:, 1:]
+    c3 = inside[1:, :-1]
+    case = (
+        c0.astype(np.uint8)
+        | (c1.astype(np.uint8) << 1)
+        | (c2.astype(np.uint8) << 2)
+        | (c3.astype(np.uint8) << 3)
+    )
+    if cell_mask is not None:
+        cell_mask = np.asarray(cell_mask, dtype=bool)
+        if cell_mask.shape != case.shape:
+            raise FilterError(
+                f"cell_mask shape {cell_mask.shape} != cells shape {case.shape}"
+            )
+        case = np.where(cell_mask, case, 0)
+
+    # Corner values per cell, needed for interpolation.
+    v0 = f[:-1, :-1]
+    v1 = f[:-1, 1:]
+    v2 = f[1:, 1:]
+    v3 = f[1:, :-1]
+
+    def edge_t(e, rows, cols):
+        """Interpolation parameter of `value` along local edge e of cells."""
+        if e == 0:
+            a, b = v0[rows, cols], v1[rows, cols]
+        elif e == 1:
+            a, b = v1[rows, cols], v2[rows, cols]
+        elif e == 2:
+            a, b = v3[rows, cols], v2[rows, cols]
+        else:
+            a, b = v0[rows, cols], v3[rows, cols]
+        denom = b - a
+        t = np.where(denom != 0.0, (value - a) / np.where(denom == 0, 1, denom), 0.5)
+        return np.clip(t, 0.0, 1.0)
+
+    out_a: list[np.ndarray] = []
+    out_b: list[np.ndarray] = []
+
+    def emit(rows, cols, pairs):
+        for ea, eb in pairs:
+            ta = edge_t(ea, rows, cols)
+            tb = edge_t(eb, rows, cols)
+            ax, ay = _interp_on_edges(np.full(rows.size, ea), ta, us, vs, cols, rows)
+            bx, by = _interp_on_edges(np.full(rows.size, eb), tb, us, vs, cols, rows)
+            out_a.append(np.stack([ax, ay], axis=1))
+            out_b.append(np.stack([bx, by], axis=1))
+
+    for c, pairs in _SEGMENTS.items():
+        if not pairs:
+            continue
+        rows, cols = np.nonzero(case == c)
+        if rows.size:
+            emit(rows, cols, pairs)
+
+    # Ambiguous saddles: midpoint decider.
+    for c, joined, split in (
+        (5, _CASE5_JOINED, _CASE5_SPLIT),
+        (10, _CASE10_JOINED, _CASE10_SPLIT),
+    ):
+        rows, cols = np.nonzero(case == c)
+        if not rows.size:
+            continue
+        centre = 0.25 * (
+            v0[rows, cols] + v1[rows, cols] + v2[rows, cols] + v3[rows, cols]
+        )
+        inside_centre = centre >= value
+        for mask_sel, pairs in ((inside_centre, joined), (~inside_centre, split)):
+            if mask_sel.any():
+                emit(rows[mask_sel], cols[mask_sel], pairs)
+
+    if not out_a:
+        return np.zeros((0, 2, 2), dtype=np.float64)
+    a = np.concatenate(out_a)
+    b = np.concatenate(out_b)
+    return np.stack([a, b], axis=1)

@@ -1,0 +1,49 @@
+"""Grid data model: arrays, uniform rectilinear grids, poly data, selections.
+
+This subpackage is the library's substitute for VTK's data model.  It
+provides:
+
+* :class:`~repro.grid.array.DataArray` — a named, typed, NumPy-backed data
+  array with cheap summary statistics,
+* :class:`~repro.grid.attributes.AttributeCollection` — the point-data /
+  cell-data dictionaries attached to datasets, with array-selection support,
+* :class:`~repro.grid.uniform.UniformGrid` — a uniform rectilinear grid
+  (VTK's ``vtkImageData``), the grid type the paper's prototype supports,
+* :class:`~repro.grid.polydata.PolyData` — points plus vertex/line/polygon
+  connectivity, the output type of contour filters,
+* :class:`~repro.grid.selection.PointSelection` — a sparse subset of grid
+  points, the unit of exchange between the paper's pre- and post-filters.
+"""
+
+from repro.grid.array import DataArray
+from repro.grid.attributes import AttributeCollection
+from repro.grid.bounds import Bounds
+from repro.grid.cells import (
+    cell_count,
+    edge_endpoints,
+    point_count,
+    point_id_to_ijk,
+    point_ijk_to_id,
+    structured_edges,
+)
+from repro.grid.polydata import CellArray, PolyData
+from repro.grid.rectilinear import RectilinearGrid
+from repro.grid.selection import PointSelection
+from repro.grid.uniform import UniformGrid
+
+__all__ = [
+    "DataArray",
+    "AttributeCollection",
+    "Bounds",
+    "UniformGrid",
+    "RectilinearGrid",
+    "PolyData",
+    "CellArray",
+    "PointSelection",
+    "cell_count",
+    "point_count",
+    "edge_endpoints",
+    "structured_edges",
+    "point_id_to_ijk",
+    "point_ijk_to_id",
+]

@@ -1,0 +1,167 @@
+"""Named, typed, NumPy-backed data arrays.
+
+A :class:`DataArray` is the unit the paper reasons about: simulation outputs
+contain several named arrays (Table I of the paper lists 11 for the
+deep-water asteroid impact dataset), readers can select a subset of them,
+codecs compress them individually, and the pre-filter extracts sparse
+subsets of one of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GridError
+
+__all__ = ["DataArray"]
+
+#: dtypes a DataArray may hold.  Matches the scalar types VTK data files
+#: carry in practice; the paper's arrays are all float32.
+_SUPPORTED_KINDS = frozenset("iuf")
+
+
+class DataArray:
+    """A named 1-D array of per-point (or per-cell) scalar values.
+
+    Values are stored as a contiguous 1-D NumPy array.  Multi-component
+    arrays (e.g. vectors) are stored with ``components > 1`` in row-major
+    (point-interleaved) order, mirroring VTK's layout.
+
+    Parameters
+    ----------
+    name:
+        Array name, e.g. ``"v02"``.
+    values:
+        Anything convertible to a NumPy array of a supported dtype.
+    components:
+        Number of components per tuple.  ``len(values)`` must be divisible
+        by this.
+    """
+
+    __slots__ = ("name", "values", "components")
+
+    def __init__(self, name: str, values, components: int = 1):
+        if not name:
+            raise GridError("DataArray requires a non-empty name")
+        arr = np.ascontiguousarray(values)
+        if arr.ndim > 1:
+            if components == 1 and arr.ndim == 2:
+                components = arr.shape[1]
+            arr = arr.reshape(-1)
+        if arr.dtype.kind not in _SUPPORTED_KINDS:
+            raise GridError(
+                f"unsupported dtype {arr.dtype} for data array {name!r}; "
+                "expected integer or floating point"
+            )
+        if components < 1:
+            raise GridError("components must be >= 1")
+        if arr.size % components:
+            raise GridError(
+                f"array {name!r} has {arr.size} values, not divisible by "
+                f"{components} components"
+            )
+        self.name = name
+        self.values = arr
+        self.components = components
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The underlying NumPy dtype."""
+        return self.values.dtype
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples (points or cells covered)."""
+        return self.values.size // self.components
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size in bytes."""
+        return self.values.nbytes
+
+    def range(self, component: int = 0) -> tuple[float, float]:
+        """Return ``(min, max)`` of one component.
+
+        Raises
+        ------
+        GridError
+            If the array is empty or the component index is out of range.
+        """
+        if not 0 <= component < self.components:
+            raise GridError(
+                f"component {component} out of range for array {self.name!r} "
+                f"with {self.components} components"
+            )
+        if self.values.size == 0:
+            raise GridError(f"array {self.name!r} is empty; no range")
+        view = self.values[component :: self.components]
+        return float(view.min()), float(view.max())
+
+    def component(self, index: int) -> np.ndarray:
+        """Return a *view* of one component (no copy)."""
+        if not 0 <= index < self.components:
+            raise GridError(f"component {index} out of range")
+        return self.values[index :: self.components]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "DataArray":
+        """Deep copy."""
+        out = DataArray.__new__(DataArray)
+        out.name = self.name
+        out.values = self.values.copy()
+        out.components = self.components
+        return out
+
+    def astype(self, dtype) -> "DataArray":
+        """Return a copy converted to ``dtype``."""
+        out = DataArray.__new__(DataArray)
+        out.name = self.name
+        out.values = np.ascontiguousarray(self.values, dtype=dtype)
+        out.components = self.components
+        return out
+
+    def take(self, indices: Iterable[int]) -> "DataArray":
+        """Gather tuples at ``indices`` into a new array (used by pre-filters)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if self.components == 1:
+            vals = self.values[idx]
+        else:
+            base = idx[:, None] * self.components + np.arange(self.components)
+            vals = self.values[base.reshape(-1)]
+        out = DataArray.__new__(DataArray)
+        out.name = self.name
+        out.values = np.ascontiguousarray(vals)
+        out.components = self.components
+        return out
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_tuples
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DataArray):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.components == other.components
+            and self.values.dtype == other.values.dtype
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self):  # mutable payload; not hashable
+        raise TypeError("DataArray is not hashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"DataArray(name={self.name!r}, dtype={self.dtype}, "
+            f"tuples={self.num_tuples}, components={self.components})"
+        )

@@ -1,0 +1,102 @@
+"""Attribute collections: the named-array dictionaries attached to datasets.
+
+VTK datasets carry ``PointData`` and ``CellData`` collections; readers let a
+pipeline *select* a subset of arrays to load (the paper's Sec. I "data array
+selection").  :class:`AttributeCollection` models both the container and the
+selection bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import GridError
+from repro.grid.array import DataArray
+
+__all__ = ["AttributeCollection"]
+
+
+class AttributeCollection:
+    """An ordered, name-keyed collection of :class:`DataArray` objects.
+
+    All arrays in a collection must have the same tuple count, fixed by the
+    first array added (or by an explicit ``expected_tuples``).
+    """
+
+    def __init__(self, expected_tuples: int | None = None):
+        self._arrays: dict[str, DataArray] = {}
+        self._expected = expected_tuples
+
+    # ------------------------------------------------------------------
+    @property
+    def expected_tuples(self) -> int | None:
+        return self._expected
+
+    def add(self, array: DataArray) -> None:
+        """Add (or replace) an array; validates the tuple count."""
+        if not isinstance(array, DataArray):
+            raise GridError(f"expected DataArray, got {type(array).__name__}")
+        if self._expected is None:
+            self._expected = array.num_tuples
+        elif array.num_tuples != self._expected:
+            raise GridError(
+                f"array {array.name!r} has {array.num_tuples} tuples; "
+                f"collection expects {self._expected}"
+            )
+        self._arrays[array.name] = array
+
+    def remove(self, name: str) -> None:
+        if name not in self._arrays:
+            raise GridError(f"no array named {name!r}")
+        del self._arrays[name]
+
+    def get(self, name: str) -> DataArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise GridError(
+                f"no array named {name!r}; available: {sorted(self._arrays)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._arrays)
+
+    def subset(self, names: Sequence[str]) -> "AttributeCollection":
+        """A new collection containing only ``names`` (array-selection)."""
+        out = AttributeCollection(self._expected)
+        for name in names:
+            out.add(self.get(name))
+        return out
+
+    def copy(self) -> "AttributeCollection":
+        out = AttributeCollection(self._expected)
+        for arr in self._arrays.values():
+            out.add(arr.copy())
+        return out
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __getitem__(self, name: str) -> DataArray:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[DataArray]:
+        return iter(self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AttributeCollection):
+            return NotImplemented
+        return self.names() == other.names() and all(
+            self._arrays[n] == other._arrays[n] for n in self._arrays
+        )
+
+    def __repr__(self) -> str:
+        return f"AttributeCollection({self.names()!r}, tuples={self._expected})"

@@ -1,0 +1,75 @@
+"""Axis-aligned bounding boxes in world coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GridError
+
+__all__ = ["Bounds"]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """An axis-aligned box ``[xmin, xmax] x [ymin, ymax] x [zmin, zmax]``."""
+
+    xmin: float
+    xmax: float
+    ymin: float
+    ymax: float
+    zmin: float
+    zmax: float
+
+    def __post_init__(self):
+        if self.xmin > self.xmax or self.ymin > self.ymax or self.zmin > self.zmax:
+            raise GridError(f"inverted bounds: {self}")
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Bounds":
+        """Bounds of an ``(n, 3)`` point array."""
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        if pts.shape[0] == 0:
+            raise GridError("cannot compute bounds of zero points")
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        return cls(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2])
+
+    @property
+    def center(self) -> tuple[float, float, float]:
+        return (
+            0.5 * (self.xmin + self.xmax),
+            0.5 * (self.ymin + self.ymax),
+            0.5 * (self.zmin + self.zmax),
+        )
+
+    @property
+    def lengths(self) -> tuple[float, float, float]:
+        return (self.xmax - self.xmin, self.ymax - self.ymin, self.zmax - self.zmin)
+
+    @property
+    def diagonal(self) -> float:
+        dx, dy, dz = self.lengths
+        return float(np.sqrt(dx * dx + dy * dy + dz * dz))
+
+    def contains(self, point) -> bool:
+        x, y, z = point
+        return (
+            self.xmin <= x <= self.xmax
+            and self.ymin <= y <= self.ymax
+            and self.zmin <= z <= self.zmax
+        )
+
+    def union(self, other: "Bounds") -> "Bounds":
+        return Bounds(
+            min(self.xmin, other.xmin),
+            max(self.xmax, other.xmax),
+            min(self.ymin, other.ymin),
+            max(self.ymax, other.ymax),
+            min(self.zmin, other.zmin),
+            max(self.zmax, other.zmax),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float, float, float]:
+        return (self.xmin, self.xmax, self.ymin, self.ymax, self.zmin, self.zmax)

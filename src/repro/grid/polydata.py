@@ -1,0 +1,143 @@
+"""Poly data: explicit points plus vertex/line/polygon connectivity.
+
+Contour filters output :class:`PolyData` — line segments in 2-D, triangles
+in 3-D (the paper renders "a set of triangles in our case", Sec. III).
+Connectivity uses the offset/connectivity encoding modern VTK uses, which
+vectorizes cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.attributes import AttributeCollection
+from repro.grid.bounds import Bounds
+
+__all__ = ["CellArray", "PolyData"]
+
+
+class CellArray:
+    """Cells encoded as ``offsets`` + ``connectivity`` (CSR-style).
+
+    Cell ``c`` uses point ids ``connectivity[offsets[c]:offsets[c+1]]``.
+    ``offsets`` has ``num_cells + 1`` entries and starts at 0.
+    """
+
+    __slots__ = ("offsets", "connectivity")
+
+    def __init__(self, offsets=None, connectivity=None):
+        if offsets is None:
+            offsets = np.zeros(1, dtype=np.int64)
+        if connectivity is None:
+            connectivity = np.zeros(0, dtype=np.int64)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.connectivity = np.ascontiguousarray(connectivity, dtype=np.int64)
+        self._validate()
+
+    def _validate(self):
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise GridError("offsets must be a 1-D array with >= 1 entry")
+        if self.offsets[0] != 0:
+            raise GridError("offsets must start at 0")
+        if (np.diff(self.offsets) < 0).any():
+            raise GridError("offsets must be non-decreasing")
+        if self.offsets[-1] != self.connectivity.size:
+            raise GridError(
+                f"offsets end at {self.offsets[-1]} but connectivity has "
+                f"{self.connectivity.size} entries"
+            )
+
+    @classmethod
+    def from_uniform(cls, cells: np.ndarray) -> "CellArray":
+        """Build from an ``(n, k)`` array of fixed-size cells."""
+        cells = np.ascontiguousarray(cells, dtype=np.int64)
+        if cells.ndim != 2:
+            raise GridError("from_uniform expects an (n, k) array")
+        n, k = cells.shape
+        offsets = np.arange(n + 1, dtype=np.int64) * k
+        return cls(offsets, cells.reshape(-1))
+
+    @property
+    def num_cells(self) -> int:
+        return self.offsets.size - 1
+
+    def cell(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.num_cells:
+            raise GridError(f"cell index {index} out of range")
+        return self.connectivity[self.offsets[index] : self.offsets[index + 1]]
+
+    def sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def as_uniform(self, k: int) -> np.ndarray:
+        """View as ``(n, k)`` when every cell has ``k`` points."""
+        if self.num_cells and not (self.sizes() == k).all():
+            raise GridError(f"cells are not uniformly of size {k}")
+        return self.connectivity.reshape(-1, k)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CellArray):
+            return NotImplemented
+        return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+            self.connectivity, other.connectivity
+        )
+
+    def __repr__(self) -> str:
+        return f"CellArray(num_cells={self.num_cells})"
+
+
+class PolyData:
+    """Points plus vertex / line / polygon cell arrays and point data."""
+
+    def __init__(self, points=None):
+        if points is None:
+            points = np.zeros((0, 3), dtype=np.float64)
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise GridError("points must be an (n, 3) array")
+        self.verts = CellArray()
+        self.lines = CellArray()
+        self.polys = CellArray()
+        self.point_data = AttributeCollection(self.num_points)
+
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def num_cells(self) -> int:
+        return self.verts.num_cells + self.lines.num_cells + self.polys.num_cells
+
+    @property
+    def bounds(self) -> Bounds:
+        return Bounds.from_points(self.points)
+
+    def set_points(self, points: np.ndarray) -> None:
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise GridError("points must be an (n, 3) array")
+        self.point_data = AttributeCollection(self.num_points)
+
+    def triangles(self) -> np.ndarray:
+        """The polygon cells as an ``(n, 3)`` triangle array."""
+        return self.polys.as_uniform(3)
+
+    def segments(self) -> np.ndarray:
+        """The line cells as an ``(n, 2)`` segment array."""
+        return self.lines.as_uniform(2)
+
+    def validate(self) -> None:
+        """Check that all connectivity references valid point ids."""
+        n = self.num_points
+        for name, ca in (("verts", self.verts), ("lines", self.lines), ("polys", self.polys)):
+            if ca.connectivity.size and (
+                ca.connectivity.min() < 0 or ca.connectivity.max() >= n
+            ):
+                raise GridError(f"{name} connectivity references invalid point ids")
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyData(points={self.num_points}, verts={self.verts.num_cells}, "
+            f"lines={self.lines.num_cells}, polys={self.polys.num_cells})"
+        )

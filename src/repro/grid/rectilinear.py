@@ -1,0 +1,151 @@
+"""Rectilinear grids: per-axis coordinate arrays (VTK's ``vtkRectilinearGrid``).
+
+The paper's prototype "support[s] uniform rectilinear grids at the moment,
+with plans to extend support to more complex grid types in future work"
+(Sec. VI).  This class is that extension's first step: the lattice
+topology is still structured (so the interesting-edge machinery carries
+over unchanged), but spacing may vary per axis — the layout AMR-adjacent
+codes like xRage export after flattening.
+
+Geometry is defined by three strictly increasing coordinate arrays; point
+``(i, j, k)`` sits at ``(x[i], y[j], z[k])``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.attributes import AttributeCollection
+from repro.grid.bounds import Bounds
+from repro.grid.cells import cell_count, point_count, point_id_to_ijk, point_ijk_to_id
+
+__all__ = ["RectilinearGrid"]
+
+
+def _check_axis(name: str, coords) -> np.ndarray:
+    arr = np.ascontiguousarray(coords, dtype=np.float64)
+    if arr.ndim != 1 or arr.size < 1:
+        raise GridError(f"{name} coordinates must be a non-empty 1-D array")
+    if arr.size > 1 and (np.diff(arr) <= 0).any():
+        raise GridError(f"{name} coordinates must be strictly increasing")
+    if not np.isfinite(arr).all():
+        raise GridError(f"{name} coordinates must be finite")
+    return arr
+
+
+class RectilinearGrid:
+    """A structured grid with independent per-axis coordinate arrays.
+
+    Mirrors :class:`~repro.grid.uniform.UniformGrid`'s surface (dims,
+    point/cell data, ``scalar_field``, coordinate queries) so filters that
+    only need structured *topology* plus per-axis geometry work on both.
+    """
+
+    def __init__(self, x_coords, y_coords, z_coords):
+        self.x_coords = _check_axis("x", x_coords)
+        self.y_coords = _check_axis("y", y_coords)
+        self.z_coords = _check_axis("z", z_coords)
+        self.dims = (self.x_coords.size, self.y_coords.size, self.z_coords.size)
+        self.point_data = AttributeCollection(self.num_points)
+        self.cell_data = AttributeCollection(self.num_cells)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_uniform_params(cls, dims, origin=(0.0, 0.0, 0.0),
+                            spacing=(1.0, 1.0, 1.0)) -> "RectilinearGrid":
+        """A rectilinear grid equivalent to a uniform one (testing aid)."""
+        axes = [
+            origin[a] + spacing[a] * np.arange(dims[a]) for a in range(3)
+        ]
+        return cls(*axes)
+
+    @property
+    def num_points(self) -> int:
+        return point_count(self.dims)
+
+    @property
+    def num_cells(self) -> int:
+        return cell_count(self.dims)
+
+    @property
+    def is_2d(self) -> bool:
+        return 1 in self.dims
+
+    @property
+    def axes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three coordinate arrays ``(x, y, z)``."""
+        return self.x_coords, self.y_coords, self.z_coords
+
+    @property
+    def bounds(self) -> Bounds:
+        return Bounds(
+            float(self.x_coords[0]), float(self.x_coords[-1]),
+            float(self.y_coords[0]), float(self.y_coords[-1]),
+            float(self.z_coords[0]), float(self.z_coords[-1]),
+        )
+
+    # ------------------------------------------------------------------
+    def axis_coords(self, axis: int) -> np.ndarray:
+        if axis not in (0, 1, 2):
+            raise GridError(f"axis must be 0..2, got {axis}")
+        return self.axes[axis]
+
+    def point_ids_to_coords(self, ids) -> np.ndarray:
+        ijk = point_id_to_ijk(np.asarray(ids, dtype=np.int64), self.dims)
+        ijk = np.atleast_2d(ijk)
+        return np.stack(
+            [
+                self.x_coords[ijk[:, 0]],
+                self.y_coords[ijk[:, 1]],
+                self.z_coords[ijk[:, 2]],
+            ],
+            axis=1,
+        )
+
+    def ijk_to_id(self, ijk):
+        return point_ijk_to_id(ijk, self.dims)
+
+    def id_to_ijk(self, ids):
+        return point_id_to_ijk(ids, self.dims)
+
+    def scalar_field(self, name: str) -> np.ndarray:
+        """The named point array viewed as ``(nz, ny, nx)`` (zero copy)."""
+        arr = self.point_data.get(name)
+        if arr.components != 1:
+            raise GridError(f"array {name!r} is not a scalar field")
+        nx, ny, nz = self.dims
+        return arr.values.reshape(nz, ny, nx)
+
+    def shallow_copy(self) -> "RectilinearGrid":
+        out = RectilinearGrid(self.x_coords, self.y_coords, self.z_coords)
+        for arr in self.point_data:
+            out.point_data.add(arr)
+        for arr in self.cell_data:
+            out.cell_data.add(arr)
+        return out
+
+    def structure_equals(self, other) -> bool:
+        return (
+            isinstance(other, RectilinearGrid)
+            and self.dims == other.dims
+            and np.array_equal(self.x_coords, other.x_coords)
+            and np.array_equal(self.y_coords, other.y_coords)
+            and np.array_equal(self.z_coords, other.z_coords)
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RectilinearGrid):
+            return NotImplemented
+        return (
+            self.structure_equals(other)
+            and self.point_data == other.point_data
+            and self.cell_data == other.cell_data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RectilinearGrid(dims={self.dims}, "
+            f"bounds={self.bounds.as_tuple()}, "
+            f"point_arrays={self.point_data.names()})"
+        )

@@ -1,0 +1,215 @@
+"""Sparse point selections: the unit of exchange between pre- and post-filters.
+
+The paper's pre-filter "scans the data in memory, identifies all necessary
+information to be transferred, and performs the transfer" (Sec. V).  What is
+transferred is a sparse subset of grid points: their ids and their values,
+together with the implicit grid structure needed to rebuild geometry on the
+client.  :class:`PointSelection` is that payload.
+
+Two selection flavours exist in this codebase (see
+:mod:`repro.core.prefilter`):
+
+* *edge* selections contain exactly the points incident to at least one
+  interesting edge — the quantity the paper reports as "data selection rate"
+  (Fig. 6);
+* *cell-closure* selections additionally contain every corner of every cell
+  that owns an interesting edge, which is the minimal superset that makes
+  client-side contour reconstruction **bit-exact** (see DESIGN.md §5,
+  invariant 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SelectionError
+from repro.grid.cells import point_count
+from repro.grid.uniform import UniformGrid
+
+__all__ = ["PointSelection"]
+
+
+def _grid_structure(grid):
+    """(origin, spacing, axes) triple for either structured grid type."""
+    axes = getattr(grid, "axes", None)
+    if axes is not None:
+        return (0.0, 0.0, 0.0), (1.0, 1.0, 1.0), axes
+    return grid.origin, grid.spacing, None
+
+
+class PointSelection:
+    """A sparse subset of the points of a :class:`UniformGrid`.
+
+    Parameters
+    ----------
+    dims, origin, spacing:
+        Structure of the grid the selection was taken from.
+    array_name:
+        Name of the scalar array the values belong to.
+    ids:
+        Sorted, unique flat point ids (int64).
+    values:
+        Scalar values at ``ids``, same length, any float/int dtype.
+    """
+
+    __slots__ = ("dims", "origin", "spacing", "array_name", "ids", "values", "axes")
+
+    def __init__(self, dims, origin, spacing, array_name: str, ids, values,
+                 axes=None):
+        self.dims = tuple(int(d) for d in dims)
+        self.origin = tuple(float(v) for v in origin)
+        self.spacing = tuple(float(v) for v in spacing)
+        self.array_name = str(array_name)
+        self.ids = np.ascontiguousarray(ids, dtype=np.int64)
+        self.values = np.ascontiguousarray(values)
+        if axes is not None:
+            axes = tuple(np.ascontiguousarray(a, dtype=np.float64) for a in axes)
+            if len(axes) != 3 or any(
+                a.ndim != 1 or a.size != d for a, d in zip(axes, self.dims)
+            ):
+                raise SelectionError("axes must be three 1-D arrays matching dims")
+        self.axes = axes
+        self._validate()
+
+    def _validate(self):
+        if self.ids.ndim != 1 or self.values.ndim != 1:
+            raise SelectionError("ids and values must be 1-D")
+        if self.ids.size != self.values.size:
+            raise SelectionError(
+                f"{self.ids.size} ids but {self.values.size} values"
+            )
+        n = point_count(self.dims)
+        if self.ids.size:
+            if self.ids[0] < 0 or self.ids[-1] >= n:
+                raise SelectionError("point ids out of grid range")
+            if (np.diff(self.ids) <= 0).any():
+                raise SelectionError("point ids must be sorted and unique")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_grid(cls, grid, array_name: str, ids) -> "PointSelection":
+        """Gather ``ids`` from a grid's named scalar array.
+
+        Works for uniform and rectilinear grids; rectilinear structure is
+        carried in :attr:`axes`.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        order = np.argsort(ids, kind="stable")
+        ids = ids[order]
+        arr = grid.point_data.get(array_name)
+        origin, spacing, axes = _grid_structure(grid)
+        return cls(
+            grid.dims, origin, spacing, array_name, ids, arr.values[ids], axes=axes
+        )
+
+    @property
+    def count(self) -> int:
+        """Number of selected points."""
+        return self.ids.size
+
+    @property
+    def total_points(self) -> int:
+        """Number of points in the full grid."""
+        return point_count(self.dims)
+
+    @property
+    def selectivity(self) -> float:
+        """Selected fraction of the grid, in [0, 1]."""
+        return self.count / self.total_points
+
+    @property
+    def permillage(self) -> float:
+        """Selectivity expressed in permillage (the paper's Fig. 6 unit)."""
+        return 1000.0 * self.selectivity
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Raw (unencoded) payload size: ids + values."""
+        return self.ids.nbytes + self.values.nbytes
+
+    # ------------------------------------------------------------------
+    def to_dense(self, fill=np.nan) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter back to a dense array.
+
+        Returns
+        -------
+        values : ndarray
+            Full-length float array with ``fill`` at unselected points.
+        mask : ndarray of bool
+            True at selected points.
+        """
+        n = self.total_points
+        dtype = self.values.dtype
+        if dtype.kind != "f":
+            dtype = np.float64
+        dense = np.full(n, fill, dtype=dtype)
+        dense[self.ids] = self.values
+        mask = np.zeros(n, dtype=bool)
+        mask[self.ids] = True
+        return dense, mask
+
+    def to_grid(self, fill=np.nan):
+        """Rebuild a (mostly hollow) grid carrying the dense scatter.
+
+        Returns a :class:`UniformGrid` — or a
+        :class:`~repro.grid.rectilinear.RectilinearGrid` when the selection
+        carries axes — plus the presence mask.
+        """
+        from repro.grid.array import DataArray  # local import: avoid cycle
+        from repro.grid.rectilinear import RectilinearGrid
+
+        if self.axes is not None:
+            grid = RectilinearGrid(*self.axes)
+        else:
+            grid = UniformGrid(self.dims, self.origin, self.spacing)
+        dense, mask = self.to_dense(fill)
+        grid.point_data.add(DataArray(self.array_name, dense))
+        return grid, mask
+
+    def _same_structure(self, other: "PointSelection") -> bool:
+        if (
+            self.dims != other.dims
+            or self.origin != other.origin
+            or self.spacing != other.spacing
+        ):
+            return False
+        if (self.axes is None) != (other.axes is None):
+            return False
+        if self.axes is not None:
+            return all(np.array_equal(a, b) for a, b in zip(self.axes, other.axes))
+        return True
+
+    def union(self, other: "PointSelection") -> "PointSelection":
+        """Merge two selections over the same grid/array."""
+        if not self._same_structure(other) or self.array_name != other.array_name:
+            raise SelectionError("cannot union selections of different grids/arrays")
+        ids = np.concatenate([self.ids, other.ids])
+        values = np.concatenate(
+            [self.values.astype(np.float64), other.values.astype(np.float64)]
+        )
+        uniq, first = np.unique(ids, return_index=True)
+        return PointSelection(
+            self.dims,
+            self.origin,
+            self.spacing,
+            self.array_name,
+            uniq,
+            values[first].astype(self.values.dtype, copy=False),
+            axes=self.axes,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PointSelection):
+            return NotImplemented
+        return (
+            self._same_structure(other)
+            and self.array_name == other.array_name
+            and np.array_equal(self.ids, other.ids)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PointSelection(array={self.array_name!r}, count={self.count}, "
+            f"of={self.total_points}, permillage={self.permillage:.4f})"
+        )

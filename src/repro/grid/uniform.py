@@ -1,0 +1,145 @@
+"""Uniform rectilinear grids (VTK's ``vtkImageData``).
+
+The paper's prototype "supports uniform rectilinear grids at the moment"
+(Sec. VI); this class is that grid type.  Geometry is implicit: a grid is
+fully described by ``dims`` (points per axis), ``origin``, and ``spacing``,
+so only the attribute arrays occupy memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GridError
+from repro.grid.attributes import AttributeCollection
+from repro.grid.bounds import Bounds
+from repro.grid.cells import (
+    _check_dims,
+    cell_count,
+    point_count,
+    point_id_to_ijk,
+    point_ijk_to_id,
+)
+
+__all__ = ["UniformGrid"]
+
+
+class UniformGrid:
+    """A uniform rectilinear grid with point- and cell-attached data arrays.
+
+    Parameters
+    ----------
+    dims:
+        Points per axis, ``(nx, ny, nz)``.  2-D grids use ``nz == 1``.
+    origin:
+        World coordinates of point ``(0, 0, 0)``.
+    spacing:
+        Distance between adjacent points along each axis; must be positive.
+    """
+
+    def __init__(self, dims, origin=(0.0, 0.0, 0.0), spacing=(1.0, 1.0, 1.0)):
+        self.dims = _check_dims(dims)
+        self.origin = tuple(float(v) for v in origin)
+        self.spacing = tuple(float(v) for v in spacing)
+        if len(self.origin) != 3 or len(self.spacing) != 3:
+            raise GridError("origin and spacing must have 3 entries")
+        if any(s <= 0 for s in self.spacing):
+            raise GridError(f"spacing must be positive, got {self.spacing}")
+        self.point_data = AttributeCollection(self.num_points)
+        self.cell_data = AttributeCollection(self.num_cells)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return point_count(self.dims)
+
+    @property
+    def num_cells(self) -> int:
+        return cell_count(self.dims)
+
+    @property
+    def is_2d(self) -> bool:
+        """True when at least one axis is a single point thick."""
+        return 1 in self.dims
+
+    @property
+    def bounds(self) -> Bounds:
+        hi = [
+            o + (d - 1) * s
+            for o, d, s in zip(self.origin, self.dims, self.spacing)
+        ]
+        return Bounds(
+            self.origin[0], hi[0], self.origin[1], hi[1], self.origin[2], hi[2]
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def point_ids_to_coords(self, ids) -> np.ndarray:
+        """World ``(n, 3)`` coordinates of flat point ids (vectorized)."""
+        ijk = point_id_to_ijk(np.asarray(ids, dtype=np.int64), self.dims)
+        ijk = np.atleast_2d(ijk)
+        return np.asarray(self.origin) + ijk * np.asarray(self.spacing)
+
+    def ijk_to_id(self, ijk):
+        return point_ijk_to_id(ijk, self.dims)
+
+    def id_to_ijk(self, ids):
+        return point_id_to_ijk(ids, self.dims)
+
+    def axis_coords(self, axis: int) -> np.ndarray:
+        """1-D world coordinates of the lattice planes along ``axis``."""
+        if axis not in (0, 1, 2):
+            raise GridError(f"axis must be 0..2, got {axis}")
+        n = self.dims[axis]
+        return self.origin[axis] + self.spacing[axis] * np.arange(n)
+
+    # ------------------------------------------------------------------
+    # Array helpers
+    # ------------------------------------------------------------------
+    def scalar_field(self, name: str) -> np.ndarray:
+        """Return the named point array reshaped to ``(nz, ny, nx)``.
+
+        The reshape is a view (zero copy) because arrays are contiguous and
+        x varies fastest.  This is the layout all vectorized filters use.
+        """
+        arr = self.point_data.get(name)
+        if arr.components != 1:
+            raise GridError(f"array {name!r} is not a scalar field")
+        nx, ny, nz = self.dims
+        return arr.values.reshape(nz, ny, nx)
+
+    def shallow_copy(self) -> "UniformGrid":
+        """Copy structure; share array payloads."""
+        out = UniformGrid(self.dims, self.origin, self.spacing)
+        for arr in self.point_data:
+            out.point_data.add(arr)
+        for arr in self.cell_data:
+            out.cell_data.add(arr)
+        return out
+
+    def structure_equals(self, other: "UniformGrid") -> bool:
+        """True when dims/origin/spacing match (arrays not compared)."""
+        return (
+            isinstance(other, UniformGrid)
+            and self.dims == other.dims
+            and self.origin == other.origin
+            and self.spacing == other.spacing
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, UniformGrid):
+            return NotImplemented
+        return (
+            self.structure_equals(other)
+            and self.point_data == other.point_data
+            and self.cell_data == other.cell_data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UniformGrid(dims={self.dims}, origin={self.origin}, "
+            f"spacing={self.spacing}, point_arrays={self.point_data.names()})"
+        )

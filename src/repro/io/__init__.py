@@ -1,0 +1,32 @@
+"""File formats: the VGF grid format, pipeline reader/writer, image output.
+
+VGF ("Visualization Grid Format") is this library's stand-in for VTK data
+files: a binary container holding a uniform grid's structure plus named
+data arrays, each independently compressed with a registered codec.  Its
+two properties the paper's evaluation depends on:
+
+* **array selection** — each array is a separately addressable block, so a
+  reader fetches only the arrays a pipeline asks for (paper Sec. I);
+* **per-array compression** — blocks are stored through any registered
+  codec (``raw``/``gzip``/``lz4``/...), matching VTK's native GZip/LZ4
+  support (paper Sec. IV).
+"""
+
+from repro.io.catalog import CatalogEntry, TimestepCatalog
+from repro.io.ppm import write_ppm
+from repro.io.reader import GridReader
+from repro.io.vgf import VGFInfo, read_vgf, read_vgf_array, read_vgf_info, write_vgf
+from repro.io.writer import GridWriter
+
+__all__ = [
+    "write_vgf",
+    "read_vgf",
+    "read_vgf_info",
+    "read_vgf_array",
+    "VGFInfo",
+    "GridReader",
+    "GridWriter",
+    "write_ppm",
+    "TimestepCatalog",
+    "CatalogEntry",
+]

@@ -1,0 +1,41 @@
+"""PPM/PGM image output for the software renderer.
+
+Binary PPM (P6) needs no external imaging dependency and every common
+viewer opens it — the examples write their contour "movie" frames here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = ["write_ppm", "encode_ppm"]
+
+
+def encode_ppm(image: np.ndarray) -> bytes:
+    """Encode an image array to binary PPM (RGB) or PGM (grayscale) bytes.
+
+    ``image`` is ``(h, w, 3)`` or ``(h, w)``, dtype uint8 or float in
+    [0, 1] (floats are scaled and clipped).
+    """
+    arr = np.asarray(image)
+    if arr.dtype.kind == "f":
+        arr = (np.clip(arr, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    elif arr.dtype != np.uint8:
+        raise FormatError(f"image dtype must be uint8 or float, got {arr.dtype}")
+    if arr.ndim == 2:
+        h, w = arr.shape
+        header = f"P5\n{w} {h}\n255\n".encode("ascii")
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        h, w, _ = arr.shape
+        header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    else:
+        raise FormatError(f"image must be (h,w) or (h,w,3); got {arr.shape}")
+    return header + np.ascontiguousarray(arr).tobytes()
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write an image to ``path`` as binary PPM/PGM."""
+    with open(path, "wb") as fh:
+        fh.write(encode_ppm(image))

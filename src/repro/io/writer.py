@@ -1,0 +1,52 @@
+"""Pipeline sink that writes grids to VGF through a writer callback."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PipelineError
+from repro.grid.uniform import UniformGrid
+from repro.io.vgf import write_vgf
+from repro.pipeline.sink import Sink
+
+__all__ = ["GridWriter"]
+
+
+class GridWriter(Sink):
+    """Serializes incoming grids to VGF and hands the bytes to ``writer``.
+
+    Parameters
+    ----------
+    writer:
+        Callable receiving the serialized bytes, e.g.
+        ``lambda data: fs.write_object(key, data)`` or a local-file write.
+    codec:
+        Codec name or per-array dict, forwarded to
+        :func:`~repro.io.vgf.write_vgf`.
+    meta:
+        Header metadata dict.
+    """
+
+    def __init__(self, writer: Callable[[bytes], None] | None = None,
+                 codec: str | dict = "raw", meta: dict | None = None):
+        super().__init__()
+        self._writer = writer
+        self._codec = codec
+        self._meta = meta
+
+    def set_writer(self, writer: Callable[[bytes], None]) -> None:
+        self._writer = writer
+        self.modified()
+
+    def set_codec(self, codec: str | dict) -> None:
+        self._codec = codec
+        self.modified()
+
+    def _consume(self, grid: UniformGrid) -> None:
+        if self._writer is None:
+            raise PipelineError("GridWriter has no writer configured")
+        if not isinstance(grid, UniformGrid):
+            raise PipelineError(
+                f"GridWriter expects a UniformGrid, got {type(grid).__name__}"
+            )
+        self._writer(write_vgf(grid, codec=self._codec, meta=self._meta))

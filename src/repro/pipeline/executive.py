@@ -1,0 +1,66 @@
+"""Pipeline-wide utilities: validation, execution, and description.
+
+The demand-driven update logic lives on
+:class:`~repro.pipeline.algorithm.Algorithm` itself; this module adds the
+whole-graph operations VTK keeps on its executives: validating that a
+pipeline is fully wired, updating a set of sinks together, and describing
+the topology for debugging.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.pipeline.algorithm import Algorithm
+
+__all__ = ["validate_pipeline", "execute", "describe_pipeline"]
+
+
+def validate_pipeline(*terminals: Algorithm) -> None:
+    """Check that every node upstream of ``terminals`` is fully connected.
+
+    Raises
+    ------
+    PipelineError
+        Naming the first node with an unconnected input port.
+    """
+    if not terminals:
+        raise PipelineError("validate_pipeline needs at least one terminal node")
+    for terminal in terminals:
+        for node in terminal.upstream_nodes():
+            for port in range(node.num_input_ports):
+                if node.input_connection(port) is None:
+                    raise PipelineError(
+                        f"{type(node).__name__} input port {port} is not connected"
+                    )
+
+
+def execute(*terminals: Algorithm) -> list:
+    """Validate then update every terminal; returns their output data.
+
+    Sinks (no output ports) contribute ``None`` to the returned list.
+    """
+    validate_pipeline(*terminals)
+    results = []
+    for terminal in terminals:
+        terminal.update()
+        if terminal.num_output_ports:
+            results.append(terminal.get_output_data(0))
+        else:
+            results.append(None)
+    return results
+
+
+def describe_pipeline(terminal: Algorithm) -> str:
+    """A one-line-per-node topological description of the upstream graph."""
+    lines = []
+    for node in terminal.upstream_nodes():
+        inputs = []
+        for port in range(node.num_input_ports):
+            conn = node.input_connection(port)
+            if conn is None:
+                inputs.append(f"{port}:<unconnected>")
+            else:
+                inputs.append(f"{port}:{type(conn.algorithm).__name__}[{conn.index}]")
+        suffix = f" <- ({', '.join(inputs)})" if inputs else ""
+        lines.append(f"{type(node).__name__}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Filter base class: intermediate pipeline nodes (Fig. 2)."""
+
+from __future__ import annotations
+
+from repro.pipeline.algorithm import Algorithm
+
+__all__ = ["Filter"]
+
+
+class Filter(Algorithm):
+    """Base class for filters: one or more inputs, one or more outputs.
+
+    Subclasses override :meth:`_execute`.  A convenience ``set_input_data``
+    wraps raw data objects in a :class:`~repro.pipeline.source.TrivialProducer`
+    so filters can be used without building an explicit source.
+    """
+
+    num_input_ports = 1
+    num_output_ports = 1
+
+    def set_input_data(self, data, port: int = 0) -> None:
+        from repro.pipeline.source import TrivialProducer
+
+        self.set_input_connection(port, TrivialProducer(data))

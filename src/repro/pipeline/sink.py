@@ -1,0 +1,52 @@
+"""Pipeline sinks: terminal nodes that consume data (Fig. 2).
+
+In the paper's pipelines the sink is an OpenGL render sub-pipeline; in this
+library it is the software renderer (:mod:`repro.render`) or a writer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.pipeline.algorithm import Algorithm
+
+__all__ = ["Sink", "CollectSink"]
+
+
+class Sink(Algorithm):
+    """Base class for sinks: one input port, zero output ports.
+
+    Subclasses implement :meth:`_consume`; :meth:`update` drives it.
+    """
+
+    num_input_ports = 1
+    num_output_ports = 0
+
+    def set_input_data(self, data, port: int = 0) -> None:
+        from repro.pipeline.source import TrivialProducer
+
+        self.set_input_connection(port, TrivialProducer(data))
+
+    def _execute(self, data: Any) -> None:
+        self._consume(data)
+        return None
+
+    def _consume(self, data: Any) -> None:
+        raise NotImplementedError
+
+
+class CollectSink(Sink):
+    """A sink that records every data object it consumes (testing aid)."""
+
+    def __init__(self):
+        super().__init__()
+        self.received: list[Any] = []
+
+    def _consume(self, data: Any) -> None:
+        self.received.append(data)
+
+    @property
+    def last(self) -> Any:
+        if not self.received:
+            raise IndexError("CollectSink has not consumed any data")
+        return self.received[-1]

@@ -1,0 +1,55 @@
+"""Pipeline sources: nodes with no inputs that introduce data (Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import PipelineError
+from repro.pipeline.algorithm import Algorithm
+
+__all__ = ["Source", "TrivialProducer", "ProgrammableSource"]
+
+
+class Source(Algorithm):
+    """Base class for sources: zero input ports, one output port."""
+
+    num_input_ports = 0
+    num_output_ports = 1
+
+
+class TrivialProducer(Source):
+    """A source that hands out a pre-built data object.
+
+    The VTK equivalent is ``vtkTrivialProducer``; it is how in-memory data
+    enters a pipeline.
+    """
+
+    def __init__(self, data: Any = None):
+        super().__init__()
+        self._data = data
+
+    def set_data(self, data: Any) -> None:
+        self._data = data
+        self.modified()
+
+    def _execute(self) -> Any:
+        if self._data is None:
+            raise PipelineError("TrivialProducer has no data set")
+        return self._data
+
+
+class ProgrammableSource(Source):
+    """A source whose output is produced by a user callback."""
+
+    def __init__(self, produce: Callable[[], Any] | None = None):
+        super().__init__()
+        self._produce = produce
+
+    def set_produce(self, produce: Callable[[], Any]) -> None:
+        self._produce = produce
+        self.modified()
+
+    def _execute(self) -> Any:
+        if self._produce is None:
+            raise PipelineError("ProgrammableSource has no produce callback")
+        return self._produce()

@@ -1,0 +1,111 @@
+"""Scalar-to-color mapping for rendered geometry.
+
+ParaView colors contours by a data array through a transfer function; this
+module provides the same for the software renderer: a handful of built-in
+perceptual ramps plus :func:`map_scalars`, which turns a scalar array into
+per-element RGB.
+
+Ramps are defined by a few anchor colors and linearly interpolated — small
+enough to audit, close enough to the familiar palettes for real use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["map_scalars", "available_colormaps", "COLORMAPS"]
+
+#: Anchor colors (RGB in [0,1]) at evenly spaced positions along [0, 1].
+COLORMAPS: dict[str, np.ndarray] = {
+    # Blue -> green -> yellow, perceptually-ordered (viridis-like).
+    "viridis": np.array(
+        [
+            (0.267, 0.005, 0.329),
+            (0.283, 0.141, 0.458),
+            (0.254, 0.265, 0.530),
+            (0.207, 0.372, 0.553),
+            (0.164, 0.471, 0.558),
+            (0.128, 0.567, 0.551),
+            (0.135, 0.659, 0.518),
+            (0.267, 0.749, 0.441),
+            (0.478, 0.821, 0.318),
+            (0.741, 0.873, 0.150),
+            (0.993, 0.906, 0.144),
+        ]
+    ),
+    # Blue -> white -> red diverging (coolwarm-like).
+    "coolwarm": np.array(
+        [
+            (0.230, 0.299, 0.754),
+            (0.552, 0.690, 0.996),
+            (0.865, 0.865, 0.865),
+            (0.958, 0.647, 0.511),
+            (0.706, 0.016, 0.150),
+        ]
+    ),
+    # Black -> red -> yellow -> white (hot).
+    "hot": np.array(
+        [
+            (0.0, 0.0, 0.0),
+            (0.8, 0.0, 0.0),
+            (1.0, 0.6, 0.0),
+            (1.0, 1.0, 0.4),
+            (1.0, 1.0, 1.0),
+        ]
+    ),
+    # Uniform gray ramp.
+    "gray": np.array([(0.05, 0.05, 0.05), (0.95, 0.95, 0.95)]),
+}
+
+
+def available_colormaps() -> list[str]:
+    return sorted(COLORMAPS)
+
+
+def map_scalars(
+    values: np.ndarray,
+    cmap: str = "viridis",
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Map scalars to RGB through a named colormap.
+
+    Parameters
+    ----------
+    values:
+        1-D scalar array.
+    cmap:
+        One of :func:`available_colormaps`.
+    vmin, vmax:
+        Value range mapped to the ramp's ends; defaults to the data range.
+        Values outside clamp to the ends.
+
+    Returns
+    -------
+    colors : ndarray
+        ``(n, 3)`` float RGB in [0, 1].
+    """
+    try:
+        anchors = COLORMAPS[cmap]
+    except KeyError:
+        raise ReproError(
+            f"unknown colormap {cmap!r}; available: {available_colormaps()}"
+        ) from None
+    vals = np.asarray(values, dtype=np.float64).reshape(-1)
+    if vals.size == 0:
+        return np.zeros((0, 3))
+    lo = float(vals.min()) if vmin is None else float(vmin)
+    hi = float(vals.max()) if vmax is None else float(vmax)
+    if not np.isfinite([lo, hi]).all():
+        raise ReproError("colormap range must be finite")
+    if hi <= lo:
+        t = np.zeros(vals.size)
+    else:
+        t = np.clip((vals - lo) / (hi - lo), 0.0, 1.0)
+    # Piecewise-linear interpolation between anchors.
+    pos = t * (anchors.shape[0] - 1)
+    idx = np.minimum(pos.astype(np.int64), anchors.shape[0] - 2)
+    frac = (pos - idx)[:, None]
+    return anchors[idx] * (1.0 - frac) + anchors[idx + 1] * frac

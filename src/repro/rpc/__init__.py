@@ -1,0 +1,36 @@
+"""RPC substrate: MessagePack serialization and an rpclib-style call layer.
+
+The paper's prototype uses rpclib + MessagePack "to efficiently marshal and
+unmarshal data, alleviating interprocess-communication overhead" (Sec. VI).
+This package provides the same two layers from scratch:
+
+* :mod:`repro.rpc.msgpack` — a spec-complete MessagePack encoder/decoder,
+* :mod:`repro.rpc.server` / :mod:`repro.rpc.client` — function-registration
+  RPC over pluggable transports (in-process for tests, TCP for real
+  two-process runs, simulated for benchmark cost accounting).
+"""
+
+from repro.rpc.client import RPCClient
+from repro.rpc.msgpack import ExtType, Timestamp, pack, unpack
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import (
+    InProcessTransport,
+    SimulatedTransport,
+    TCPServerTransport,
+    TCPTransport,
+    Transport,
+)
+
+__all__ = [
+    "pack",
+    "unpack",
+    "ExtType",
+    "Timestamp",
+    "RPCServer",
+    "RPCClient",
+    "Transport",
+    "InProcessTransport",
+    "TCPTransport",
+    "TCPServerTransport",
+    "SimulatedTransport",
+]

@@ -1,0 +1,79 @@
+"""rpclib-style RPC client over any :class:`~repro.rpc.transport.Transport`."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import RPCError, RPCRemoteError
+from repro.rpc.msgpack import pack, unpack
+from repro.rpc.transport import InProcessTransport, TCPTransport, Transport
+
+__all__ = ["RPCClient"]
+
+_REQUEST = 0
+_RESPONSE = 1
+_NOTIFY = 2
+
+
+class RPCClient:
+    """Issues msgpack-rpc calls through a transport.
+
+    Construct with a transport, or use :meth:`connect_tcp` /
+    :meth:`in_process` conveniences.
+    """
+
+    def __init__(self, transport: Transport):
+        self._transport = transport
+        self._msgid = itertools.count(1)
+
+    @classmethod
+    def connect_tcp(cls, host: str, port: int, timeout: float | None = 30.0) -> "RPCClient":
+        return cls(TCPTransport(host, port, timeout=timeout))
+
+    @classmethod
+    def in_process(cls, server) -> "RPCClient":
+        """Client wired straight to an :class:`~repro.rpc.server.RPCServer`."""
+        return cls(InProcessTransport(server.dispatch))
+
+    # ------------------------------------------------------------------
+    def call(self, method: str, *params: Any) -> Any:
+        """Invoke a remote method and return its result.
+
+        Raises
+        ------
+        RPCRemoteError
+            If the remote handler raised; carries the remote traceback.
+        RPCError
+            On protocol violations (bad frame shape, msgid mismatch).
+        """
+        msgid = next(self._msgid)
+        payload = pack([_REQUEST, msgid, method, list(params)])
+        raw = self._transport.request(payload)
+        message = unpack(raw)
+        if (
+            not isinstance(message, list)
+            or len(message) != 4
+            or message[0] != _RESPONSE
+        ):
+            raise RPCError(f"invalid rpc response: {message!r}")
+        _, rid, error, result = message
+        if rid != msgid:
+            raise RPCError(f"response msgid {rid} != request msgid {msgid}")
+        if error is not None:
+            raise RPCRemoteError(method, str(error))
+        return result
+
+    def notify(self, method: str, *params: Any) -> None:
+        """Fire-and-forget call (response discarded)."""
+        payload = pack([_NOTIFY, method, list(params)])
+        self._transport.request(payload)
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "RPCClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,395 @@
+"""From-scratch MessagePack encoder/decoder.
+
+Implements the complete MessagePack specification
+(https://github.com/msgpack/msgpack/blob/master/spec.md):
+
+========================  =========================================
+Python type               wire families
+========================  =========================================
+``None``                  nil
+``bool``                  true / false
+``int``                   fixint, uint8..uint64, int8..int64
+``float``                 float64 (decoder also reads float32)
+``str``                   fixstr, str8/16/32
+``bytes`` / bytearray     bin8/16/32
+``list`` / ``tuple``      fixarray, array16/32
+``dict``                  fixmap, map16/32
+:class:`ExtType`          fixext1/2/4/8/16, ext8/16/32
+========================  =========================================
+
+Encoding always picks the smallest representation, as the spec recommends.
+The decoder is strict: truncated input, trailing garbage (in
+:func:`unpack`), invalid UTF-8 in str payloads, and unknown first bytes
+all raise :class:`~repro.errors.FormatError`.
+
+Large binary payloads (the NDP wire format's array buffers) ride in
+bin32, so NumPy buffers round-trip without any per-element cost.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, NamedTuple
+
+from repro.errors import FormatError
+
+__all__ = ["pack", "unpack", "Unpacker", "ExtType", "Timestamp"]
+
+
+class ExtType(NamedTuple):
+    """A MessagePack extension value: an application type code plus bytes."""
+
+    code: int
+    data: bytes
+
+
+class Timestamp(NamedTuple):
+    """The msgpack timestamp extension (type -1): seconds + nanoseconds.
+
+    The spec's three encodings are all supported: 32-bit (whole seconds in
+    uint32 range), 64-bit (34-bit seconds + 30-bit nanoseconds), and
+    96-bit (full int64 seconds + uint32 nanoseconds).
+    """
+
+    seconds: int
+    nanoseconds: int = 0
+
+    def encode(self) -> bytes:
+        if not 0 <= self.nanoseconds < 1_000_000_000:
+            raise FormatError(
+                f"nanoseconds must be in [0, 1e9), got {self.nanoseconds}"
+            )
+        if self.nanoseconds == 0 and 0 <= self.seconds <= 0xFFFFFFFF:
+            return self.seconds.to_bytes(4, "big")
+        if 0 <= self.seconds < (1 << 34):
+            packed = (self.nanoseconds << 34) | self.seconds
+            return packed.to_bytes(8, "big")
+        if not -(1 << 63) <= self.seconds < (1 << 63):
+            raise FormatError(f"seconds {self.seconds} out of int64 range")
+        return self.nanoseconds.to_bytes(4, "big") + self.seconds.to_bytes(
+            8, "big", signed=True
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Timestamp":
+        if len(data) == 4:
+            return cls(int.from_bytes(data, "big"), 0)
+        if len(data) == 8:
+            packed = int.from_bytes(data, "big")
+            return cls(packed & ((1 << 34) - 1), packed >> 34)
+        if len(data) == 12:
+            return cls(
+                int.from_bytes(data[4:], "big", signed=True),
+                int.from_bytes(data[:4], "big"),
+            )
+        raise FormatError(f"timestamp ext payload must be 4/8/12 bytes, got {len(data)}")
+
+
+#: The spec-reserved extension type code for timestamps.
+_TIMESTAMP_EXT = -1
+
+
+_pack_into = struct.pack
+
+# ---------------------------------------------------------------------------
+# Encoder
+# ---------------------------------------------------------------------------
+
+
+def _pack_int(out: bytearray, v: int) -> None:
+    if 0 <= v <= 0x7F:
+        out.append(v)
+    elif -32 <= v < 0:
+        out.append(v & 0xFF)
+    elif 0 < v:
+        if v <= 0xFF:
+            out += b"\xcc" + v.to_bytes(1, "big")
+        elif v <= 0xFFFF:
+            out += b"\xcd" + v.to_bytes(2, "big")
+        elif v <= 0xFFFFFFFF:
+            out += b"\xce" + v.to_bytes(4, "big")
+        elif v <= 0xFFFFFFFFFFFFFFFF:
+            out += b"\xcf" + v.to_bytes(8, "big")
+        else:
+            raise FormatError(f"integer {v} out of uint64 range")
+    else:
+        if v >= -0x80:
+            out += b"\xd0" + v.to_bytes(1, "big", signed=True)
+        elif v >= -0x8000:
+            out += b"\xd1" + v.to_bytes(2, "big", signed=True)
+        elif v >= -0x80000000:
+            out += b"\xd2" + v.to_bytes(4, "big", signed=True)
+        elif v >= -0x8000000000000000:
+            out += b"\xd3" + v.to_bytes(8, "big", signed=True)
+        else:
+            raise FormatError(f"integer {v} out of int64 range")
+
+
+def _pack_str(out: bytearray, v: str) -> None:
+    data = v.encode("utf-8")
+    n = len(data)
+    if n <= 31:
+        out.append(0xA0 | n)
+    elif n <= 0xFF:
+        out += b"\xd9" + n.to_bytes(1, "big")
+    elif n <= 0xFFFF:
+        out += b"\xda" + n.to_bytes(2, "big")
+    elif n <= 0xFFFFFFFF:
+        out += b"\xdb" + n.to_bytes(4, "big")
+    else:
+        raise FormatError("string too long for str32")
+    out += data
+
+
+def _pack_bin(out: bytearray, v: bytes) -> None:
+    n = len(v)
+    if n <= 0xFF:
+        out += b"\xc4" + n.to_bytes(1, "big")
+    elif n <= 0xFFFF:
+        out += b"\xc5" + n.to_bytes(2, "big")
+    elif n <= 0xFFFFFFFF:
+        out += b"\xc6" + n.to_bytes(4, "big")
+    else:
+        raise FormatError("bytes too long for bin32")
+    out += v
+
+
+def _pack_ext(out: bytearray, v: ExtType) -> None:
+    if not -128 <= v.code <= 127:
+        raise FormatError(f"ext code {v.code} out of int8 range")
+    data = bytes(v.data)
+    n = len(data)
+    code = v.code & 0xFF
+    fixed = {1: 0xD4, 2: 0xD5, 4: 0xD6, 8: 0xD7, 16: 0xD8}
+    if n in fixed:
+        out.append(fixed[n])
+        out.append(code)
+    elif n <= 0xFF:
+        out += b"\xc7" + n.to_bytes(1, "big")
+        out.append(code)
+    elif n <= 0xFFFF:
+        out += b"\xc8" + n.to_bytes(2, "big")
+        out.append(code)
+    elif n <= 0xFFFFFFFF:
+        out += b"\xc9" + n.to_bytes(4, "big")
+        out.append(code)
+    else:
+        raise FormatError("ext payload too long for ext32")
+    out += data
+
+
+def _pack_any(out: bytearray, v: Any) -> None:
+    if v is None:
+        out.append(0xC0)
+    elif v is True:
+        out.append(0xC3)
+    elif v is False:
+        out.append(0xC2)
+    elif isinstance(v, int):
+        _pack_int(out, v)
+    elif isinstance(v, float):
+        out += b"\xcb" + _pack_into(">d", v)
+    elif isinstance(v, str):
+        _pack_str(out, v)
+    elif isinstance(v, (bytes, bytearray, memoryview)):
+        _pack_bin(out, bytes(v))
+    elif isinstance(v, Timestamp):
+        _pack_ext(out, ExtType(_TIMESTAMP_EXT, v.encode()))
+    elif isinstance(v, ExtType):
+        _pack_ext(out, v)
+    elif isinstance(v, (list, tuple)):
+        n = len(v)
+        if n <= 15:
+            out.append(0x90 | n)
+        elif n <= 0xFFFF:
+            out += b"\xdc" + n.to_bytes(2, "big")
+        elif n <= 0xFFFFFFFF:
+            out += b"\xdd" + n.to_bytes(4, "big")
+        else:
+            raise FormatError("array too long for array32")
+        for item in v:
+            _pack_any(out, item)
+    elif isinstance(v, dict):
+        n = len(v)
+        if n <= 15:
+            out.append(0x80 | n)
+        elif n <= 0xFFFF:
+            out += b"\xde" + n.to_bytes(2, "big")
+        elif n <= 0xFFFFFFFF:
+            out += b"\xdf" + n.to_bytes(4, "big")
+        else:
+            raise FormatError("map too long for map32")
+        for key, item in v.items():
+            _pack_any(out, key)
+            _pack_any(out, item)
+    else:
+        raise FormatError(
+            f"type {type(v).__name__} is not MessagePack-serializable"
+        )
+
+
+def pack(value: Any) -> bytes:
+    """Serialize ``value`` to MessagePack bytes."""
+    out = bytearray()
+    _pack_any(out, value)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Decoder
+# ---------------------------------------------------------------------------
+
+
+class Unpacker:
+    """Streaming MessagePack decoder over a bytes-like buffer.
+
+    Call :meth:`unpack_one` repeatedly to read consecutive values;
+    :attr:`offset` tracks the cursor.
+    """
+
+    #: Guard against pathological nesting in untrusted input.
+    MAX_DEPTH = 256
+
+    def __init__(self, data: bytes):
+        self._data = bytes(data)
+        self.offset = 0
+
+    # -- low-level reads ------------------------------------------------
+    def _need(self, n: int) -> None:
+        if self.offset + n > len(self._data):
+            raise FormatError(
+                f"truncated MessagePack data: need {n} bytes at offset "
+                f"{self.offset}, have {len(self._data) - self.offset}"
+            )
+
+    def _take(self, n: int) -> bytes:
+        self._need(n)
+        chunk = self._data[self.offset : self.offset + n]
+        self.offset += n
+        return chunk
+
+    def _uint(self, n: int) -> int:
+        return int.from_bytes(self._take(n), "big")
+
+    def _int(self, n: int) -> int:
+        return int.from_bytes(self._take(n), "big", signed=True)
+
+    def _str(self, n: int) -> str:
+        raw = self._take(n)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FormatError(f"invalid UTF-8 in str payload: {exc}") from exc
+
+    # -- value decoding ---------------------------------------------------
+    def unpack_one(self, _depth: int = 0) -> Any:
+        """Decode and return the next value."""
+        if _depth > self.MAX_DEPTH:
+            raise FormatError("MessagePack nesting exceeds MAX_DEPTH")
+        first = self._take(1)[0]
+        # fix families
+        if first <= 0x7F:
+            return first
+        if first >= 0xE0:
+            return first - 0x100
+        if 0x80 <= first <= 0x8F:
+            return self._map(first & 0x0F, _depth)
+        if 0x90 <= first <= 0x9F:
+            return self._array(first & 0x0F, _depth)
+        if 0xA0 <= first <= 0xBF:
+            return self._str(first & 0x1F)
+
+        if first == 0xC0:
+            return None
+        if first == 0xC2:
+            return False
+        if first == 0xC3:
+            return True
+        if first == 0xC4:
+            return self._take(self._uint(1))
+        if first == 0xC5:
+            return self._take(self._uint(2))
+        if first == 0xC6:
+            return self._take(self._uint(4))
+        if first == 0xC7:
+            n = self._uint(1)
+            return self._ext(n)
+        if first == 0xC8:
+            n = self._uint(2)
+            return self._ext(n)
+        if first == 0xC9:
+            n = self._uint(4)
+            return self._ext(n)
+        if first == 0xCA:
+            return struct.unpack(">f", self._take(4))[0]
+        if first == 0xCB:
+            return struct.unpack(">d", self._take(8))[0]
+        if first == 0xCC:
+            return self._uint(1)
+        if first == 0xCD:
+            return self._uint(2)
+        if first == 0xCE:
+            return self._uint(4)
+        if first == 0xCF:
+            return self._uint(8)
+        if first == 0xD0:
+            return self._int(1)
+        if first == 0xD1:
+            return self._int(2)
+        if first == 0xD2:
+            return self._int(4)
+        if first == 0xD3:
+            return self._int(8)
+        if first in (0xD4, 0xD5, 0xD6, 0xD7, 0xD8):
+            n = 1 << (first - 0xD4)
+            return self._ext(n)
+        if first == 0xD9:
+            return self._str(self._uint(1))
+        if first == 0xDA:
+            return self._str(self._uint(2))
+        if first == 0xDB:
+            return self._str(self._uint(4))
+        if first == 0xDC:
+            return self._array(self._uint(2), _depth)
+        if first == 0xDD:
+            return self._array(self._uint(4), _depth)
+        if first == 0xDE:
+            return self._map(self._uint(2), _depth)
+        if first == 0xDF:
+            return self._map(self._uint(4), _depth)
+        raise FormatError(f"invalid MessagePack first byte 0x{first:02x}")
+
+    def _ext(self, n: int):
+        code = self._int(1)
+        data = self._take(n)
+        if code == _TIMESTAMP_EXT:
+            return Timestamp.decode(data)
+        return ExtType(code, data)
+
+    def _array(self, n: int, depth: int) -> list:
+        return [self.unpack_one(depth + 1) for _ in range(n)]
+
+    def _map(self, n: int, depth: int) -> dict:
+        out = {}
+        for _ in range(n):
+            key = self.unpack_one(depth + 1)
+            try:
+                out[key] = self.unpack_one(depth + 1)
+            except TypeError as exc:
+                raise FormatError(f"unhashable map key {key!r}") from exc
+        return out
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset >= len(self._data)
+
+
+def unpack(data: bytes) -> Any:
+    """Deserialize exactly one value; trailing bytes are an error."""
+    up = Unpacker(data)
+    value = up.unpack_one()
+    if not up.exhausted:
+        raise FormatError(
+            f"{len(data) - up.offset} trailing bytes after MessagePack value"
+        )
+    return value

@@ -1,0 +1,90 @@
+"""rpclib-style RPC server: register functions, dispatch msgpack-rpc frames.
+
+Wire protocol (the msgpack-rpc convention rpclib implements):
+
+* request:  ``[0, msgid, method, params]``
+* response: ``[1, msgid, error, result]`` (``error`` is ``None`` on success,
+  else a string carrying the remote exception text)
+* notify:   ``[2, method, params]`` (no response)
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable
+
+from repro.errors import FormatError, RPCError
+from repro.rpc.msgpack import pack, unpack
+from repro.rpc.transport import TCPServerTransport
+
+__all__ = ["RPCServer"]
+
+_REQUEST = 0
+_RESPONSE = 1
+_NOTIFY = 2
+
+
+class RPCServer:
+    """Holds a function registry and turns request frames into responses.
+
+    Use :meth:`bind` to register handlers (or pass a dict), then either
+
+    * hand :meth:`dispatch` to an :class:`~repro.rpc.transport.InProcessTransport`, or
+    * call :meth:`serve_tcp` to listen on a socket.
+    """
+
+    def __init__(self, handlers: dict[str, Callable[..., Any]] | None = None):
+        self._handlers: dict[str, Callable[..., Any]] = {}
+        if handlers:
+            for name, fn in handlers.items():
+                self.bind(name, fn)
+
+    def bind(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register ``fn`` under ``name`` (rpclib's ``srv.bind``)."""
+        if not callable(fn):
+            raise RPCError(f"handler for {name!r} is not callable")
+        if name in self._handlers:
+            raise RPCError(f"handler {name!r} already bound")
+        self._handlers[name] = fn
+
+    def handlers(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, payload: bytes) -> bytes:
+        """Decode one request frame, invoke the handler, encode the response."""
+        try:
+            message = unpack(payload)
+        except FormatError as exc:
+            return pack([_RESPONSE, 0, f"malformed request: {exc}", None])
+
+        if (
+            not isinstance(message, list)
+            or len(message) < 3
+            or message[0] not in (_REQUEST, _NOTIFY)
+        ):
+            return pack([_RESPONSE, 0, f"invalid rpc message: {message!r}", None])
+
+        if message[0] == _NOTIFY:
+            _, method, params = message
+            self._invoke(method, params)
+            return pack([_RESPONSE, 0, None, None])
+
+        _, msgid, method, params = message
+        error, result = self._invoke(method, params)
+        return pack([_RESPONSE, msgid, error, result])
+
+    def _invoke(self, method: Any, params: Any) -> tuple[str | None, Any]:
+        if not isinstance(method, str) or method not in self._handlers:
+            return (f"no such method: {method!r}", None)
+        if not isinstance(params, list):
+            return (f"params must be an array, got {type(params).__name__}", None)
+        try:
+            return (None, self._handlers[method](*params))
+        except Exception:
+            return (traceback.format_exc(limit=8), None)
+
+    # ------------------------------------------------------------------
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> TCPServerTransport:
+        """Start a TCP listener feeding :meth:`dispatch`; returns it started."""
+        return TCPServerTransport(self.dispatch, host=host, port=port).start()

@@ -1,0 +1,223 @@
+"""RPC transports: in-process, TCP, and simulated.
+
+A *client transport* exposes one blocking primitive,
+:meth:`Transport.request`, mapping a request payload to a response payload.
+Three implementations cover the library's needs:
+
+* :class:`InProcessTransport` — calls a dispatcher directly; deterministic
+  and dependency-free, used by tests and the benchmark harness,
+* :class:`TCPTransport` / :class:`TCPServerTransport` — real sockets with
+  length-prefixed frames, proving the protocol works across processes,
+* :class:`SimulatedTransport` — wraps another transport and charges every
+  byte crossing it to a simulated network link (see
+  :mod:`repro.storage.netsim`), which is how benchmarks account for the
+  paper's 1 GbE client-storage hop without owning two machines.
+
+Frame format on the wire: ``uint32 BE payload length | payload``.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.errors import RPCTransportError
+
+__all__ = [
+    "Transport",
+    "InProcessTransport",
+    "TCPTransport",
+    "TCPServerTransport",
+    "SimulatedTransport",
+    "read_frame",
+    "write_frame",
+]
+
+_LEN = struct.Struct(">I")
+#: Upper bound on a single frame; guards against garbage length prefixes.
+MAX_FRAME = 1 << 31
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one length-prefixed frame."""
+    if len(payload) >= MAX_FRAME:
+        raise RPCTransportError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise RPCTransportError(
+                f"connection closed mid-frame ({remaining} of {n} bytes missing)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Receive one length-prefixed frame."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length >= MAX_FRAME:
+        raise RPCTransportError(f"frame length {length} exceeds MAX_FRAME")
+    return _recv_exact(sock, length)
+
+
+class Transport(ABC):
+    """Blocking request/response client transport."""
+
+    @abstractmethod
+    def request(self, payload: bytes) -> bytes:
+        """Send ``payload``; block until the response payload arrives."""
+
+    def close(self) -> None:
+        """Release transport resources (no-op by default)."""
+
+
+class InProcessTransport(Transport):
+    """Directly invokes a server dispatcher: zero-copy, single-process."""
+
+    def __init__(self, dispatcher: Callable[[bytes], bytes]):
+        self._dispatcher = dispatcher
+
+    def request(self, payload: bytes) -> bytes:
+        return self._dispatcher(bytes(payload))
+
+
+class SimulatedTransport(Transport):
+    """Wraps a transport, charging traffic to a simulated network link.
+
+    Parameters
+    ----------
+    inner:
+        The transport that actually moves the payload (usually in-process).
+    link:
+        Any object with ``charge(nbytes)`` — in practice a
+        :class:`repro.storage.netsim.LinkModel` bound to a
+        :class:`repro.storage.netsim.SimClock`.  Both request and response
+        bytes are charged, like the paper's client<->storage hop.
+    """
+
+    def __init__(self, inner: Transport, link):
+        self._inner = inner
+        self._link = link
+
+    def request(self, payload: bytes) -> bytes:
+        self._link.charge(len(payload))
+        response = self._inner.request(payload)
+        self._link.charge(len(response))
+        return response
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class TCPTransport(Transport):
+    """Client-side TCP transport with length-prefixed frames.
+
+    Thread-safe: concurrent callers are serialized over the single
+    connection (matching rpclib's default synchronous client behaviour).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise RPCTransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def request(self, payload: bytes) -> bytes:
+        with self._lock:
+            try:
+                write_frame(self._sock, payload)
+                return read_frame(self._sock)
+            except OSError as exc:
+                raise RPCTransportError(f"socket error: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TCPServerTransport:
+    """Threaded TCP listener that feeds frames to a dispatcher.
+
+    Each accepted connection gets a handler thread; each received frame is
+    passed to ``dispatcher`` and its return value written back.  Binding to
+    port 0 picks an ephemeral port, exposed as :attr:`port`.
+    """
+
+    def __init__(self, dispatcher: Callable[[bytes], bytes], host: str = "127.0.0.1", port: int = 0):
+        self._dispatcher = dispatcher
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self._shutdown = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+
+    def start(self) -> "TCPServerTransport":
+        """Start accepting connections in a daemon thread."""
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        self._listener.settimeout(0.2)
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with conn:
+            while not self._shutdown.is_set():
+                try:
+                    payload = read_frame(conn)
+                except RPCTransportError:
+                    return  # client went away
+                except OSError:
+                    return
+                response = self._dispatcher(payload)
+                try:
+                    write_frame(conn, response)
+                except OSError:
+                    return
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "TCPServerTransport":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,41 @@
+"""Storage substrate: object store, file mount layer, and cost models.
+
+Substitutes for the paper's testbed pieces:
+
+* :class:`~repro.storage.object_store.ObjectStore` — the MinIO stand-in,
+* :class:`~repro.storage.s3fs.S3FileSystem` — the s3fs stand-in: a
+  file-like mount over an object store reached through a transport,
+* :mod:`~repro.storage.netsim` — simulated clock + device/link models that
+  reproduce the paper's 1 GbE / local-SSD cost structure on one machine,
+* :mod:`~repro.storage.metrics` — phase timers and byte counters that
+  benches aggregate into the paper's "data load time" breakdowns.
+"""
+
+from repro.storage.metrics import ByteCounter, LoadBreakdown, PhaseTimer
+from repro.storage.netsim import (
+    PAPER_TESTBED,
+    CodecTiming,
+    DeviceModel,
+    LinkModel,
+    SimClock,
+    Testbed,
+)
+from repro.storage.object_store import DirectoryBackend, MemoryBackend, ObjectStore
+from repro.storage.s3fs import S3File, S3FileSystem
+
+__all__ = [
+    "SimClock",
+    "LinkModel",
+    "DeviceModel",
+    "CodecTiming",
+    "Testbed",
+    "PAPER_TESTBED",
+    "ObjectStore",
+    "MemoryBackend",
+    "DirectoryBackend",
+    "S3FileSystem",
+    "S3File",
+    "ByteCounter",
+    "PhaseTimer",
+    "LoadBreakdown",
+]

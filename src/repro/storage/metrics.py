@@ -1,0 +1,97 @@
+"""Phase timers and byte counters for load-time breakdowns.
+
+The paper measures "the time required for a pipeline to prepare data in
+memory for contour generation" broken into read, decompress, filter, and
+transfer components (Sec. VI).  :class:`LoadBreakdown` is that record;
+:class:`PhaseTimer` fills it from a :class:`~repro.storage.netsim.SimClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["ByteCounter", "PhaseTimer", "LoadBreakdown"]
+
+
+class ByteCounter:
+    """Counts bytes attributed to named categories."""
+
+    def __init__(self):
+        self._counts: dict[str, int] = {}
+
+    def add(self, category: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ReproError(f"cannot count {nbytes} bytes")
+        self._counts[category] = self._counts.get(category, 0) + nbytes
+
+    def get(self, category: str) -> int:
+        return self._counts.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+
+@dataclass
+class LoadBreakdown:
+    """Per-phase simulated seconds for one data-load operation."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ReproError(f"negative phase time {seconds} for {phase!r}")
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def merge(self, other: "LoadBreakdown") -> "LoadBreakdown":
+        out = LoadBreakdown(dict(self.phases))
+        for phase, seconds in other.phases.items():
+            out.add(phase, seconds)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.phases.items()))
+        return f"LoadBreakdown(total={self.total:.4f}s, {inner})"
+
+
+class PhaseTimer:
+    """Attributes simulated-clock deltas to named phases.
+
+    Usage::
+
+        timer = PhaseTimer(clock)
+        with timer.phase("read"):
+            ssd.read(nbytes)          # advances the clock
+        breakdown = timer.breakdown
+    """
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.breakdown = LoadBreakdown()
+
+    def phase(self, name: str):
+        return _PhaseContext(self, name)
+
+
+class _PhaseContext:
+    def __init__(self, timer: PhaseTimer, name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = self._timer._clock.now
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = self._timer._clock.now - self._start
+        self._timer.breakdown.add(self._name, elapsed)

@@ -1,0 +1,187 @@
+"""Simulated time: clock, device models, link models, testbed calibration.
+
+The paper's experiments run on two nodes joined by 1 Gb Ethernet, with a
+MinIO server reading from a local SSD.  A single-machine reproduction
+cannot observe those costs for real, so benchmarks run against a
+*simulated clock*: every byte that crosses a modelled device or link
+advances the clock by ``latency + bytes / bandwidth``, and every CPU phase
+(decompression, pre-filter scan) advances it by ``bytes / throughput``
+with throughput constants calibrated against the paper's Sec. IV/VI
+numbers.  The computation itself still happens for real — only *time* is
+modelled — so results stay bit-correct while load times reproduce the
+paper's cost structure.
+
+Calibration (see DESIGN.md §6): the paper's 500 MB raw array loads in
+~12 s through remote s3fs and the NDP raw path approaches a 2.8x speedup
+bounded by local read time, which pins the effective SSD path at
+~126 MB/s and the effective network path at ~63 MB/s; GZip/LZ4 effective
+decompress throughputs follow from the 3.96x / 4.63x standalone speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SimClock",
+    "DeviceModel",
+    "LinkModel",
+    "CodecTiming",
+    "Testbed",
+    "PAPER_TESTBED",
+    "MB",
+]
+
+MB = 1_000_000  # decimal megabyte, matching storage-vendor convention
+
+
+class SimClock:
+    """A monotonically advancing simulated clock, in seconds."""
+
+    def __init__(self):
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ReproError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+
+class DeviceModel:
+    """A storage device: per-request latency plus bandwidth-limited reads."""
+
+    def __init__(self, clock: SimClock, bandwidth_bps: float, latency_s: float = 0.0,
+                 name: str = "device"):
+        if bandwidth_bps <= 0:
+            raise ReproError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        if latency_s < 0:
+            raise ReproError(f"latency must be >= 0, got {latency_s}")
+        self.clock = clock
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.name = name
+        self.total_bytes = 0
+        self.total_requests = 0
+        self.total_time = 0.0
+
+    def read(self, nbytes: int) -> None:
+        """Charge one read of ``nbytes`` to the clock."""
+        if nbytes < 0:
+            raise ReproError(f"cannot read {nbytes} bytes")
+        dt = self.latency_s + nbytes / self.bandwidth_bps
+        self.clock.advance(dt)
+        self.total_bytes += nbytes
+        self.total_requests += 1
+        self.total_time += dt
+
+    # Writes share the read cost model; asymmetric devices can subclass.
+    write = read
+
+    def reset_counters(self) -> None:
+        self.total_bytes = 0
+        self.total_requests = 0
+        self.total_time = 0.0
+
+
+class LinkModel(DeviceModel):
+    """A network link; ``charge`` is the transport-facing spelling of read."""
+
+    def __init__(self, clock: SimClock, bandwidth_bps: float, latency_s: float = 0.0,
+                 name: str = "link"):
+        super().__init__(clock, bandwidth_bps, latency_s, name)
+
+    def charge(self, nbytes: int) -> None:
+        self.read(nbytes)
+
+
+@dataclass(frozen=True)
+class CodecTiming:
+    """Effective codec throughputs, in bytes/second of *uncompressed* data.
+
+    "Effective" means they fold in the reader/IO-stack overhead the paper's
+    VTK pipeline experiences, which is why they sit well below the codecs'
+    marketing numbers.
+    """
+
+    compress_bps: float
+    decompress_bps: float
+
+
+@dataclass
+class Testbed:
+    """A bundle of clock + device/link/CPU models for one experiment setup.
+
+    Parameters mirror the paper's hardware: an SSD path (MinIO + local
+    SSD + s3fs software stack), a client<->storage network link, and
+    effective CPU throughputs for the codecs and the pre-filter scan.
+    """
+
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    ssd_bps: float = 126.0 * MB
+    ssd_latency_s: float = 100e-6
+    net_bps: float = 63.5 * MB
+    net_latency_s: float = 200e-6
+    prefilter_bps: float = 2000.0 * MB
+    codec_timings: dict = field(
+        default_factory=lambda: {
+            "raw": CodecTiming(compress_bps=float("inf"), decompress_bps=float("inf")),
+            "gzip": CodecTiming(compress_bps=60.0 * MB, decompress_bps=260.0 * MB),
+            "lz4": CodecTiming(compress_bps=400.0 * MB, decompress_bps=1700.0 * MB),
+            "rle": CodecTiming(compress_bps=800.0 * MB, decompress_bps=1200.0 * MB),
+            "quantizer": CodecTiming(compress_bps=80.0 * MB, decompress_bps=300.0 * MB),
+            # shuffle adds one byte-transpose pass over the payload
+            "shuffle-lz4": CodecTiming(compress_bps=350.0 * MB, decompress_bps=1300.0 * MB),
+            "shuffle-gzip": CodecTiming(compress_bps=55.0 * MB, decompress_bps=240.0 * MB),
+        }
+    )
+
+    def __post_init__(self):
+        self.clock = SimClock()
+        self.ssd = DeviceModel(self.clock, self.ssd_bps, self.ssd_latency_s, name="ssd")
+        self.net = LinkModel(self.clock, self.net_bps, self.net_latency_s, name="net")
+
+    # ------------------------------------------------------------------
+    def codec_timing(self, codec_name: str) -> CodecTiming:
+        try:
+            return self.codec_timings[codec_name]
+        except KeyError:
+            raise ReproError(
+                f"no timing calibration for codec {codec_name!r}; "
+                f"known: {sorted(self.codec_timings)}"
+            ) from None
+
+    def charge_decompress(self, codec_name: str, uncompressed_bytes: int) -> None:
+        """Advance the clock by the modelled decompression time."""
+        bps = self.codec_timing(codec_name).decompress_bps
+        if bps != float("inf"):
+            self.clock.advance(uncompressed_bytes / bps)
+
+    def charge_compress(self, codec_name: str, uncompressed_bytes: int) -> None:
+        bps = self.codec_timing(codec_name).compress_bps
+        if bps != float("inf"):
+            self.clock.advance(uncompressed_bytes / bps)
+
+    def charge_filter_scan(self, nbytes: int) -> None:
+        """Advance the clock by the modelled pre-filter scan time."""
+        self.clock.advance(nbytes / self.prefilter_bps)
+
+    def reset(self) -> None:
+        """Zero the clock and all device counters."""
+        self.clock.reset()
+        self.ssd.reset_counters()
+        self.net.reset_counters()
+
+
+def PAPER_TESTBED() -> Testbed:
+    """A fresh testbed with the paper-calibrated defaults (DESIGN.md §6)."""
+    return Testbed()

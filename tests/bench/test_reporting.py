@@ -1,0 +1,54 @@
+"""Unit tests for table formatting."""
+
+from repro.bench import format_table
+from repro.bench.reporting import format_value
+
+
+class TestFormatValue:
+    def test_ints_and_strings(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_float_trimming(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+        assert format_value(0.0) == "0"
+
+    def test_extremes_use_sig_figs(self):
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(0.000123) == "0.000123"
+
+
+class TestFormatTable:
+    ROWS = [
+        {"name": "gzip", "ratio": 12.345},
+        {"name": "lz4", "ratio": 9.0},
+    ]
+
+    def test_contains_all_cells(self):
+        out = format_table(self.ROWS)
+        assert "gzip" in out and "lz4" in out
+        assert "12.345" in out and "9" in out
+
+    def test_title(self):
+        out = format_table(self.ROWS, title="Table II")
+        assert out.startswith("Table II")
+
+    def test_column_subset_and_order(self):
+        out = format_table(self.ROWS, columns=["ratio"])
+        assert "gzip" not in out
+        assert out.splitlines()[0].strip() == "ratio"
+
+    def test_missing_cell_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = format_table(rows, columns=["a", "b"])
+        assert "3" in out
+
+    def test_empty_rows(self):
+        out = format_table([], columns=["x"])
+        assert "x" in out
+
+    def test_alignment(self):
+        out = format_table(self.ROWS)
+        lines = out.splitlines()
+        assert len({len(line) for line in lines[1:]}) <= 2  # header+rule+rows align

@@ -1,0 +1,74 @@
+"""Hypothesis property tests: codec round trips on arbitrary bytes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import get_codec
+from repro.compression.lz4 import lz4_compress_block, lz4_decompress_block
+
+LOSSLESS = ("raw", "gzip", "lz4", "rle")
+
+
+@given(data=st.binary(max_size=4096))
+@settings(max_examples=150, deadline=None)
+def test_lossless_round_trip_arbitrary_bytes(data):
+    for name in LOSSLESS:
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(0, 255), st.integers(1, 400)), min_size=0, max_size=30
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_lz4_round_trip_runs(chunks):
+    """Runs of repeated bytes exercise the match-emission paths."""
+    data = b"".join(bytes([v]) * n for v, n in chunks)
+    assert lz4_decompress_block(lz4_compress_block(data)) == data
+
+
+@given(data=st.binary(min_size=0, max_size=2048), acc=st.integers(1, 64))
+@settings(max_examples=100, deadline=None)
+def test_lz4_acceleration_round_trip(data, acc):
+    assert lz4_decompress_block(lz4_compress_block(data, acceleration=acc)) == data
+
+
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False,
+            width=32,
+        ),
+        min_size=0,
+        max_size=500,
+    ),
+    bound_exp=st.integers(-5, 0),
+)
+@settings(max_examples=100, deadline=None)
+def test_quantizer_error_bound(values, bound_exp):
+    from repro.compression import QuantizerCodec
+
+    bound = 10.0 ** bound_exp
+    codec = QuantizerCodec(abs_bound=bound)
+    x = np.asarray(values, dtype=np.float32)
+    y = np.frombuffer(codec.decompress(codec.compress(x.tobytes())), dtype=np.float32)
+    assert y.size == x.size
+    if x.size:
+        # Bound holds in exact arithmetic; float32 storage of the
+        # reconstruction adds at most one round-off.
+        err = np.abs(x.astype(np.float64) - y.astype(np.float64))
+        tol = bound * (1 + 1e-5) + np.abs(x).max() * 1e-6
+        assert err.max() <= tol
+
+
+@given(data=st.binary(max_size=2048))
+@settings(max_examples=60, deadline=None)
+def test_compression_never_corrupts_compressed_stream(data):
+    """Decompressing a fresh compression twice (idempotence check)."""
+    codec = get_codec("lz4")
+    frame = codec.compress(data)
+    assert codec.decompress(frame) == data
+    assert codec.decompress(frame) == data  # stateless decoders

@@ -1,0 +1,140 @@
+"""Hypothesis property test of the paper's core invariant.
+
+For arbitrary scalar fields and contour-value sets, reconstructing the
+contour from the pre-filtered sparse selection must be bit-identical to
+contouring the full array (DESIGN.md §5 invariant 1).  This is the
+property that makes offloading *correct*, not just fast.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    decode_selection,
+    encode_selection,
+    postfilter_contour,
+    prefilter_contour,
+)
+from repro.filters import contour_grid
+from repro.grid import DataArray, UniformGrid
+
+
+def build_grid(field3d):
+    nz, ny, nx = field3d.shape
+    grid = UniformGrid((nx, ny, nz))
+    grid.point_data.add(DataArray("f", field3d.reshape(-1)))
+    return grid
+
+
+field_elements = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+fields_3d = arrays(
+    dtype=np.float32,
+    shape=st.tuples(
+        st.integers(2, 7), st.integers(2, 7), st.integers(2, 7)
+    ),
+    elements=field_elements,
+)
+
+fields_2d = arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.just(1), st.integers(2, 10), st.integers(2, 10)),
+    elements=field_elements,
+)
+
+value_sets = st.lists(
+    st.floats(min_value=-9.5, max_value=9.5, allow_nan=False, width=32),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+def check_equivalence(field, values):
+    grid = build_grid(field)
+    full = contour_grid(grid, "f", values)
+    sel = prefilter_contour(grid, "f", values)
+    # Ship through the wire encoding too: the property must hold for what
+    # the client actually receives.
+    sel2 = decode_selection(encode_selection(sel))
+    recon = postfilter_contour(sel2, values)
+    assert np.array_equal(full.points, recon.points)
+    assert np.array_equal(full.polys.connectivity, recon.polys.connectivity)
+    assert np.array_equal(full.lines.connectivity, recon.lines.connectivity)
+    cv_full = full.point_data.get("contour_value")
+    cv_recon = recon.point_data.get("contour_value")
+    assert cv_full == cv_recon
+
+
+@given(field=fields_3d, values=value_sets)
+@settings(max_examples=120, deadline=None)
+def test_3d_reconstruction_bit_exact(field, values):
+    check_equivalence(field, values)
+
+
+@given(field=fields_2d, values=value_sets)
+@settings(max_examples=80, deadline=None)
+def test_2d_reconstruction_bit_exact(field, values):
+    check_equivalence(field, values)
+
+
+@given(
+    field=arrays(
+        dtype=np.float32,
+        shape=st.tuples(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5)),
+        elements=st.integers(0, 4).map(float),
+    ),
+    values=st.lists(
+        st.sampled_from([0.0, 1.0, 2.0, 3.0, 4.0]), min_size=1, max_size=2, unique=True
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_quantized_fields_with_exact_hits(field, values):
+    """Plateaus and exact value hits are the degenerate cases most likely
+    to break mask-based reconstruction."""
+    check_equivalence(field, values)
+
+
+@given(
+    field=fields_3d,
+    values=value_sets,
+    axis_seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_rectilinear_reconstruction_bit_exact(field, values, axis_seed):
+    """The invariant holds on rectilinear grids too (paper future work)."""
+    from repro.grid import RectilinearGrid
+
+    nz, ny, nx = field.shape
+    rng = np.random.default_rng(axis_seed)
+    grid = RectilinearGrid(
+        np.cumsum(rng.uniform(0.1, 2.0, nx)),
+        np.cumsum(rng.uniform(0.1, 2.0, ny)),
+        np.cumsum(rng.uniform(0.1, 2.0, nz)),
+    )
+    grid.point_data.add(DataArray("f", field.reshape(-1)))
+    full = contour_grid(grid, "f", values)
+    sel = decode_selection(encode_selection(prefilter_contour(grid, "f", values)))
+    recon = postfilter_contour(sel, values)
+    assert np.array_equal(full.points, recon.points)
+    assert np.array_equal(full.polys.connectivity, recon.polys.connectivity)
+
+
+@given(field=fields_3d, values=value_sets)
+@settings(max_examples=60, deadline=None)
+def test_selection_soundness(field, values):
+    """DESIGN.md invariant 4: the selection contains every point incident
+    to an interesting edge, with the true value at each."""
+    from repro.core.interesting import interesting_point_mask
+
+    grid = build_grid(field)
+    sel = prefilter_contour(grid, "f", values)
+    mask = interesting_point_mask(field.astype(np.float64), values)
+    needed = np.nonzero(mask.reshape(-1))[0]
+    assert set(needed) <= set(sel.ids)
+    arr = grid.point_data.get("f").values
+    assert np.array_equal(sel.values, arr[sel.ids])

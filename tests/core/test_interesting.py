@@ -1,0 +1,162 @@
+"""Unit tests for interesting-edge analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    active_cell_mask,
+    cell_closure_point_mask,
+    interesting_point_mask,
+)
+from repro.core.interesting import point_mask_to_cell_complete
+from repro.errors import FilterError
+from repro.grid.cells import structured_edges
+
+
+def brute_force_point_mask(field, values):
+    """Reference implementation via explicit edge enumeration."""
+    nz, ny, nx = field.shape
+    flat = field.reshape(-1)
+    a, b = structured_edges((nx, ny, nz))
+    mask = np.zeros(flat.size, dtype=bool)
+    for v in np.atleast_1d(values):
+        ia = flat[a] >= v
+        ib = flat[b] >= v
+        cross = ia != ib
+        mask[a[cross]] = True
+        mask[b[cross]] = True
+    return mask.reshape(nz, ny, nx)
+
+
+class TestInterestingPointMask:
+    def test_matches_brute_force_3d(self, rng):
+        field = rng.normal(size=(6, 7, 8))
+        for values in ([0.0], [-0.5, 0.5], [0.1, 0.3, 0.9]):
+            fast = interesting_point_mask(field, values)
+            slow = brute_force_point_mask(field, values)
+            assert np.array_equal(fast, slow)
+
+    def test_matches_brute_force_2d(self, rng):
+        field = rng.normal(size=(1, 9, 10))  # degenerate z
+        fast = interesting_point_mask(field, [0.0])
+        slow = brute_force_point_mask(field, [0.0])
+        assert np.array_equal(fast, slow)
+
+    def test_paper_fig3_semantics(self):
+        """An edge is interesting iff one end >= v and the other < v."""
+        field = np.array([[[4.0, 5.0, 6.0]]])  # 1x1x3 line
+        mask = interesting_point_mask(field, [5.0])
+        # Edge (4,5): 4 < 5 <= 5 -> interesting.  Edge (5,6): both >= 5.
+        assert mask.reshape(-1).tolist() == [True, True, False]
+
+    def test_constant_field_empty(self):
+        assert not interesting_point_mask(np.ones((4, 4, 4)), [0.5]).any()
+
+    def test_multi_value_is_union(self, rng):
+        field = rng.normal(size=(5, 5, 5))
+        m1 = interesting_point_mask(field, [0.2])
+        m2 = interesting_point_mask(field, [-0.4])
+        both = interesting_point_mask(field, [0.2, -0.4])
+        assert np.array_equal(both, m1 | m2)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(FilterError):
+            interesting_point_mask(np.zeros((4, 4)), [0.5])
+
+
+class TestActiveCellMask:
+    def test_mixed_cells_only(self):
+        field = np.zeros((2, 2, 3))
+        field[:, :, 2] = 1.0  # second cell straddles 0.5, first does not
+        active = active_cell_mask(field, [0.5])
+        assert active.shape == (1, 1, 2)
+        assert active.tolist() == [[[False, True]]]
+
+    def test_2d_cells(self, rng):
+        field = rng.normal(size=(1, 5, 6))
+        active = active_cell_mask(field, [0.0])
+        assert active.shape == (1, 4, 5)
+
+    def test_exact_value_classification(self):
+        # A corner exactly at the value classifies as inside (>= v).
+        field = np.zeros((2, 2, 2))
+        field[:, :, 1] = 0.5
+        assert active_cell_mask(field, [0.5]).all()
+        field[:, :, 0] = 0.5  # all inside now
+        assert not active_cell_mask(field, [0.5]).any()
+
+    def test_agrees_with_point_mask(self, rng):
+        """Every active cell must touch interesting points, and every
+        interesting point must touch an active cell."""
+        field = rng.normal(size=(6, 6, 6))
+        active = active_cell_mask(field, [0.0])
+        closure = cell_closure_point_mask(field, [0.0])
+        interesting = interesting_point_mask(field, [0.0])
+        assert (interesting & ~closure).sum() == 0  # closure superset
+
+
+class TestCellClosure:
+    def test_contains_interesting_points(self, rng):
+        field = rng.normal(size=(7, 6, 5))
+        for values in ([0.0], [-1.0, 0.5]):
+            closure = cell_closure_point_mask(field, values)
+            interesting = interesting_point_mask(field, values)
+            assert not (interesting & ~closure).any()
+
+    def test_every_closure_point_touches_active_cell(self, rng):
+        field = rng.normal(size=(5, 5, 5))
+        closure = cell_closure_point_mask(field, [0.0])
+        active = active_cell_mask(field, [0.0])
+        # Rebuild closure from active by scattering; must match exactly.
+        rebuilt = np.zeros_like(closure)
+        cz, cy, cx = active.shape
+        for dz in (0, 1):
+            for dy in (0, 1):
+                for dx in (0, 1):
+                    rebuilt[dz : dz + cz, dy : dy + cy, dx : dx + cx] |= active
+        assert np.array_equal(closure, rebuilt)
+
+    def test_2d_closure(self, rng):
+        field = rng.normal(size=(1, 6, 7))
+        closure = cell_closure_point_mask(field, [0.0])
+        assert closure.shape == field.shape
+        assert closure.any()
+
+
+class TestCellComplete:
+    def test_all_present(self):
+        mask = np.ones((3, 3, 3), dtype=bool)
+        assert point_mask_to_cell_complete(mask).all()
+
+    def test_one_missing_point_blocks_its_cells(self):
+        mask = np.ones((3, 3, 3), dtype=bool)
+        mask[1, 1, 1] = False  # center point: corner of all 8 cells
+        complete = point_mask_to_cell_complete(mask)
+        assert not complete.any()
+
+    def test_corner_missing_blocks_one_cell(self):
+        mask = np.ones((3, 3, 3), dtype=bool)
+        mask[0, 0, 0] = False
+        complete = point_mask_to_cell_complete(mask)
+        assert complete.sum() == 7
+        assert not complete[0, 0, 0]
+
+    def test_2d(self):
+        mask = np.ones((1, 3, 3), dtype=bool)
+        mask[0, 0, 0] = False
+        complete = point_mask_to_cell_complete(mask)
+        assert complete.shape == (1, 2, 2)
+        assert complete.sum() == 3
+
+    def test_closure_cells_are_complete(self, rng):
+        """The defining property: cells active for the contour are complete
+        under the closure point mask."""
+        field = rng.normal(size=(6, 6, 6))
+        closure = cell_closure_point_mask(field, [0.3])
+        active = active_cell_mask(field, [0.3])
+        complete = point_mask_to_cell_complete(closure)
+        assert not (active & ~complete).any()
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(FilterError):
+            point_mask_to_cell_complete(np.ones((3, 3), dtype=bool))

@@ -1,0 +1,63 @@
+"""Unit tests for the offload planner."""
+
+import pytest
+
+from repro.core import OffloadPlanner
+from repro.errors import ReproError
+from repro.storage.netsim import MB, Testbed
+
+
+class TestEstimates:
+    def test_baseline_raw(self):
+        planner = OffloadPlanner()
+        tb = planner.testbed
+        seconds = planner.estimate_baseline(100 * MB, 100 * MB, "raw")
+        assert seconds == pytest.approx(100 * MB / tb.ssd_bps + 100 * MB / tb.net_bps)
+
+    def test_baseline_includes_decompress(self):
+        planner = OffloadPlanner()
+        raw = planner.estimate_baseline(10 * MB, 100 * MB, "raw")
+        gz = planner.estimate_baseline(10 * MB, 100 * MB, "gzip")
+        assert gz > raw
+
+    def test_ndp_scales_with_selectivity(self):
+        planner = OffloadPlanner()
+        sparse = planner.estimate_ndp(100 * MB, 100 * MB, "raw", 0.001)
+        dense = planner.estimate_ndp(100 * MB, 100 * MB, "raw", 0.5)
+        assert sparse < dense
+
+    def test_bad_selectivity(self):
+        with pytest.raises(ReproError):
+            OffloadPlanner().estimate_ndp(1, 1, "raw", 1.5)
+
+
+class TestDecision:
+    def test_sparse_contour_prefers_ndp(self):
+        decision = OffloadPlanner().decide(500 * MB, 500 * MB, "raw", 0.001)
+        assert decision.use_ndp
+        assert 2.0 < decision.predicted_speedup < 3.0
+
+    def test_dense_selection_prefers_baseline(self):
+        """When nearly everything is selected, NDP's extra scan and the
+        fatter per-point wire format lose to a plain transfer."""
+        decision = OffloadPlanner().decide(500 * MB, 500 * MB, "raw", 1.0)
+        assert not decision.use_ndp
+
+    def test_paper_table2_band(self):
+        """With paper-like inputs the prediction lands in Table II's band."""
+        planner = OffloadPlanner()
+        # ~66 MB stored (gzip ratio ~7.6 on a 500 MB array), 2% selected.
+        decision = planner.decide(66 * MB, 500 * MB, "gzip", 0.02)
+        assert decision.use_ndp
+
+    def test_fast_network_flips_decision(self):
+        tb = Testbed(net_bps=10_000 * MB)
+        slow_scan = OffloadPlanner(tb)
+        decision = slow_scan.decide(500 * MB, 500 * MB, "raw", 0.01)
+        assert not decision.use_ndp  # network free -> offload pointless
+
+    def test_predicted_speedup_ratio(self):
+        decision = OffloadPlanner().decide(500 * MB, 500 * MB, "raw", 0.001)
+        assert decision.predicted_speedup == pytest.approx(
+            decision.baseline_seconds / decision.ndp_seconds
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for the NDP prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.core import NDPServer, ndp_contour
+from repro.core.prefetch import NDPPrefetcher
+from repro.errors import ReproError, RPCRemoteError
+from repro.io import write_vgf
+from repro.rpc import InProcessTransport, RPCClient
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+from tests.conftest import make_sphere_grid, make_wave_grid
+
+
+@pytest.fixture
+def setup():
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    grids = {}
+    for i, n in enumerate((10, 12, 14)):
+        grid = make_sphere_grid(n)
+        grids[f"ts{i}.vgf"] = grid
+        fs.write_object(f"ts{i}.vgf", write_vgf(grid, codec="lz4"))
+    server = NDPServer(fs)
+    client = RPCClient(InProcessTransport(server.dispatch))
+    return grids, client
+
+
+class TestPrefetcher:
+    def test_results_in_order(self, setup):
+        grids, client = setup
+        requests = [
+            {"key": key, "kind": "contour", "array": "r", "values": [3.0]}
+            for key in sorted(grids)
+        ]
+        keys = [key for key, _, _ in NDPPrefetcher(client, requests)]
+        assert keys == sorted(grids)
+
+    def test_results_match_individual_calls(self, setup):
+        grids, client = setup
+        requests = [
+            {"key": key, "kind": "contour", "array": "r", "values": [3.0]}
+            for key in sorted(grids)
+        ]
+        for key, pd, stats in NDPPrefetcher(client, requests, depth=2):
+            expected, _ = ndp_contour(client, key, "r", [3.0])
+            assert np.array_equal(expected.points, pd.points), key
+            assert stats is not None
+
+    def test_mixed_kinds(self, setup):
+        grids, client = setup
+        key = sorted(grids)[0]
+        grid = grids[key]
+        coord = grid.origin[2] + 4.0 * grid.spacing[2]
+        requests = [
+            {"key": key, "kind": "contour", "array": "r", "values": [3.0]},
+            {"key": key, "kind": "threshold", "array": "r", "lower": 0.0, "upper": 2.0},
+            {"key": key, "kind": "slice", "array": "r", "axis": 2, "coordinate": coord},
+        ]
+        results = list(NDPPrefetcher(client, requests))
+        assert len(results) == 3
+        assert results[0][1].polys.num_cells > 0       # triangles
+        assert results[1][1].verts.num_cells > 0       # vertices
+        assert np.allclose(results[2][1].points[:, 2], coord)
+
+    def test_depth_one_still_complete(self, setup):
+        grids, client = setup
+        requests = [
+            {"key": key, "kind": "contour", "array": "r", "values": [2.5]}
+            for key in sorted(grids)
+        ]
+        assert len(list(NDPPrefetcher(client, requests, depth=1))) == 3
+
+    def test_depth_larger_than_requests(self, setup):
+        grids, client = setup
+        requests = [
+            {"key": sorted(grids)[0], "kind": "contour", "array": "r", "values": [2.5]}
+        ]
+        assert len(list(NDPPrefetcher(client, requests, depth=10))) == 1
+
+    def test_empty_requests(self, setup):
+        _, client = setup
+        assert list(NDPPrefetcher(client, [])) == []
+
+    def test_validation(self, setup):
+        _, client = setup
+        with pytest.raises(ReproError, match="depth"):
+            NDPPrefetcher(client, [], depth=0)
+        with pytest.raises(ReproError, match="key"):
+            NDPPrefetcher(client, [{"kind": "contour"}])
+        with pytest.raises(ReproError, match="kind"):
+            NDPPrefetcher(client, [{"key": "k", "kind": "blur"}])
+
+    def test_remote_error_propagates(self, setup):
+        _, client = setup
+        requests = [
+            {"key": "missing.vgf", "kind": "contour", "array": "r", "values": [1.0]}
+        ]
+        with pytest.raises(RPCRemoteError):
+            list(NDPPrefetcher(client, requests))
+
+    def test_over_tcp_with_overlap(self, setup):
+        """The real use: a socket server + lookahead."""
+        grids, client_unused = setup
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("sim")
+        fs = S3FileSystem(store, "sim")
+        for key, grid in grids.items():
+            fs.write_object(key, write_vgf(grid, codec="lz4"))
+        listener = NDPServer(fs).serve_tcp()
+        try:
+            client = RPCClient.connect_tcp(listener.host, listener.port)
+            requests = [
+                {"key": key, "kind": "contour", "array": "r", "values": [3.0]}
+                for key in sorted(grids)
+            ]
+            results = list(NDPPrefetcher(client, requests, depth=2))
+            assert [k for k, _, _ in results] == sorted(grids)
+            client.close()
+        finally:
+            listener.stop()

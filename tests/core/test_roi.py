@@ -1,0 +1,148 @@
+"""Tests for region-of-interest contouring and its offload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import NDPServer, ndp_contour, postfilter_contour, prefilter_contour
+from repro.core.interesting import roi_cell_mask
+from repro.filters import contour_grid
+from repro.grid import Bounds, DataArray, RectilinearGrid, UniformGrid
+from repro.io import write_vgf
+from repro.rpc import InProcessTransport, RPCClient
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+from tests.conftest import make_sphere_grid, make_wave_grid
+
+
+class TestRoiCellMask:
+    def test_full_box_selects_everything(self):
+        grid = make_sphere_grid(8)
+        mask = roi_cell_mask(grid, grid.bounds)
+        assert mask.all()
+
+    def test_empty_intersection(self):
+        grid = make_sphere_grid(8)
+        mask = roi_cell_mask(grid, Bounds(100, 200, 100, 200, 100, 200))
+        assert not mask.any()
+
+    def test_half_box(self):
+        grid = UniformGrid((9, 9, 9))
+        mask = roi_cell_mask(grid, Bounds(0, 4, 0, 8, 0, 8))
+        assert mask.shape == (8, 8, 8)
+        assert mask[:, :, :4].all()
+        assert not mask[:, :, 4:].any()
+
+    def test_rectilinear(self):
+        grid = RectilinearGrid([0, 1, 5, 6], [0, 1, 2], [0, 1, 2])
+        mask = roi_cell_mask(grid, Bounds(0, 2, 0, 2, 0, 2))
+        # Only cells between x=0..1 qualify (the 1..5 cell pokes out).
+        assert mask[:, :, 0].all()
+        assert not mask[:, :, 1:].any()
+
+
+class TestRoiContour:
+    def test_geometry_confined_to_box(self):
+        grid = make_sphere_grid(20)
+        roi = Bounds(0, 10, 0, 20, 0, 20)
+        pd = contour_grid(grid, "r", [6.0], roi=roi)
+        assert pd.num_points > 0
+        assert pd.points[:, 0].max() <= 10.0
+
+    def test_subset_of_full_contour(self):
+        grid = make_wave_grid(16)
+        roi = Bounds(2, 8, 0, 7, 3, 10)
+        full = {tuple(p) for p in contour_grid(grid, "f", [0.0]).points.round(9)}
+        sub = {tuple(p) for p in contour_grid(grid, "f", [0.0], roi=roi).points.round(9)}
+        assert sub and sub <= full
+
+    def test_roi_composes_with_cell_mask(self):
+        grid = make_sphere_grid(12)
+        nc = 11
+        half = np.zeros((nc, nc, nc), dtype=bool)
+        half[: nc // 2] = True
+        both = contour_grid(grid, "r", [4.0], cell_mask=half, roi=grid.bounds)
+        only_mask = contour_grid(grid, "r", [4.0], cell_mask=half)
+        assert np.array_equal(both.points, only_mask.points)
+
+    def test_2d_roi(self):
+        from tests.conftest import make_2d_grid
+
+        grid = make_2d_grid(16, 12)
+        roi = Bounds(0, 7, 0, 11, -1, 1)
+        pd = contour_grid(grid, "f", [0.0], roi=roi)
+        if pd.num_points:
+            assert pd.points[:, 0].max() <= 7.0
+
+
+class TestRoiOffload:
+    def test_selection_shrinks(self):
+        grid = make_wave_grid(16)
+        roi = Bounds(2, 8, 0, 7, 3, 10)
+        assert (
+            prefilter_contour(grid, "f", [0.0], roi=roi).count
+            < prefilter_contour(grid, "f", [0.0]).count
+        )
+
+    def test_bit_exact_reconstruction(self):
+        grid = make_wave_grid(18)
+        roi = Bounds(2, 9, -1, 6, 3, 11)
+        values = [0.0, 0.4]
+        full = contour_grid(grid, "f", values, roi=roi)
+        sel = prefilter_contour(grid, "f", values, roi=roi)
+        recon = postfilter_contour(sel, values, roi=roi)
+        assert np.array_equal(full.points, recon.points)
+        assert np.array_equal(full.polys.connectivity, recon.polys.connectivity)
+
+    def test_edge_mode_with_roi(self):
+        grid = make_wave_grid(14)
+        sel_all = prefilter_contour(grid, "f", [0.0], mode="edge")
+        # A box centred on a known crossing, smaller than the domain.
+        cx, cy, cz = grid.point_ids_to_coords([sel_all.ids[sel_all.count // 2]])[0]
+        roi = Bounds(cx - 2, cx + 2, cy - 2, cy + 2, cz - 2, cz + 2)
+        sel = prefilter_contour(grid, "f", [0.0], mode="edge", roi=roi)
+        assert 0 < sel.count < sel_all.count
+
+    def test_over_rpc(self):
+        grid = make_wave_grid(16)
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("sim")
+        fs = S3FileSystem(store, "sim")
+        fs.write_object("g.vgf", write_vgf(grid, codec="lz4"))
+        client = RPCClient(InProcessTransport(NDPServer(fs).dispatch))
+        roi = Bounds(2, 8, 0, 7, 3, 10)
+        pd, stats = ndp_contour(client, "g.vgf", "f", [0.0], roi=roi)
+        expected = contour_grid(grid, "f", [0.0], roi=roi)
+        assert np.array_equal(expected.points, pd.points)
+        _, full_stats = ndp_contour(client, "g.vgf", "f", [0.0])
+        assert stats["wire_bytes"] < full_stats["wire_bytes"]
+
+
+class TestRoiProperty:
+    @given(
+        field=arrays(
+            dtype=np.float32,
+            shape=st.tuples(st.integers(3, 7), st.integers(3, 7), st.integers(3, 7)),
+            elements=st.floats(-5, 5, allow_nan=False, width=32),
+        ),
+        box=st.tuples(
+            st.floats(0, 3), st.floats(3.2, 7),
+            st.floats(0, 3), st.floats(3.2, 7),
+            st.floats(0, 3), st.floats(3.2, 7),
+        ),
+        values=st.lists(st.floats(-4, 4, allow_nan=False), min_size=1,
+                        max_size=2, unique=True),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roi_reconstruction_bit_exact(self, field, box, values):
+        nz, ny, nx = field.shape
+        grid = UniformGrid((nx, ny, nz))
+        grid.point_data.add(DataArray("f", field.reshape(-1)))
+        roi = Bounds(box[0], box[1], box[2], box[3], box[4], box[5])
+        full = contour_grid(grid, "f", values, roi=roi)
+        sel = prefilter_contour(grid, "f", values, roi=roi)
+        recon = postfilter_contour(sel, values, roi=roi)
+        assert np.array_equal(full.points, recon.points)
+        assert np.array_equal(full.polys.connectivity, recon.polys.connectivity)

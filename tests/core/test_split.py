@@ -1,0 +1,89 @@
+"""Unit tests for pipeline splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core import split_contour_filter
+from repro.core.split import SplitContourPipeline
+from repro.errors import PipelineError
+from repro.filters import ContourFilter, contour_grid
+from repro.pipeline import TrivialProducer
+
+from tests.conftest import make_sphere_grid, make_wave_grid
+
+
+class TestSplitContourFilter:
+    def test_config_inherited(self):
+        contour = ContourFilter("v02", [0.1, 0.5])
+        pre, post = split_contour_filter(contour)
+        assert pre.array_name == "v02"
+        assert pre.values == (0.1, 0.5)
+        assert post.values == (0.1, 0.5)
+
+    def test_mode_forwarded(self):
+        pre, _ = split_contour_filter(ContourFilter("a", [1.0]), mode="edge")
+        assert pre.mode == "edge"
+
+    def test_unconfigured_rejected(self):
+        with pytest.raises(PipelineError, match="array name"):
+            split_contour_filter(ContourFilter())
+        with pytest.raises(PipelineError, match="values"):
+            split_contour_filter(ContourFilter("a"))
+
+    def test_composition_equals_original(self):
+        grid = make_wave_grid(16)
+        contour = ContourFilter("f", [-0.2, 0.4])
+        contour.set_input_data(grid)
+        expected = contour.output()
+
+        pre, post = split_contour_filter(contour)
+        pre.set_input_data(grid)
+        post.set_input_data(pre.output())
+        result = post.output()
+        assert np.array_equal(expected.points, result.points)
+        assert np.array_equal(expected.polys.connectivity, result.polys.connectivity)
+
+
+class TestSplitContourPipeline:
+    def _build(self, grid, values=(0.1,)):
+        source = TrivialProducer(grid)
+        contour = ContourFilter("r", list(values))
+        contour.set_input_connection(0, source)
+        return source, contour
+
+    def test_run_local_matches_stock(self):
+        grid = make_sphere_grid(14)
+        source, contour = self._build(grid, [4.0])
+        split = SplitContourPipeline(source, contour)
+        result = split.run_local()
+        expected = contour_grid(grid, "r", [4.0])
+        assert np.array_equal(expected.points, result.points)
+
+    def test_two_phase_execution(self):
+        grid = make_sphere_grid(12)
+        source, contour = self._build(grid, [3.0])
+        split = SplitContourPipeline(source, contour)
+        selection = split.run_storage_side()
+        assert 0 < selection.count < grid.num_points
+        split.deliver(selection)
+        result = split.run_client_side()
+        assert result.triangles().shape[0] > 0
+
+    def test_requires_direct_connection(self):
+        grid = make_sphere_grid(8)
+        source = TrivialProducer(grid)
+        other = TrivialProducer(grid)
+        contour = ContourFilter("r", [1.0])
+        contour.set_input_connection(0, other)
+        with pytest.raises(PipelineError, match="connected directly"):
+            SplitContourPipeline(source, contour)
+
+    def test_source_update_propagates(self):
+        grid = make_sphere_grid(10)
+        source, contour = self._build(grid, [3.0])
+        split = SplitContourPipeline(source, contour)
+        sel1 = split.run_storage_side()
+        source.set_data(make_sphere_grid(12))
+        sel2 = split.run_storage_side()
+        assert sel1.dims == (10, 10, 10)
+        assert sel2.dims == (12, 12, 12)

@@ -1,0 +1,163 @@
+"""Unit tests for the synthetic deep-water asteroid impact dataset."""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.core import selection_rate
+from repro.datasets import AsteroidImpactDataset, AsteroidParams
+from repro.datasets.asteroid import TABLE_I_ARRAYS
+from repro.errors import ReproError
+
+DIMS = (40, 40, 40)  # small but non-trivial for test speed
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return AsteroidImpactDataset(AsteroidParams(dims=DIMS))
+
+
+@pytest.fixture(scope="module")
+def first_last(dataset):
+    return (
+        dataset.generate(dataset.timesteps[0]),
+        dataset.generate(dataset.timesteps[-1]),
+    )
+
+
+class TestStructure:
+    def test_table_i_arrays_present(self, dataset, first_last):
+        grid, _ = first_last
+        assert set(grid.point_data.names()) == set(TABLE_I_ARRAYS)
+
+    def test_all_float32(self, first_last):
+        grid, _ = first_last
+        for arr in grid.point_data:
+            assert arr.dtype == np.float32
+
+    def test_nine_timesteps_spanning_paper_range(self, dataset):
+        assert len(dataset.timesteps) == 9
+        assert dataset.timesteps[0] == 0
+        assert dataset.timesteps[-1] == 48013
+
+    def test_unknown_timestep_rejected(self, dataset):
+        with pytest.raises(ReproError):
+            dataset.generate(12345)
+
+    def test_generate_arrays_subset(self, dataset):
+        grid = dataset.generate_arrays(0, ["v02", "v03"])
+        assert grid.point_data.names() == ["v02", "v03"]
+
+    def test_deterministic(self):
+        a = AsteroidImpactDataset(AsteroidParams(dims=DIMS)).generate_arrays(0, ["v02"])
+        b = AsteroidImpactDataset(AsteroidParams(dims=DIMS)).generate_arrays(0, ["v02"])
+        assert a == b
+
+    def test_param_validation(self):
+        with pytest.raises(ReproError):
+            AsteroidParams(dims=DIMS, timesteps=(1,))
+        with pytest.raises(ReproError):
+            AsteroidParams(dims=DIMS, ocean_level=1.5)
+        with pytest.raises(ReproError):
+            AsteroidParams(dims=DIMS, asteroid_radius=-1)
+
+
+class TestPhysics:
+    def test_volume_fractions_in_range(self, first_last):
+        for grid in first_last:
+            for name in ("v02", "v03"):
+                vals = grid.point_data.get(name).values
+                assert vals.min() >= 0.0
+                assert vals.max() <= 1.0
+
+    def test_ocean_fills_lower_domain(self, first_last):
+        grid, _ = first_last
+        nx, ny, nz = grid.dims
+        v02 = grid.scalar_field("v02")
+        assert v02[2].mean() > 0.95       # deep water
+        assert v02[-2].mean() < 0.05      # high atmosphere
+
+    def test_asteroid_above_ocean_at_start(self, first_last):
+        grid, _ = first_last
+        v03 = grid.scalar_field("v03")
+        nz = grid.dims[2]
+        core_heights = np.nonzero(v03 >= 0.5)[0]
+        assert core_heights.size > 0
+        assert core_heights.mean() > 0.7 * nz
+
+    def test_asteroid_descends_then_impacts(self, dataset):
+        heights = []
+        for ts in dataset.timesteps[:5]:
+            v03 = dataset.generate_arrays(ts, ["v03"]).scalar_field("v03")
+            zs = np.nonzero(v03 >= 0.5)[0]
+            heights.append(zs.mean())
+        assert all(h1 > h2 for h1, h2 in zip(heights, heights[1:]))
+
+    def test_materials_do_not_overlap_much(self, first_last):
+        for grid in first_last:
+            v02 = grid.point_data.get("v02").values
+            v03 = grid.point_data.get("v03").values
+            overlap = ((v02 > 0.5) & (v03 > 0.5)).mean()
+            assert overlap < 0.01
+
+    def test_density_tracks_materials(self, first_last):
+        grid, _ = first_last
+        rho = grid.point_data.get("rho").values
+        v03 = grid.point_data.get("v03").values
+        v02 = grid.point_data.get("v02").values
+        assert rho[v03 > 0.9].mean() > 2.5     # asteroid rock
+        assert 0.8 < rho[(v02 > 0.9) & (v03 < 0.1)].mean() < 1.2  # water
+        air = (v02 < 0.01) & (v03 < 0.01)
+        assert rho[air].mean() < 0.1
+
+    def test_grd_quantized_levels(self, first_last):
+        grid, _ = first_last
+        grd = np.unique(grid.point_data.get("grd").values)
+        assert set(grd) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_mat_ids(self, first_last):
+        grid, _ = first_last
+        mat = np.unique(grid.point_data.get("mat").values)
+        assert set(mat) <= {0.0, 2.0, 3.0}
+
+
+class TestEvaluationProperties:
+    """The trends the paper's figures depend on."""
+
+    def test_compression_ratio_decays(self, dataset):
+        gz = get_codec("gzip")
+        ratios = []
+        for ts in (dataset.timesteps[0], dataset.timesteps[4], dataset.timesteps[-1]):
+            data = dataset.generate_arrays(ts, ["v02"]).point_data.get("v02").values.tobytes()
+            ratios.append(len(data) / len(gz.compress(data)))
+        assert ratios[0] > 2 * ratios[1] > 2 * ratios[2]
+
+    def test_gzip_beats_lz4_ratio(self, dataset):
+        gz, lz = get_codec("gzip"), get_codec("lz4")
+        data = dataset.generate_arrays(24006, ["v02"]).point_data.get("v02").values.tobytes()
+        assert len(gz.compress(data)) < len(lz.compress(data))
+
+    def test_v03_more_selective_than_v02(self, dataset):
+        grid = dataset.generate_arrays(24006, ["v02", "v03"])
+        s02 = selection_rate(grid, "v02", [0.1])
+        s03 = selection_rate(grid, "v03", [0.1])
+        assert s03 < s02 / 2
+
+    def test_selectivity_falls_with_contour_value(self, dataset):
+        grid = dataset.generate_arrays(dataset.timesteps[-1], ["v02"])
+        s_low = selection_rate(grid, "v02", [0.1])
+        s_high = selection_rate(grid, "v02", [0.9])
+        assert s_high < s_low
+
+    def test_v02_selectivity_rises_after_impact(self, dataset):
+        before = selection_rate(
+            dataset.generate_arrays(0, ["v02"]), "v02", [0.1]
+        )
+        after = selection_rate(
+            dataset.generate_arrays(48013, ["v02"]), "v02", [0.1]
+        )
+        assert after > 1.5 * before
+
+    def test_progress_normalization(self, dataset):
+        assert dataset.progress(0) == 0.0
+        assert dataset.progress(48013) == 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for ArrayCalculator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import ArrayCalculator
+from repro.grid import DataArray, UniformGrid
+
+
+def make_grid():
+    g = UniformGrid((3, 3, 3))
+    g.point_data.add(DataArray("a", np.arange(27.0)))
+    g.point_data.add(DataArray("b", np.ones(27)))
+    return g
+
+
+class TestCalculator:
+    def test_single_input(self):
+        f = ArrayCalculator("a2", ["a"], lambda a: a * 2)
+        f.set_input_data(make_grid())
+        out = f.output()
+        assert np.array_equal(out.point_data.get("a2").values, np.arange(27.0) * 2)
+
+    def test_multi_input(self):
+        f = ArrayCalculator("sum", ["a", "b"], np.add)
+        f.set_input_data(make_grid())
+        assert out_vals(f)[0] == 1.0
+
+    def test_output_keeps_existing_arrays(self):
+        f = ArrayCalculator("c", ["a"], lambda a: a + 1)
+        f.set_input_data(make_grid())
+        out = f.output()
+        assert {"a", "b", "c"} <= set(out.point_data.names())
+
+    def test_input_grid_not_mutated(self):
+        g = make_grid()
+        f = ArrayCalculator("c", ["a"], lambda a: a + 1)
+        f.set_input_data(g)
+        f.update()
+        assert "c" not in g.point_data
+
+    def test_shape_mismatch_rejected(self):
+        f = ArrayCalculator("bad", ["a"], lambda a: a[:5])
+        f.set_input_data(make_grid())
+        with pytest.raises(FilterError, match="shape"):
+            f.update()
+
+    def test_missing_input_array(self):
+        f = ArrayCalculator("c", ["zzz"], lambda a: a)
+        f.set_input_data(make_grid())
+        with pytest.raises(Exception, match="zzz"):
+            f.update()
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(FilterError):
+            ArrayCalculator("", ["a"], lambda a: a)
+        with pytest.raises(FilterError):
+            ArrayCalculator("c", [], lambda: None)
+
+    def test_wrong_input_type(self):
+        f = ArrayCalculator("c", ["a"], lambda a: a)
+        f.set_input_data([1, 2])
+        with pytest.raises(FilterError, match="UniformGrid"):
+            f.update()
+
+
+def out_vals(f):
+    return f.output().point_data.get("sum").values

@@ -1,0 +1,140 @@
+"""Unit tests for the 2-D marching-squares kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import marching_squares
+
+
+def seg_set(segments, ndigits=6):
+    """Order-independent canonical form of a segment soup."""
+    out = set()
+    for seg in segments:
+        a = tuple(round(float(v), ndigits) for v in seg[0])
+        b = tuple(round(float(v), ndigits) for v in seg[1])
+        out.add((a, b) if a <= b else (b, a))
+    return out
+
+
+class TestBasicCases:
+    def test_no_crossing(self):
+        field = np.zeros((3, 3))
+        assert marching_squares(field, 0.5).shape == (0, 2, 2)
+
+    def test_all_above(self):
+        field = np.ones((3, 3))
+        assert marching_squares(field, 0.5).shape == (0, 2, 2)
+
+    def test_vertical_interface(self):
+        # Left column 0, right column 1 -> contour along x = 0.5.
+        field = np.array([[0.0, 1.0], [0.0, 1.0]])
+        segs = marching_squares(field, 0.5)
+        assert segs.shape[0] == 1
+        xs = segs[:, :, 0]
+        assert np.allclose(xs, 0.5)
+
+    def test_horizontal_interface(self):
+        field = np.array([[0.0, 0.0], [1.0, 1.0]])
+        segs = marching_squares(field, 0.5)
+        assert np.allclose(segs[:, :, 1], 0.5)
+
+    def test_interpolation_position(self):
+        # 0 -> 4 edge crossed at 1: t = 0.25.
+        field = np.array([[0.0, 4.0], [0.0, 4.0]])
+        segs = marching_squares(field, 1.0)
+        assert np.allclose(segs[:, :, 0], 0.25)
+
+    def test_single_corner(self):
+        field = np.array([[1.0, 0.0], [0.0, 0.0]])
+        segs = marching_squares(field, 0.5)
+        assert segs.shape[0] == 1
+        assert seg_set(segs) == {((0.0, 0.5), (0.5, 0.0))}
+
+    def test_origin_and_spacing(self):
+        field = np.array([[0.0, 1.0], [0.0, 1.0]])
+        segs = marching_squares(field, 0.5, origin=(10.0, 20.0), spacing=(2.0, 3.0))
+        assert np.allclose(segs[:, :, 0], 11.0)
+        ys = sorted(segs[0, :, 1])
+        assert ys == [20.0, 23.0]
+
+    def test_complement_symmetry(self):
+        # Contouring f at v and -f at -v produce the same segment set.
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(8, 9))
+        a = seg_set(marching_squares(field, 0.2))
+        b = seg_set(marching_squares(-field, -0.2))
+        # Complement flips >= to <=; the level-set geometry may differ only
+        # at exact hits, which random floats never produce.
+        assert a == b
+
+
+class TestSaddles:
+    def test_case5_center_decides(self):
+        # Corners c0 and c2 inside.  Center = mean decides pairing.
+        hi, lo = 1.0, 0.0
+        field = np.array([[hi, lo], [lo, hi]])
+        segs = marching_squares(field, 0.45)  # center 0.5 >= 0.45: joined
+        assert segs.shape[0] == 2
+        segs2 = marching_squares(field, 0.55)  # center < 0.55: split
+        assert segs2.shape[0] == 2
+        assert seg_set(segs) != seg_set(segs2)
+
+    def test_case10_center_decides(self):
+        hi, lo = 1.0, 0.0
+        field = np.array([[lo, hi], [hi, lo]])
+        joined = marching_squares(field, 0.45)
+        split = marching_squares(field, 0.55)
+        assert joined.shape[0] == 2 and split.shape[0] == 2
+        assert seg_set(joined) != seg_set(split)
+
+
+class TestMask:
+    def test_mask_skips_cells(self):
+        field = np.array([[0.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+        full = marching_squares(field, 0.5)
+        mask = np.array([[True, False]])
+        masked = marching_squares(field, 0.5, cell_mask=mask)
+        assert masked.shape[0] < full.shape[0]
+        assert seg_set(masked) <= seg_set(full)
+
+    def test_mask_shape_checked(self):
+        field = np.zeros((3, 3))
+        with pytest.raises(FilterError, match="cell_mask"):
+            marching_squares(field, 0.5, cell_mask=np.ones((3, 3), dtype=bool))
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(FilterError):
+            marching_squares(np.zeros(5), 0.5)
+
+    def test_rejects_single_row(self):
+        with pytest.raises(FilterError):
+            marching_squares(np.zeros((1, 5)), 0.5)
+
+
+class TestTopology:
+    def test_closed_circle(self):
+        # A radial field's contour should form closed loops: every vertex
+        # appears an even number of times (degree 2 in the segment graph).
+        n = 30
+        yy, xx = np.mgrid[0:n, 0:n]
+        r = np.hypot(xx - n / 2, yy - n / 2)
+        segs = marching_squares(r, 8.0)
+        assert segs.shape[0] > 0
+        counts = {}
+        for seg in segs.round(6):
+            for pt in (tuple(seg[0]), tuple(seg[1])):
+                counts[pt] = counts.get(pt, 0) + 1
+        assert all(c == 2 for c in counts.values())
+
+    def test_vertices_near_isovalue(self):
+        n = 20
+        yy, xx = np.mgrid[0:n, 0:n]
+        r = np.hypot(xx - n / 2, yy - n / 2)
+        segs = marching_squares(r, 5.0)
+        pts = segs.reshape(-1, 2)
+        rr = np.hypot(pts[:, 0] - n / 2, pts[:, 1] - n / 2)
+        # Linear interpolation error is bounded by the cell size.
+        assert np.all(np.abs(rr - 5.0) < 0.5)

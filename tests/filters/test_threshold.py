@@ -1,0 +1,71 @@
+"""Unit tests for ThresholdPoints."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import ThresholdPoints
+from repro.filters.threshold import threshold_point_ids
+from repro.grid import DataArray, UniformGrid
+
+from tests.conftest import make_sphere_grid
+
+
+class TestThresholdIds:
+    def test_inclusive_range(self):
+        grid = UniformGrid((4, 1, 1))
+        grid.point_data.add(DataArray("f", [0.0, 1.0, 2.0, 3.0]))
+        ids = threshold_point_ids(grid, "f", 1.0, 2.0)
+        assert ids.tolist() == [1, 2]
+
+    def test_lower_gt_upper(self):
+        grid = make_sphere_grid(4)
+        with pytest.raises(FilterError):
+            threshold_point_ids(grid, "r", 2.0, 1.0)
+
+    def test_vector_array_rejected(self):
+        grid = UniformGrid((2, 2, 2))
+        grid.point_data.add(DataArray("v", np.zeros(24), components=3))
+        with pytest.raises(FilterError, match="scalar"):
+            threshold_point_ids(grid, "v", 0, 1)
+
+    def test_empty_result(self):
+        grid = make_sphere_grid(6)
+        assert threshold_point_ids(grid, "r", 1e6, 2e6).size == 0
+
+
+class TestThresholdFilter:
+    def test_extracts_vertices(self):
+        grid = make_sphere_grid(10)
+        f = ThresholdPoints("r", 0.0, 3.0)
+        f.set_input_data(grid)
+        pd = f.output()
+        assert pd.verts.num_cells == pd.num_points > 0
+        # all extracted points are within radius 3 of the center
+        rr = np.linalg.norm(pd.points - 5.0, axis=1)
+        assert rr.max() <= 3.0
+
+    def test_carries_values(self):
+        grid = make_sphere_grid(8)
+        f = ThresholdPoints("r", 1.0, 2.0)
+        f.set_input_data(grid)
+        pd = f.output()
+        vals = pd.point_data.get("r").values
+        assert np.all((vals >= 1.0) & (vals <= 2.0))
+
+    def test_set_range_validates(self):
+        f = ThresholdPoints("r")
+        with pytest.raises(FilterError):
+            f.set_range(5, 1)
+
+    def test_unconfigured(self):
+        f = ThresholdPoints()
+        f.set_input_data(make_sphere_grid(4))
+        with pytest.raises(FilterError, match="array name"):
+            f.update()
+
+    def test_wrong_input_type(self):
+        f = ThresholdPoints("r")
+        f.set_input_data(42)
+        with pytest.raises(FilterError, match="UniformGrid"):
+            f.update()

@@ -1,0 +1,126 @@
+"""Unit tests for repro.grid.array.DataArray."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid import DataArray
+
+
+class TestConstruction:
+    def test_basic(self):
+        arr = DataArray("rho", [1.0, 2.0, 3.0])
+        assert arr.name == "rho"
+        assert arr.num_tuples == 3
+        assert arr.components == 1
+
+    def test_requires_name(self):
+        with pytest.raises(GridError, match="non-empty name"):
+            DataArray("", [1.0])
+
+    def test_rejects_bool_dtype(self):
+        with pytest.raises(GridError, match="unsupported dtype"):
+            DataArray("m", np.array([True, False]))
+
+    def test_rejects_complex_dtype(self):
+        with pytest.raises(GridError, match="unsupported dtype"):
+            DataArray("c", np.array([1 + 2j]))
+
+    def test_accepts_integer_dtypes(self):
+        for dtype in (np.int8, np.uint16, np.int32, np.int64):
+            arr = DataArray("i", np.array([1, 2, 3], dtype=dtype))
+            assert arr.dtype == dtype
+
+    def test_2d_input_infers_components(self):
+        arr = DataArray("vel", np.arange(12.0).reshape(4, 3))
+        assert arr.components == 3
+        assert arr.num_tuples == 4
+        assert arr.values.ndim == 1
+
+    def test_components_must_divide_size(self):
+        with pytest.raises(GridError, match="not divisible"):
+            DataArray("v", np.arange(10.0), components=3)
+
+    def test_components_must_be_positive(self):
+        with pytest.raises(GridError, match="components"):
+            DataArray("v", np.arange(6.0), components=0)
+
+    def test_values_contiguous(self):
+        base = np.arange(20.0)[::2]  # non-contiguous view
+        arr = DataArray("x", base)
+        assert arr.values.flags.c_contiguous
+
+
+class TestStats:
+    def test_range(self):
+        arr = DataArray("x", [3.0, -1.0, 7.0])
+        assert arr.range() == (-1.0, 7.0)
+
+    def test_range_per_component(self):
+        arr = DataArray("v", [1.0, 10.0, 2.0, 20.0, 3.0, 30.0], components=2)
+        assert arr.range(0) == (1.0, 3.0)
+        assert arr.range(1) == (10.0, 30.0)
+
+    def test_range_empty_raises(self):
+        arr = DataArray("x", np.zeros(0))
+        with pytest.raises(GridError, match="empty"):
+            arr.range()
+
+    def test_range_bad_component(self):
+        arr = DataArray("x", [1.0])
+        with pytest.raises(GridError, match="component"):
+            arr.range(1)
+
+    def test_nbytes(self):
+        arr = DataArray("x", np.zeros(10, dtype=np.float32))
+        assert arr.nbytes == 40
+
+    def test_component_returns_view(self):
+        arr = DataArray("v", np.arange(6.0), components=2)
+        view = arr.component(1)
+        assert np.array_equal(view, [1.0, 3.0, 5.0])
+        view[0] = 99.0
+        assert arr.values[1] == 99.0  # a view, not a copy
+
+
+class TestOps:
+    def test_copy_is_deep(self):
+        arr = DataArray("x", [1.0, 2.0])
+        cp = arr.copy()
+        cp.values[0] = 42.0
+        assert arr.values[0] == 1.0
+
+    def test_astype(self):
+        arr = DataArray("x", [1.5, 2.5])
+        conv = arr.astype(np.float32)
+        assert conv.dtype == np.float32
+        assert conv.name == "x"
+
+    def test_take_scalar(self):
+        arr = DataArray("x", [10.0, 20.0, 30.0, 40.0])
+        sub = arr.take([3, 0])
+        assert np.array_equal(sub.values, [40.0, 10.0])
+
+    def test_take_multicomponent(self):
+        arr = DataArray("v", np.arange(12.0), components=3)
+        sub = arr.take([2, 0])
+        assert np.array_equal(sub.values, [6.0, 7.0, 8.0, 0.0, 1.0, 2.0])
+
+    def test_equality(self):
+        a = DataArray("x", [1.0, 2.0])
+        b = DataArray("x", [1.0, 2.0])
+        c = DataArray("y", [1.0, 2.0])
+        d = DataArray("x", np.array([1.0, 2.0], dtype=np.float32))
+        assert a == b
+        assert a != c
+        assert a != d  # dtype differs
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(DataArray("x", [1.0]))
+
+    def test_len(self):
+        assert len(DataArray("v", np.arange(12.0), components=4)) == 3
+
+    def test_repr_mentions_name(self):
+        assert "rho" in repr(DataArray("rho", [1.0]))

@@ -1,0 +1,112 @@
+"""Unit tests for AttributeCollection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid import AttributeCollection, DataArray
+
+
+def make(name="a", n=5):
+    return DataArray(name, np.arange(float(n)))
+
+
+class TestAddGet:
+    def test_add_and_get(self):
+        coll = AttributeCollection()
+        coll.add(make("rho"))
+        assert coll.get("rho").name == "rho"
+
+    def test_first_array_fixes_tuple_count(self):
+        coll = AttributeCollection()
+        coll.add(make("a", 5))
+        with pytest.raises(GridError, match="expects 5"):
+            coll.add(make("b", 6))
+
+    def test_explicit_expected_tuples(self):
+        coll = AttributeCollection(expected_tuples=4)
+        with pytest.raises(GridError):
+            coll.add(make("a", 5))
+
+    def test_replace_same_name(self):
+        coll = AttributeCollection()
+        coll.add(make("a", 5))
+        replacement = DataArray("a", np.ones(5))
+        coll.add(replacement)
+        assert len(coll) == 1
+        assert coll.get("a").values[0] == 1.0
+
+    def test_get_missing_lists_available(self):
+        coll = AttributeCollection()
+        coll.add(make("rho"))
+        with pytest.raises(GridError, match="rho"):
+            coll.get("missing")
+
+    def test_add_non_dataarray(self):
+        with pytest.raises(GridError, match="expected DataArray"):
+            AttributeCollection().add([1, 2, 3])
+
+    def test_remove(self):
+        coll = AttributeCollection()
+        coll.add(make("a"))
+        coll.remove("a")
+        assert "a" not in coll
+
+    def test_remove_missing(self):
+        with pytest.raises(GridError):
+            AttributeCollection().remove("nope")
+
+
+class TestCollectionOps:
+    def test_order_preserved(self):
+        coll = AttributeCollection()
+        for name in ("z", "a", "m"):
+            coll.add(make(name))
+        assert coll.names() == ["z", "a", "m"]
+
+    def test_subset(self):
+        coll = AttributeCollection()
+        for name in ("a", "b", "c"):
+            coll.add(make(name))
+        sub = coll.subset(["c", "a"])
+        assert sub.names() == ["c", "a"]
+
+    def test_subset_missing_raises(self):
+        coll = AttributeCollection()
+        coll.add(make("a"))
+        with pytest.raises(GridError):
+            coll.subset(["a", "x"])
+
+    def test_copy_is_deep(self):
+        coll = AttributeCollection()
+        coll.add(make("a"))
+        cp = coll.copy()
+        cp.get("a").values[0] = 99.0
+        assert coll.get("a").values[0] == 0.0
+
+    def test_total_bytes(self):
+        coll = AttributeCollection()
+        coll.add(DataArray("a", np.zeros(5, dtype=np.float32)))
+        coll.add(DataArray("b", np.zeros(5, dtype=np.float64)))
+        assert coll.total_bytes == 20 + 40
+
+    def test_iteration_and_contains(self):
+        coll = AttributeCollection()
+        coll.add(make("a"))
+        coll.add(make("b"))
+        assert [a.name for a in coll] == ["a", "b"]
+        assert "a" in coll and "x" not in coll
+
+    def test_equality(self):
+        c1 = AttributeCollection()
+        c2 = AttributeCollection()
+        c1.add(make("a"))
+        c2.add(make("a"))
+        assert c1 == c2
+        c2.add(make("b"))
+        assert c1 != c2
+
+    def test_getitem(self):
+        coll = AttributeCollection()
+        coll.add(make("a"))
+        assert coll["a"].name == "a"

@@ -1,0 +1,55 @@
+"""Unit tests for repro.grid.bounds.Bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid import Bounds
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = Bounds(0, 1, 0, 2, 0, 3)
+        assert b.lengths == (1, 2, 3)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GridError, match="inverted"):
+            Bounds(1, 0, 0, 1, 0, 1)
+
+    def test_degenerate_allowed(self):
+        b = Bounds(5, 5, 0, 1, 0, 1)
+        assert b.lengths[0] == 0
+
+    def test_from_points(self):
+        pts = np.array([[0, 1, 2], [3, -1, 5], [1, 1, 1]], dtype=float)
+        b = Bounds.from_points(pts)
+        assert b.as_tuple() == (0, 3, -1, 1, 1, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GridError, match="zero points"):
+            Bounds.from_points(np.zeros((0, 3)))
+
+
+class TestGeometry:
+    def test_center(self):
+        assert Bounds(0, 2, 0, 4, 0, 6).center == (1, 2, 3)
+
+    def test_diagonal(self):
+        assert Bounds(0, 3, 0, 4, 0, 0).diagonal == pytest.approx(5.0)
+
+    def test_contains(self):
+        b = Bounds(0, 1, 0, 1, 0, 1)
+        assert b.contains((0.5, 0.5, 0.5))
+        assert b.contains((0, 0, 0))  # boundary inclusive
+        assert not b.contains((1.5, 0.5, 0.5))
+
+    def test_union(self):
+        a = Bounds(0, 1, 0, 1, 0, 1)
+        b = Bounds(-1, 0.5, 0.5, 2, 0, 3)
+        u = a.union(b)
+        assert u.as_tuple() == (-1, 1, 0, 2, 0, 3)
+
+    def test_union_commutative(self):
+        a = Bounds(0, 1, 0, 1, 0, 1)
+        b = Bounds(2, 3, -5, 0, 1, 4)
+        assert a.union(b) == b.union(a)

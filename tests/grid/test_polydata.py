@@ -1,0 +1,102 @@
+"""Unit tests for CellArray and PolyData."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid import CellArray, DataArray, PolyData
+
+
+class TestCellArray:
+    def test_empty(self):
+        ca = CellArray()
+        assert ca.num_cells == 0
+
+    def test_from_uniform(self):
+        ca = CellArray.from_uniform(np.array([[0, 1, 2], [2, 3, 4]]))
+        assert ca.num_cells == 2
+        assert ca.cell(1).tolist() == [2, 3, 4]
+
+    def test_mixed_sizes(self):
+        ca = CellArray(offsets=[0, 2, 5], connectivity=[0, 1, 2, 3, 4])
+        assert ca.sizes().tolist() == [2, 3]
+        assert ca.cell(0).tolist() == [0, 1]
+        assert ca.cell(1).tolist() == [2, 3, 4]
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(GridError, match="start at 0"):
+            CellArray(offsets=[1, 2], connectivity=[0, 1])
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(GridError, match="non-decreasing"):
+            CellArray(offsets=[0, 3, 2], connectivity=[0, 1, 2])
+
+    def test_offsets_must_match_connectivity(self):
+        with pytest.raises(GridError, match="connectivity"):
+            CellArray(offsets=[0, 4], connectivity=[0, 1])
+
+    def test_cell_index_range(self):
+        ca = CellArray.from_uniform(np.array([[0, 1]]))
+        with pytest.raises(GridError):
+            ca.cell(1)
+
+    def test_as_uniform(self):
+        ca = CellArray.from_uniform(np.arange(6).reshape(2, 3))
+        assert ca.as_uniform(3).shape == (2, 3)
+        with pytest.raises(GridError, match="uniformly"):
+            ca.as_uniform(2)
+
+    def test_as_uniform_empty(self):
+        assert CellArray().as_uniform(3).shape == (0, 3)
+
+    def test_equality(self):
+        a = CellArray.from_uniform(np.array([[0, 1, 2]]))
+        b = CellArray.from_uniform(np.array([[0, 1, 2]]))
+        assert a == b
+
+
+class TestPolyData:
+    def test_empty(self):
+        pd = PolyData()
+        assert pd.num_points == 0
+        assert pd.num_cells == 0
+
+    def test_points_shape_enforced(self):
+        with pytest.raises(GridError, match=r"\(n, 3\)"):
+            PolyData(np.zeros((4, 2)))
+
+    def test_triangles_and_segments(self):
+        pd = PolyData(np.zeros((6, 3)))
+        pd.polys = CellArray.from_uniform(np.array([[0, 1, 2], [3, 4, 5]]))
+        pd.lines = CellArray.from_uniform(np.array([[0, 5]]))
+        assert pd.triangles().shape == (2, 3)
+        assert pd.segments().shape == (1, 2)
+        assert pd.num_cells == 3
+
+    def test_validate_catches_bad_ids(self):
+        pd = PolyData(np.zeros((3, 3)))
+        pd.polys = CellArray.from_uniform(np.array([[0, 1, 5]]))
+        with pytest.raises(GridError, match="invalid point ids"):
+            pd.validate()
+
+    def test_validate_ok(self):
+        pd = PolyData(np.zeros((3, 3)))
+        pd.polys = CellArray.from_uniform(np.array([[0, 1, 2]]))
+        pd.validate()
+
+    def test_point_data_sized_to_points(self):
+        pd = PolyData(np.zeros((4, 3)))
+        pd.point_data.add(DataArray("v", np.zeros(4)))
+        with pytest.raises(GridError):
+            pd.point_data.add(DataArray("w", np.zeros(5)))
+
+    def test_set_points_resets_point_data(self):
+        pd = PolyData(np.zeros((4, 3)))
+        pd.point_data.add(DataArray("v", np.zeros(4)))
+        pd.set_points(np.zeros((2, 3)))
+        assert len(pd.point_data) == 0
+        pd.point_data.add(DataArray("v", np.zeros(2)))
+
+    def test_bounds(self):
+        pd = PolyData(np.array([[0, 0, 0], [1, 2, 3]], dtype=float))
+        assert pd.bounds.as_tuple() == (0, 1, 0, 2, 0, 3)

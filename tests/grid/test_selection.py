@@ -1,0 +1,114 @@
+"""Unit tests for PointSelection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SelectionError
+from repro.grid import DataArray, PointSelection, UniformGrid
+
+
+def make_sel(ids=(1, 5, 9), values=None, dims=(3, 3, 3)):
+    ids = np.asarray(ids, dtype=np.int64)
+    if values is None:
+        values = ids.astype(np.float32) * 10
+    return PointSelection(dims, (0, 0, 0), (1, 1, 1), "f", ids, values)
+
+
+class TestValidation:
+    def test_basic(self):
+        sel = make_sel()
+        assert sel.count == 3
+        assert sel.total_points == 27
+
+    def test_ids_values_length_mismatch(self):
+        with pytest.raises(SelectionError, match="ids but"):
+            make_sel(ids=[1, 2], values=np.zeros(3))
+
+    def test_ids_must_be_sorted_unique(self):
+        with pytest.raises(SelectionError, match="sorted"):
+            make_sel(ids=[5, 1, 9])
+        with pytest.raises(SelectionError, match="sorted"):
+            make_sel(ids=[1, 1, 9])
+
+    def test_ids_in_range(self):
+        with pytest.raises(SelectionError, match="range"):
+            make_sel(ids=[0, 27])
+        with pytest.raises(SelectionError, match="range"):
+            make_sel(ids=[-1, 3])
+
+    def test_empty_selection_ok(self):
+        sel = make_sel(ids=[], values=np.zeros(0, dtype=np.float32))
+        assert sel.count == 0
+        assert sel.selectivity == 0.0
+
+
+class TestStats:
+    def test_selectivity_and_permillage(self):
+        sel = make_sel(ids=[0, 1, 2])  # 3 of 27
+        assert sel.selectivity == pytest.approx(1 / 9)
+        assert sel.permillage == pytest.approx(1000 / 9)
+
+    def test_payload_nbytes(self):
+        sel = make_sel()
+        assert sel.payload_nbytes == 3 * 8 + 3 * 4
+
+
+class TestScatter:
+    def test_to_dense(self):
+        sel = make_sel(ids=[0, 26], values=np.array([1.5, 2.5], dtype=np.float32))
+        dense, mask = sel.to_dense()
+        assert dense[0] == pytest.approx(1.5)
+        assert dense[26] == pytest.approx(2.5)
+        assert np.isnan(dense[13])
+        assert mask.sum() == 2
+
+    def test_to_dense_custom_fill(self):
+        sel = make_sel(ids=[3])
+        dense, _ = sel.to_dense(fill=-np.inf)
+        assert dense[0] == -np.inf
+
+    def test_to_grid(self):
+        sel = make_sel()
+        grid, mask = sel.to_grid()
+        assert grid.dims == (3, 3, 3)
+        assert "f" in grid.point_data
+        assert mask.sum() == 3
+
+    def test_from_grid_gathers_values(self):
+        grid = UniformGrid((2, 2, 2))
+        grid.point_data.add(DataArray("f", np.arange(8.0)))
+        sel = PointSelection.from_grid(grid, "f", [7, 2, 0])
+        assert sel.ids.tolist() == [0, 2, 7]
+        assert sel.values.tolist() == [0.0, 2.0, 7.0]
+
+
+class TestUnion:
+    def test_union_merges(self):
+        a = make_sel(ids=[1, 5])
+        b = make_sel(ids=[5, 9])
+        u = a.union(b)
+        assert u.ids.tolist() == [1, 5, 9]
+
+    def test_union_requires_same_grid(self):
+        a = make_sel()
+        b = make_sel(dims=(4, 4, 4), ids=[1, 5, 9])
+        with pytest.raises(SelectionError, match="different"):
+            a.union(b)
+
+    def test_union_keeps_dtype(self):
+        a = make_sel()
+        b = make_sel(ids=[2, 5, 10])
+        assert a.union(b).values.dtype == a.values.dtype
+
+
+class TestEquality:
+    def test_equal(self):
+        assert make_sel() == make_sel()
+
+    def test_not_equal_different_values(self):
+        a = make_sel()
+        b = make_sel(values=np.zeros(3, dtype=np.float32))
+        assert a != b
+
+    def test_repr(self):
+        assert "permillage" in repr(make_sel())

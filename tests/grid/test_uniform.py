@@ -1,0 +1,105 @@
+"""Unit tests for UniformGrid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid import DataArray, UniformGrid
+
+
+class TestConstruction:
+    def test_defaults(self):
+        g = UniformGrid((3, 4, 5))
+        assert g.num_points == 60
+        assert g.num_cells == 2 * 3 * 4
+        assert g.origin == (0.0, 0.0, 0.0)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(GridError, match="spacing"):
+            UniformGrid((2, 2, 2), spacing=(1, 0, 1))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GridError):
+            UniformGrid((0, 2, 2))
+
+    def test_is_2d(self):
+        assert UniformGrid((5, 5, 1)).is_2d
+        assert UniformGrid((1, 5, 5)).is_2d
+        assert not UniformGrid((5, 5, 5)).is_2d
+
+    def test_bounds(self):
+        g = UniformGrid((3, 3, 3), origin=(1, 2, 3), spacing=(0.5, 1.0, 2.0))
+        assert g.bounds.as_tuple() == (1, 2, 2, 4, 3, 7)
+
+
+class TestGeometry:
+    def test_point_coords(self):
+        g = UniformGrid((3, 3, 3), origin=(10, 20, 30), spacing=(1, 2, 3))
+        coords = g.point_ids_to_coords([0, 1, 3, 9])
+        assert np.array_equal(
+            coords, [[10, 20, 30], [11, 20, 30], [10, 22, 30], [10, 20, 33]]
+        )
+
+    def test_axis_coords(self):
+        g = UniformGrid((4, 2, 2), origin=(1, 0, 0), spacing=(0.5, 1, 1))
+        assert np.allclose(g.axis_coords(0), [1, 1.5, 2, 2.5])
+
+    def test_axis_coords_bad_axis(self):
+        with pytest.raises(GridError):
+            UniformGrid((2, 2, 2)).axis_coords(5)
+
+    def test_ijk_round_trip(self):
+        g = UniformGrid((4, 5, 6))
+        pid = g.ijk_to_id((2, 3, 4))
+        assert g.id_to_ijk(pid).tolist() == [2, 3, 4]
+
+
+class TestArrays:
+    def test_point_data_tuple_count_enforced(self):
+        g = UniformGrid((2, 2, 2))
+        with pytest.raises(GridError):
+            g.point_data.add(DataArray("x", np.zeros(7)))
+
+    def test_cell_data_tuple_count(self):
+        g = UniformGrid((3, 3, 3))
+        g.cell_data.add(DataArray("c", np.zeros(8)))
+        assert len(g.cell_data) == 1
+
+    def test_scalar_field_shape_and_view(self):
+        g = UniformGrid((4, 3, 2))
+        g.point_data.add(DataArray("f", np.arange(24.0)))
+        field = g.scalar_field("f")
+        assert field.shape == (2, 3, 4)
+        assert field[0, 0, 1] == 1.0  # x fastest
+        assert field[0, 1, 0] == 4.0
+        assert field[1, 0, 0] == 12.0
+        field[0, 0, 0] = -1.0  # a view, not a copy
+        assert g.point_data.get("f").values[0] == -1.0
+
+    def test_scalar_field_rejects_vectors(self):
+        g = UniformGrid((2, 2, 2))
+        g.point_data.add(DataArray("v", np.zeros(24), components=3))
+        with pytest.raises(GridError, match="scalar"):
+            g.scalar_field("v")
+
+    def test_shallow_copy_shares_arrays(self):
+        g = UniformGrid((2, 2, 2))
+        g.point_data.add(DataArray("f", np.zeros(8)))
+        cp = g.shallow_copy()
+        cp.point_data.get("f").values[0] = 5.0
+        assert g.point_data.get("f").values[0] == 5.0
+
+    def test_structure_equals(self):
+        a = UniformGrid((2, 2, 2))
+        b = UniformGrid((2, 2, 2))
+        c = UniformGrid((2, 2, 2), spacing=(2, 1, 1))
+        assert a.structure_equals(b)
+        assert not a.structure_equals(c)
+
+    def test_full_equality_includes_arrays(self):
+        a = UniformGrid((2, 2, 2))
+        b = UniformGrid((2, 2, 2))
+        a.point_data.add(DataArray("f", np.zeros(8)))
+        assert a != b
+        b.point_data.add(DataArray("f", np.zeros(8)))
+        assert a == b

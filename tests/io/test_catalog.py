@@ -1,0 +1,125 @@
+"""Unit tests for the timestep catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.io import write_vgf
+from repro.io.catalog import TimestepCatalog
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+from tests.conftest import make_sphere_grid
+
+
+@pytest.fixture
+def fs():
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    for step in (300, 100, 200):  # deliberately unsorted write order
+        grid = make_sphere_grid(8)
+        fs.write_object(
+            f"run/out_{step}.vgf",
+            write_vgf(grid, codec="lz4", meta={"timestep": step}),
+        )
+    return fs
+
+
+class TestDiscovery:
+    def test_orders_by_timestep(self, fs):
+        catalog = TimestepCatalog(fs)
+        assert catalog.timesteps == [100, 200, 300]
+        assert len(catalog) == 3
+
+    def test_prefix_filter(self, fs):
+        fs.write_object(
+            "elsewhere/x.vgf",
+            write_vgf(make_sphere_grid(4), meta={"timestep": 999}),
+        )
+        catalog = TimestepCatalog(fs, prefix="run/")
+        assert 999 not in catalog.timesteps
+
+    def test_skips_non_vgf_objects(self, fs):
+        fs.write_object("run/notes.txt", b"hello")
+        catalog = TimestepCatalog(fs)
+        assert len(catalog) == 3
+
+    def test_skips_vgf_without_timestep(self, fs):
+        fs.write_object("run/static.vgf", write_vgf(make_sphere_grid(4)))
+        catalog = TimestepCatalog(fs)
+        assert len(catalog) == 3
+
+    def test_duplicate_timesteps_rejected(self, fs):
+        fs.write_object(
+            "run/dup.vgf", write_vgf(make_sphere_grid(4), meta={"timestep": 100})
+        )
+        with pytest.raises(ReproError, match="duplicate"):
+            TimestepCatalog(fs)
+
+    def test_refresh_sees_new_objects(self, fs):
+        catalog = TimestepCatalog(fs)
+        fs.write_object(
+            "run/new.vgf", write_vgf(make_sphere_grid(4), meta={"timestep": 400})
+        )
+        catalog.refresh()
+        assert 400 in catalog.timesteps
+
+
+class TestAccess:
+    def test_entry_and_arrays(self, fs):
+        catalog = TimestepCatalog(fs)
+        entry = catalog.entry(200)
+        assert entry.timestep == 200
+        assert entry.array_names == ["r"]
+
+    def test_entry_missing(self, fs):
+        with pytest.raises(ReproError, match="no timestep"):
+            TimestepCatalog(fs).entry(123)
+
+    def test_nearest(self, fs):
+        catalog = TimestepCatalog(fs)
+        assert catalog.nearest(140).timestep == 100
+        assert catalog.nearest(260).timestep == 300
+        assert catalog.nearest(200).timestep == 200
+
+    def test_nearest_empty(self):
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        catalog = TimestepCatalog(S3FileSystem(store, "b"))
+        with pytest.raises(ReproError, match="empty"):
+            catalog.nearest(1)
+
+    def test_load_with_selection(self, fs):
+        catalog = TimestepCatalog(fs)
+        grid = catalog.load(100, ["r"])
+        assert grid == make_sphere_grid(8)
+
+    def test_iteration(self, fs):
+        steps = [e.timestep for e in TimestepCatalog(fs)]
+        assert steps == [100, 200, 300]
+
+
+class TestStatsEndpoint:
+    def test_array_statistics(self, fs):
+        from repro.core import NDPServer
+        from repro.rpc import InProcessTransport, RPCClient
+
+        client = RPCClient(InProcessTransport(NDPServer(fs).dispatch))
+        stats = client.call("array_statistics", "run/out_100.vgf", "r", 16)
+        grid = make_sphere_grid(8)
+        vals = grid.point_data.get("r").values
+        assert stats["count"] == vals.size
+        assert stats["min"] == pytest.approx(float(vals.min()))
+        assert stats["max"] == pytest.approx(float(vals.max()))
+        assert stats["mean"] == pytest.approx(float(vals.mean()), rel=1e-6)
+        assert sum(stats["histogram_counts"]) == vals.size
+        assert len(stats["histogram_edges"]) == 17
+
+    def test_bad_bins(self, fs):
+        from repro.core import NDPServer
+        from repro.errors import RPCRemoteError
+        from repro.rpc import InProcessTransport, RPCClient
+
+        client = RPCClient(InProcessTransport(NDPServer(fs).dispatch))
+        with pytest.raises(RPCRemoteError, match="bins"):
+            client.call("array_statistics", "run/out_100.vgf", "r", 0)

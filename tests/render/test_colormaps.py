@@ -1,0 +1,85 @@
+"""Unit tests for scalar-to-color mapping and scalar-colored rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.filters import contour_grid
+from repro.render import Scene, available_colormaps, map_scalars
+
+from tests.conftest import make_sphere_grid
+
+
+class TestMapScalars:
+    def test_shape_and_range(self):
+        colors = map_scalars(np.linspace(0, 1, 50))
+        assert colors.shape == (50, 3)
+        assert colors.min() >= 0.0 and colors.max() <= 1.0
+
+    def test_endpoints_hit_anchor_colors(self):
+        from repro.render.colormaps import COLORMAPS
+
+        colors = map_scalars(np.array([0.0, 1.0]), "viridis")
+        assert np.allclose(colors[0], COLORMAPS["viridis"][0])
+        assert np.allclose(colors[1], COLORMAPS["viridis"][-1])
+
+    def test_monotone_ramp_in_gray(self):
+        colors = map_scalars(np.linspace(0, 1, 20), "gray")
+        lum = colors.mean(axis=1)
+        assert (np.diff(lum) > 0).all()
+
+    def test_explicit_range_clamps(self):
+        colors = map_scalars(np.array([-10.0, 5.0, 100.0]), "gray", vmin=0, vmax=10)
+        assert np.allclose(colors[0], colors[0].mean())  # clamped low end
+        assert colors[2].mean() > colors[1].mean() > colors[0].mean()
+
+    def test_constant_values(self):
+        colors = map_scalars(np.full(5, 3.3))
+        assert np.allclose(colors, colors[0])
+
+    def test_empty(self):
+        assert map_scalars(np.zeros(0)).shape == (0, 3)
+
+    def test_unknown_cmap(self):
+        with pytest.raises(ReproError, match="unknown colormap"):
+            map_scalars(np.zeros(3), "jet3000")
+
+    def test_nonfinite_range_rejected(self):
+        with pytest.raises(ReproError):
+            map_scalars(np.array([1.0]), vmin=np.nan, vmax=1.0)
+
+    def test_all_registered_maps_work(self):
+        for name in available_colormaps():
+            colors = map_scalars(np.linspace(0, 1, 7), name)
+            assert colors.shape == (7, 3)
+
+
+class TestScalarColoredScene:
+    def test_color_by_contour_value(self):
+        grid = make_sphere_grid(14)
+        pd = contour_grid(grid, "r", [3.0, 5.5])
+        scene = Scene(background=(0, 0, 0))
+        scene.add_mesh(pd, scalars="contour_value", cmap="coolwarm")
+        img = scene.render(80, 60)
+        # Two isovalues -> at least two distinct foreground colors.
+        fg = img[img.sum(axis=2) > 0.05]
+        assert fg.shape[0] > 50
+        uniq = np.unique((fg * 8).astype(int), axis=0)
+        assert uniq.shape[0] > 2
+
+    def test_unknown_scalars_rejected_at_add(self):
+        grid = make_sphere_grid(8)
+        pd = contour_grid(grid, "r", [2.0])
+        with pytest.raises(ReproError, match="no point array"):
+            Scene().add_mesh(pd, scalars="nope")
+
+    def test_value_range_pins_colors(self):
+        grid = make_sphere_grid(12)
+        pd = contour_grid(grid, "r", [3.0])
+        scene = Scene(background=(0, 0, 0))
+        scene.add_mesh(pd, scalars="contour_value", cmap="gray",
+                       value_range=(0.0, 6.0))
+        img = scene.render(60, 40)
+        fg = img[img.sum(axis=2) > 0.05]
+        # contour_value 3 of range [0, 6] -> mid-gray, never near white.
+        assert fg.max() < 0.85

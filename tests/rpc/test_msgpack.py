@@ -1,0 +1,266 @@
+"""Unit tests for the from-scratch MessagePack codec."""
+
+import math
+import struct
+
+import pytest
+
+from repro.errors import FormatError
+from repro.rpc import ExtType, pack, unpack
+from repro.rpc.msgpack import Unpacker
+
+
+def round_trip(value):
+    out = unpack(pack(value))
+    assert out == value
+    return out
+
+
+class TestScalars:
+    def test_nil(self):
+        assert pack(None) == b"\xc0"
+        assert unpack(b"\xc0") is None
+
+    def test_bools(self):
+        assert pack(True) == b"\xc3"
+        assert pack(False) == b"\xc2"
+        assert unpack(b"\xc3") is True
+
+    def test_positive_fixint(self):
+        assert pack(0) == b"\x00"
+        assert pack(127) == b"\x7f"
+
+    def test_negative_fixint(self):
+        assert pack(-1) == b"\xff"
+        assert pack(-32) == b"\xe0"
+
+    @pytest.mark.parametrize(
+        "value,first",
+        [
+            (128, 0xCC), (255, 0xCC),
+            (256, 0xCD), (65535, 0xCD),
+            (65536, 0xCE), (2**32 - 1, 0xCE),
+            (2**32, 0xCF), (2**64 - 1, 0xCF),
+            (-33, 0xD0), (-128, 0xD0),
+            (-129, 0xD1), (-32768, 0xD1),
+            (-32769, 0xD2), (-(2**31), 0xD2),
+            (-(2**31) - 1, 0xD3), (-(2**63), 0xD3),
+        ],
+    )
+    def test_int_families_minimal(self, value, first):
+        encoded = pack(value)
+        assert encoded[0] == first
+        assert unpack(encoded) == value
+
+    def test_int_out_of_range(self):
+        with pytest.raises(FormatError):
+            pack(2**64)
+        with pytest.raises(FormatError):
+            pack(-(2**63) - 1)
+
+    def test_float64(self):
+        encoded = pack(1.5)
+        assert encoded[0] == 0xCB
+        assert unpack(encoded) == 1.5
+
+    def test_float32_decodes(self):
+        encoded = b"\xca" + struct.pack(">f", 2.5)
+        assert unpack(encoded) == 2.5
+
+    def test_float_special_values(self):
+        assert math.isinf(unpack(pack(float("inf"))))
+        assert math.isnan(unpack(pack(float("nan"))))
+        assert unpack(pack(-0.0)) == 0.0
+
+
+class TestStringsAndBytes:
+    def test_fixstr(self):
+        encoded = pack("hi")
+        assert encoded[0] == 0xA2
+        round_trip("hi")
+
+    def test_str_sizes(self):
+        for n, first in ((31, None), (32, 0xD9), (256, 0xDA), (70_000, 0xDB)):
+            s = "x" * n
+            encoded = pack(s)
+            if first is not None:
+                assert encoded[0] == first
+            assert unpack(encoded) == s
+
+    def test_unicode(self):
+        round_trip("héllo wörld ☃ 日本語")
+
+    def test_invalid_utf8_rejected(self):
+        bad = b"\xa2\xff\xfe"  # fixstr of 2 invalid bytes
+        with pytest.raises(FormatError, match="UTF-8"):
+            unpack(bad)
+
+    def test_bin_sizes(self):
+        for n, first in ((10, 0xC4), (300, 0xC5), (70_000, 0xC6)):
+            data = b"\x01" * n
+            encoded = pack(data)
+            assert encoded[0] == first
+            assert unpack(encoded) == data
+
+    def test_bytearray_and_memoryview(self):
+        assert unpack(pack(bytearray(b"abc"))) == b"abc"
+        assert unpack(pack(memoryview(b"abc"))) == b"abc"
+
+
+class TestContainers:
+    def test_fixarray(self):
+        encoded = pack([1, 2, 3])
+        assert encoded[0] == 0x93
+        round_trip([1, 2, 3])
+
+    def test_array16(self):
+        value = list(range(1000))
+        assert pack(value)[0] == 0xDC
+        round_trip(value)
+
+    def test_tuple_encodes_as_array(self):
+        assert unpack(pack((1, 2))) == [1, 2]
+
+    def test_fixmap(self):
+        encoded = pack({"a": 1})
+        assert encoded[0] == 0x81
+        round_trip({"a": 1})
+
+    def test_map16(self):
+        value = {f"k{i}": i for i in range(100)}
+        assert pack(value)[0] == 0xDE
+        round_trip(value)
+
+    def test_nested(self):
+        round_trip({"a": [1, {"b": [None, True, b"x"]}], "c": -5})
+
+    def test_non_string_keys(self):
+        round_trip({1: "one", -3: "neg"})
+
+    def test_depth_guard(self):
+        deep = None
+        for _ in range(Unpacker.MAX_DEPTH + 5):
+            deep = [deep]
+        with pytest.raises(FormatError, match="MAX_DEPTH"):
+            unpack(pack(deep))
+
+
+class TestExt:
+    def test_fixext_sizes(self):
+        for n, first in ((1, 0xD4), (2, 0xD5), (4, 0xD6), (8, 0xD7), (16, 0xD8)):
+            value = ExtType(3, b"\x07" * n)
+            encoded = pack(value)
+            assert encoded[0] == first
+            assert unpack(encoded) == value
+
+    def test_ext8(self):
+        value = ExtType(-5, b"x" * 100)
+        encoded = pack(value)
+        assert encoded[0] == 0xC7
+        assert unpack(encoded) == value
+
+    def test_ext16_32(self):
+        assert pack(ExtType(1, b"x" * 300))[0] == 0xC8
+        assert pack(ExtType(1, b"x" * 70_000))[0] == 0xC9
+        round_trip(ExtType(1, b"x" * 300))
+
+    def test_ext_code_range(self):
+        with pytest.raises(FormatError):
+            pack(ExtType(128, b"x"))
+        with pytest.raises(FormatError):
+            pack(ExtType(-129, b"x"))
+
+
+class TestErrors:
+    def test_unserializable_type(self):
+        with pytest.raises(FormatError, match="not MessagePack-serializable"):
+            pack(object())
+
+    def test_truncated_input(self):
+        with pytest.raises(FormatError, match="truncated"):
+            unpack(b"\xcc")  # uint8 with no payload
+
+    def test_trailing_bytes(self):
+        with pytest.raises(FormatError, match="trailing"):
+            unpack(b"\xc0\xc0")
+
+    def test_invalid_first_byte(self):
+        with pytest.raises(FormatError, match="invalid MessagePack"):
+            unpack(b"\xc1")
+
+    def test_unhashable_map_key(self):
+        # fixmap{1} with an array key.
+        payload = b"\x81" + pack([1]) + pack(2)
+        with pytest.raises(FormatError, match="unhashable"):
+            unpack(payload)
+
+    def test_streaming_unpacker(self):
+        buf = pack(1) + pack("two") + pack([3])
+        up = Unpacker(buf)
+        assert up.unpack_one() == 1
+        assert up.unpack_one() == "two"
+        assert up.unpack_one() == [3]
+        assert up.exhausted
+
+
+class TestTimestamp:
+    """The spec's reserved ext type -1, in all three widths."""
+
+    def test_32bit_form(self):
+        from repro.rpc import Timestamp
+
+        t = Timestamp(1234567890)
+        assert len(t.encode()) == 4
+        assert unpack(pack(t)) == t
+
+    def test_64bit_form(self):
+        from repro.rpc import Timestamp
+
+        t = Timestamp(5, 999_999_999)
+        assert len(t.encode()) == 8
+        assert unpack(pack(t)) == t
+
+    def test_96bit_form(self):
+        from repro.rpc import Timestamp
+
+        for t in (Timestamp(-1, 0), Timestamp(2**40, 17)):
+            assert len(t.encode()) == 12
+            assert unpack(pack(t)) == t
+
+    def test_boundary_values(self):
+        from repro.rpc import Timestamp
+
+        for t in (
+            Timestamp(0),
+            Timestamp(2**32 - 1),            # last 32-bit
+            Timestamp(2**32, 0),             # first 64-bit (ns == 0 but > u32)
+            Timestamp(2**34 - 1, 1),         # last 64-bit
+            Timestamp(2**34, 1),             # first 96-bit
+            Timestamp(-(2**63), 0),
+            Timestamp(2**63 - 1, 999_999_999),
+        ):
+            assert unpack(pack(t)) == t
+
+    def test_invalid_nanoseconds(self):
+        from repro.rpc import Timestamp
+
+        with pytest.raises(FormatError):
+            pack(Timestamp(0, 1_000_000_000))
+        with pytest.raises(FormatError):
+            pack(Timestamp(0, -1))
+
+    def test_bad_payload_length(self):
+        from repro.rpc import Timestamp
+
+        with pytest.raises(FormatError):
+            Timestamp.decode(b"\x00" * 5)
+
+    def test_foreign_ext_codes_untouched(self):
+        assert unpack(pack(ExtType(-2, b"\x00" * 4))) == ExtType(-2, b"\x00" * 4)
+
+    def test_wire_is_ext_type_minus_one(self):
+        from repro.rpc import Timestamp
+
+        encoded = pack(Timestamp(7))
+        assert encoded[0] == 0xD6  # fixext4
+        assert encoded[1] == 0xFF  # type -1

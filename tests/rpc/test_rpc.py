@@ -1,0 +1,175 @@
+"""Unit tests for the RPC server/client and transports."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import RPCError, RPCRemoteError, RPCTransportError
+from repro.rpc import (
+    InProcessTransport,
+    RPCClient,
+    RPCServer,
+    SimulatedTransport,
+    pack,
+)
+from repro.storage.netsim import LinkModel, SimClock
+
+
+def make_server():
+    srv = RPCServer()
+    srv.bind("add", lambda a, b: a + b)
+    srv.bind("echo", lambda x: x)
+    srv.bind("fail", lambda: (_ for _ in ()).throw(ValueError("boom")))
+    return srv
+
+
+class TestServer:
+    def test_bind_and_handlers(self):
+        srv = make_server()
+        assert srv.handlers() == ["add", "echo", "fail"]
+
+    def test_bind_duplicate(self):
+        srv = make_server()
+        with pytest.raises(RPCError, match="already bound"):
+            srv.bind("add", lambda: None)
+
+    def test_bind_non_callable(self):
+        with pytest.raises(RPCError, match="not callable"):
+            RPCServer().bind("x", 42)
+
+    def test_constructor_handlers(self):
+        srv = RPCServer({"one": lambda: 1})
+        assert RPCClient.in_process(srv).call("one") == 1
+
+    def test_dispatch_malformed_frame(self):
+        srv = make_server()
+        from repro.rpc import unpack
+
+        response = unpack(srv.dispatch(b"\xc1garbage"))
+        assert response[2] is not None  # error populated
+
+    def test_dispatch_wrong_shape(self):
+        srv = make_server()
+        from repro.rpc import unpack
+
+        response = unpack(srv.dispatch(pack({"not": "a request"})))
+        assert "invalid rpc message" in response[2]
+
+
+class TestInProcessCalls:
+    def test_call(self):
+        cli = RPCClient.in_process(make_server())
+        assert cli.call("add", 2, 3) == 5
+
+    def test_bytes_payload(self):
+        cli = RPCClient.in_process(make_server())
+        blob = b"\x00\x01" * 50_000
+        assert cli.call("echo", blob) == blob
+
+    def test_remote_error_carries_traceback(self):
+        cli = RPCClient.in_process(make_server())
+        with pytest.raises(RPCRemoteError, match="ValueError"):
+            cli.call("fail")
+
+    def test_unknown_method(self):
+        cli = RPCClient.in_process(make_server())
+        with pytest.raises(RPCRemoteError, match="no such method"):
+            cli.call("nope")
+
+    def test_msgid_increments(self):
+        cli = RPCClient.in_process(make_server())
+        cli.call("add", 1, 1)
+        cli.call("add", 1, 1)
+        assert next(cli._msgid) == 3
+
+    def test_notify(self):
+        received = []
+        srv = RPCServer({"log": lambda m: received.append(m)})
+        RPCClient.in_process(srv).notify("log", "hello")
+        assert received == ["hello"]
+
+
+class TestSimulatedTransport:
+    def test_charges_both_directions(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=1_000_000, latency_s=0.0)
+        srv = make_server()
+        cli = RPCClient(SimulatedTransport(InProcessTransport(srv.dispatch), link))
+        payload = b"z" * 100_000
+        assert cli.call("echo", payload) == payload
+        # request + response each carry the 100 kB payload
+        assert link.total_bytes > 200_000
+        assert clock.now == pytest.approx(link.total_bytes / 1e6)
+
+
+class TestTCP:
+    def test_call_over_socket(self):
+        srv = make_server()
+        listener = srv.serve_tcp()
+        try:
+            cli = RPCClient.connect_tcp(listener.host, listener.port)
+            assert cli.call("add", 20, 22) == 42
+            assert cli.call("echo", b"x" * 200_000) == b"x" * 200_000
+            cli.close()
+        finally:
+            listener.stop()
+
+    def test_multiple_clients(self):
+        srv = make_server()
+        listener = srv.serve_tcp()
+        try:
+            clients = [
+                RPCClient.connect_tcp(listener.host, listener.port) for _ in range(4)
+            ]
+            for i, cli in enumerate(clients):
+                assert cli.call("add", i, 1) == i + 1
+            for cli in clients:
+                cli.close()
+        finally:
+            listener.stop()
+
+    def test_concurrent_calls_one_client(self):
+        srv = make_server()
+        listener = srv.serve_tcp()
+        results = []
+        try:
+            cli = RPCClient.connect_tcp(listener.host, listener.port)
+
+            def worker(n):
+                results.append(cli.call("add", n, n))
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(results) == [2 * i for i in range(8)]
+            cli.close()
+        finally:
+            listener.stop()
+
+    def test_connect_refused(self):
+        with pytest.raises(RPCTransportError, match="connect"):
+            RPCClient.connect_tcp("127.0.0.1", 1, timeout=0.5)
+
+    def test_remote_error_over_socket(self):
+        srv = make_server()
+        listener = srv.serve_tcp()
+        try:
+            with RPCClient.connect_tcp(listener.host, listener.port) as cli:
+                with pytest.raises(RPCRemoteError, match="ValueError"):
+                    cli.call("fail")
+        finally:
+            listener.stop()
+
+    def test_numpy_buffer_round_trip(self):
+        """The NDP payload pattern: big float32 buffers as bin32."""
+        srv = RPCServer({"sum": lambda b: float(np.frombuffer(b, dtype=np.float32).sum())})
+        listener = srv.serve_tcp()
+        try:
+            with RPCClient.connect_tcp(listener.host, listener.port) as cli:
+                data = np.ones(100_000, dtype=np.float32)
+                assert cli.call("sum", data.tobytes()) == pytest.approx(100_000.0)
+        finally:
+            listener.stop()

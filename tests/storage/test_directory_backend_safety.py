@@ -1,0 +1,73 @@
+"""Path-safety and robustness tests for the directory backend."""
+
+import os
+
+import pytest
+
+from repro.errors import NoSuchObjectError, StorageError
+from repro.storage import DirectoryBackend, ObjectStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ObjectStore(DirectoryBackend(str(tmp_path / "root")))
+    s.create_bucket("b")
+    return s, str(tmp_path)
+
+
+class TestKeySafety:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "../escape",
+            "a/../../escape",
+            "..",
+            "/absolute",
+            "",
+            "bad key with spaces",
+            "semi;colon",
+        ],
+    )
+    def test_hostile_keys_rejected(self, store, key):
+        s, root = store
+        with pytest.raises(StorageError):
+            s.put_object("b", key, b"x")
+        # Nothing escaped the store root.
+        outside = os.path.join(root, "escape")
+        assert not os.path.exists(outside)
+
+    @pytest.mark.parametrize("bucket", ["../up", "", ".hidden;rm"])
+    def test_hostile_buckets_rejected(self, store, bucket):
+        s, _ = store
+        with pytest.raises(StorageError):
+            s.create_bucket(bucket)
+
+    def test_nested_keys_allowed(self, store):
+        s, _ = store
+        s.put_object("b", "a/b/c/deep.bin", b"ok")
+        assert s.get_object("b", "a/b/c/deep.bin") == b"ok"
+
+    def test_dots_inside_names_allowed(self, store):
+        s, _ = store
+        s.put_object("b", "ts0.vgf.sel/v02/x", b"ok")
+        assert s.head_object("b", "ts0.vgf.sel/v02/x") == 2
+
+
+class TestAtomicity:
+    def test_overwrite_never_leaves_partial(self, store):
+        """put_object writes via a temp file + rename."""
+        s, _ = store
+        s.put_object("b", "k", b"first-version")
+        s.put_object("b", "k", b"second")
+        assert s.get_object("b", "k") == b"second"
+        assert s.list_objects("b") == ["k"]  # no stray .tmp entries
+
+    def test_delete_then_get(self, store):
+        s, _ = store
+        s.put_object("b", "k", b"x")
+        s.delete_object("b", "k")
+        with pytest.raises(NoSuchObjectError):
+            s.get_object("b", "k")
+        # Re-put after delete works.
+        s.put_object("b", "k", b"y")
+        assert s.get_object("b", "k") == b"y"

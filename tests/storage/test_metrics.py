@@ -1,0 +1,68 @@
+"""Unit tests for byte counters and phase timers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage import ByteCounter, LoadBreakdown, PhaseTimer, SimClock
+
+
+class TestByteCounter:
+    def test_accumulates_by_category(self):
+        c = ByteCounter()
+        c.add("net", 100)
+        c.add("net", 50)
+        c.add("ssd", 10)
+        assert c.get("net") == 150
+        assert c.total == 160
+        assert c.as_dict() == {"net": 150, "ssd": 10}
+
+    def test_missing_category_zero(self):
+        assert ByteCounter().get("x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            ByteCounter().add("net", -1)
+
+
+class TestLoadBreakdown:
+    def test_add_and_total(self):
+        b = LoadBreakdown()
+        b.add("read", 1.0)
+        b.add("read", 0.5)
+        b.add("decompress", 0.25)
+        assert b.phases["read"] == 1.5
+        assert b.total == 1.75
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            LoadBreakdown().add("read", -0.1)
+
+    def test_merge(self):
+        a = LoadBreakdown({"read": 1.0})
+        b = LoadBreakdown({"read": 2.0, "net": 3.0})
+        merged = a.merge(b)
+        assert merged.phases == {"read": 3.0, "net": 3.0}
+        assert a.phases == {"read": 1.0}  # inputs untouched
+
+    def test_repr(self):
+        b = LoadBreakdown({"read": 1.0})
+        assert "read" in repr(b)
+
+
+class TestPhaseTimer:
+    def test_attributes_clock_deltas(self):
+        clock = SimClock()
+        timer = PhaseTimer(clock)
+        with timer.phase("read"):
+            clock.advance(2.0)
+        with timer.phase("net"):
+            clock.advance(1.0)
+        with timer.phase("read"):
+            clock.advance(0.5)
+        assert timer.breakdown.phases == {"read": 2.5, "net": 1.0}
+
+    def test_nothing_advanced_is_zero(self):
+        timer = PhaseTimer(SimClock())
+        with timer.phase("idle"):
+            pass
+        assert timer.breakdown.phases["idle"] == 0.0

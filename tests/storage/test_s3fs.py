@@ -1,0 +1,154 @@
+"""Unit tests for the s3fs-substitute file layer."""
+
+import io
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem, SimClock
+from repro.storage.netsim import LinkModel
+
+
+@pytest.fixture
+def fs():
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("b")
+    store.put_object("b", "k", bytes(range(256)) * 100)  # 25600 bytes
+    return S3FileSystem(store, "b", chunk_bytes=1000)
+
+
+class TestFileReads:
+    def test_read_all(self, fs):
+        assert fs.read_object("k") == bytes(range(256)) * 100
+
+    def test_sequential_reads(self, fs):
+        with fs.open("k") as fh:
+            assert fh.read(3) == b"\x00\x01\x02"
+            assert fh.read(2) == b"\x03\x04"
+
+    def test_seek_and_tell(self, fs):
+        with fs.open("k") as fh:
+            fh.seek(256)
+            assert fh.tell() == 256
+            assert fh.read(2) == b"\x00\x01"
+            fh.seek(-1, io.SEEK_END)
+            assert fh.read() == b"\xff"
+            fh.seek(-2, io.SEEK_CUR)
+            assert fh.read(1) == b"\xfe"
+
+    def test_seek_negative_rejected(self, fs):
+        with fs.open("k") as fh:
+            with pytest.raises(StorageError):
+                fh.seek(-5)
+
+    def test_read_past_end(self, fs):
+        with fs.open("k") as fh:
+            fh.seek(25590)
+            assert len(fh.read(100)) == 10
+
+    def test_cross_chunk_read(self, fs):
+        with fs.open("k") as fh:
+            fh.seek(990)
+            data = fh.read(20)  # spans chunks 0 and 1
+            assert data == (bytes(range(256)) * 100)[990:1010]
+
+    def test_size(self, fs):
+        assert fs.size("k") == 25600
+        with fs.open("k") as fh:
+            assert fh.size == 25600
+
+    def test_exists(self, fs):
+        assert fs.exists("k")
+        assert not fs.exists("missing")
+
+    def test_listdir(self, fs):
+        assert fs.listdir() == ["k"]
+
+    def test_write_object(self, fs):
+        fs.write_object("new", b"fresh")
+        assert fs.read_object("new") == b"fresh"
+
+
+class TestChunking:
+    def test_chunk_fetch_count(self):
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        store.put_object("b", "k", b"z" * 10_000)
+        fetches = []
+        original = store.get_object
+
+        def counting_get(bucket, key, offset=0, length=None):
+            fetches.append((offset, length))
+            return original(bucket, key, offset, length)
+
+        store.get_object = counting_get
+        fs = S3FileSystem(store, "b", chunk_bytes=4000)
+        assert fs.read_object("k") == b"z" * 10_000
+        assert len(fetches) == 3  # ceil(10000 / 4000)
+
+    def test_cache_avoids_refetch(self):
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        store.put_object("b", "k", b"z" * 1000)
+        count = [0]
+        original = store.get_object
+
+        def counting_get(*a, **kw):
+            count[0] += 1
+            return original(*a, **kw)
+
+        store.get_object = counting_get
+        fs = S3FileSystem(store, "b", chunk_bytes=4096)
+        with fs.open("k") as fh:
+            fh.read(10)
+            fh.seek(0)
+            fh.read(10)
+            fh.seek(500)
+            fh.read(100)
+        assert count[0] == 1  # one chunk covers everything
+
+    def test_invalid_chunk_size(self):
+        store = ObjectStore(MemoryBackend())
+        with pytest.raises(StorageError):
+            S3FileSystem(store, "b", chunk_bytes=0)
+
+
+class TestLinkCharging:
+    def test_remote_mount_charges_link(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=1e6)
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        store.put_object("b", "k", b"x" * 500_000)
+        fs = S3FileSystem(store, "b", link=link, chunk_bytes=100_000)
+        fs.read_object("k")
+        assert link.total_bytes == 500_000
+        assert clock.now == pytest.approx(0.5, rel=0.01)
+
+    def test_local_mount_charges_nothing(self):
+        clock = SimClock()
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        store.put_object("b", "k", b"x" * 500_000)
+        fs = S3FileSystem(store, "b", link=None)
+        fs.read_object("k")
+        assert clock.now == 0.0
+
+    def test_partial_read_charges_fetched_chunks_only(self):
+        link = LinkModel(SimClock(), 1e6)
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        store.put_object("b", "k", b"x" * 1_000_000)
+        fs = S3FileSystem(store, "b", link=link, chunk_bytes=100_000)
+        with fs.open("k") as fh:
+            fh.seek(500_000)
+            fh.read(10)
+        assert link.total_bytes == 100_000  # exactly one chunk
+
+    def test_write_charges_link(self):
+        link = LinkModel(SimClock(), 1e6)
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        fs = S3FileSystem(store, "b", link=link)
+        fs.write_object("k", b"y" * 1000)
+        assert link.total_bytes == 1000

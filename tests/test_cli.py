@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import threading
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def store(tmp_path):
+    root = str(tmp_path / "store")
+    rc = main([
+        "generate", "asteroid", "--store", root, "--dim", "24",
+        "--codec", "lz4", "--arrays", "v02",
+    ])
+    assert rc == 0
+    return root
+
+
+class TestGenerate:
+    def test_asteroid_objects_written(self, store, capsys):
+        rc = main(["info", "--store", store])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("asteroid/ts") == 9
+        assert "v02[lz4" in out
+
+    def test_nyx(self, tmp_path, capsys):
+        root = str(tmp_path / "nyx")
+        assert main([
+            "generate", "nyx", "--store", root, "--dim", "24",
+            "--arrays", "baryon_density",
+        ]) == 0
+        assert main(["info", "--store", root]) == 0
+        assert "baryon_density" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_empty_store(self, tmp_path, capsys):
+        root = str(tmp_path / "empty")
+        main(["generate", "asteroid", "--store", root, "--dim", "24",
+              "--arrays", "v02"])
+        rc = main(["info", "--store", root, "--prefix", "nonexistent/"])
+        assert rc == 1
+
+    def test_prefix_filter(self, store, capsys):
+        main(["info", "--store", store, "--prefix", "asteroid/ts00000"])
+        out = capsys.readouterr().out
+        assert out.count("asteroid/ts") == 1
+
+
+class TestContour:
+    def test_local_mode(self, store, capsys):
+        rc = main([
+            "contour", "--store", store, "--key", "asteroid/ts00000.vgf",
+            "--array", "v02", "--values", "0.1,0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out
+        assert "transferred" in out
+
+    def test_render_output(self, store, tmp_path, capsys):
+        frame = str(tmp_path / "frame.ppm")
+        rc = main([
+            "contour", "--store", store, "--key", "asteroid/ts24006.vgf",
+            "--array", "v02", "--values", "0.1", "--render", frame,
+            "--width", "64", "--height", "48",
+        ])
+        assert rc == 0
+        with open(frame, "rb") as fh:
+            assert fh.read(2) == b"P6"
+
+    def test_requires_target(self, store, capsys):
+        rc = main([
+            "contour", "--key", "k", "--array", "a", "--values", "0.1",
+        ])
+        assert rc == 2
+
+    def test_over_tcp(self, store, capsys):
+        # Start the server in a thread with a short timeout, grab the port.
+        from repro.core.ndp_server import NDPServer
+        from repro.storage.object_store import DirectoryBackend, ObjectStore
+        from repro.storage.s3fs import S3FileSystem
+
+        fs = S3FileSystem(ObjectStore(DirectoryBackend(store)), "sim")
+        listener = NDPServer(fs).serve_tcp()
+        try:
+            rc = main([
+                "contour", "--connect", f"{listener.host}:{listener.port}",
+                "--key", "asteroid/ts00000.vgf", "--array", "v02",
+                "--values", "0.1",
+            ])
+            assert rc == 0
+        finally:
+            listener.stop()
+
+
+class TestServe:
+    def test_serve_with_timeout(self, store, capsys):
+        done = []
+
+        def run():
+            done.append(main([
+                "serve", "--store", store, "--port", "0",
+                "--timeout", "0.3",
+            ]))
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert done == [0]
+        assert "NDP server on" in capsys.readouterr().out
+
+
+class TestInfoStats:
+    def test_stats_flag_prints_ranges(self, store, capsys):
+        rc = main(["info", "--store", store, "--stats",
+                   "--prefix", "asteroid/ts00000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "min=" in out and "max=" in out and "mean=" in out
+
+    def test_selection_blobs_do_not_break_info(self, store, capsys):
+        # Precompute a selection next to the data; info must skip it.
+        from repro.core.insitu import precompute_selections
+        from repro.storage import DirectoryBackend, ObjectStore, S3FileSystem
+
+        fs = S3FileSystem(ObjectStore(DirectoryBackend(store)), "sim")
+        precompute_selections(fs, "asteroid/ts00000.vgf", ["v02"], [0.1])
+        rc = main(["info", "--store", store])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ".sel/" not in out

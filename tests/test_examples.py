@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Run as subprocesses from a temp directory (examples write images to their
+CWD) at reduced resolution, checking exit status and key output lines —
+enough to catch API drift without re-testing the underlying features.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(tmp_path, name: str, *args: str, timeout: int = 420):
+    script = os.path.abspath(os.path.join(EXAMPLES, name))
+    proc = subprocess.run(
+        [sys.executable, script, *args],
+        cwd=str(tmp_path),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example(tmp_path, "quickstart.py")
+        assert "bit-identical" in out
+        assert (tmp_path / "quickstart_contour.ppm").exists()
+
+    def test_contour2d_fig3(self, tmp_path):
+        out = run_example(tmp_path, "contour2d_fig3.py")
+        assert "contour value 5" in out
+        assert "line segments" in out
+
+    def test_asteroid_movie(self, tmp_path):
+        out = run_example(tmp_path, "asteroid_movie.py", "24", str(tmp_path / "movie"))
+        assert "done — 9 frames" in out
+        frames = list((tmp_path / "movie").glob("frame_*.ppm"))
+        assert len(frames) == 9
+
+    def test_nyx_halos(self, tmp_path):
+        out = run_example(tmp_path, "nyx_halos.py", "32")
+        assert "halo" in out
+        assert (tmp_path / "nyx_halos.ppm").exists()
+
+    def test_ndp_vs_baseline(self, tmp_path):
+        out = run_example(tmp_path, "ndp_vs_baseline.py", "24")
+        assert "Table II" in out
+        assert "planner" in out.lower()
+
+    def test_adaptive_explorer(self, tmp_path):
+        out = run_example(tmp_path, "adaptive_explorer.py", "24")
+        assert "catalog: 5 timesteps" in out
+        assert "server totals" in out

@@ -1,0 +1,162 @@
+"""Failure-injection tests: faults at every layer surface as typed errors.
+
+The system's failure contract: any corruption, truncation, or transport
+fault raises a :class:`~repro.errors.ReproError` subclass at the client —
+never silent wrong data, never a foreign exception type.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NDPServer, ndp_contour
+from repro.errors import (
+    FormatError,
+    ReproError,
+    RPCError,
+    RPCRemoteError,
+    RPCTransportError,
+)
+from repro.io import write_vgf
+from repro.rpc import InProcessTransport, RPCClient, pack
+from repro.rpc.transport import Transport
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+from tests.conftest import make_sphere_grid
+
+
+@pytest.fixture
+def env():
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    fs.write_object("g.vgf", write_vgf(make_sphere_grid(10), codec="gzip"))
+    server = NDPServer(fs)
+    client = RPCClient(InProcessTransport(server.dispatch))
+    return store, fs, server, client
+
+
+class FlakyTransport(Transport):
+    """Fails the first ``failures`` requests, then delegates."""
+
+    def __init__(self, inner: Transport, failures: int = 1):
+        self.inner = inner
+        self.remaining = failures
+        self.attempts = 0
+
+    def request(self, payload: bytes) -> bytes:
+        self.attempts += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise RPCTransportError("injected connection drop")
+        return self.inner.request(payload)
+
+
+class GarbageTransport(Transport):
+    """Returns non-protocol bytes."""
+
+    def request(self, payload: bytes) -> bytes:
+        return b"\x93\x01\x02\x03"  # a valid msgpack array, wrong shape
+
+
+class TestTransportFaults:
+    def test_drop_surfaces_as_transport_error(self, env):
+        _, _, server, _ = env
+        flaky = FlakyTransport(InProcessTransport(server.dispatch), failures=1)
+        client = RPCClient(flaky)
+        with pytest.raises(RPCTransportError, match="injected"):
+            client.call("list_objects", "")
+        # The transport recovers; the client object is still usable.
+        assert client.call("list_objects", "") == ["g.vgf"]
+
+    def test_garbage_response_is_protocol_error(self):
+        client = RPCClient(GarbageTransport())
+        with pytest.raises(RPCError, match="invalid rpc response"):
+            client.call("anything")
+
+    def test_msgid_mismatch_detected(self, env):
+        _, _, server, _ = env
+
+        class ReplayTransport(Transport):
+            def request(self, payload):
+                return pack([1, 999, None, "stale"])
+
+        client = RPCClient(ReplayTransport())
+        with pytest.raises(RPCError, match="msgid"):
+            client.call("list_objects", "")
+
+
+class TestCorruptStore:
+    def test_corrupt_block_is_remote_format_error(self, env):
+        store, fs, server, client = env
+        blob = bytearray(store.get_object("sim", "g.vgf"))
+        blob[-10] ^= 0xFF  # flip a byte inside the gzip block
+        store.put_object("sim", "g.vgf", bytes(blob))
+        with pytest.raises(RPCRemoteError, match="FormatError"):
+            ndp_contour(client, "g.vgf", "r", [3.0])
+
+    def test_truncated_object_is_remote_error(self, env):
+        store, _, _, client = env
+        blob = store.get_object("sim", "g.vgf")
+        store.put_object("sim", "g.vgf", blob[: len(blob) // 2])
+        with pytest.raises(RPCRemoteError):
+            ndp_contour(client, "g.vgf", "r", [3.0])
+
+    def test_non_vgf_object_is_remote_error(self, env):
+        store, _, _, client = env
+        store.put_object("sim", "junk.vgf", b"this is not a vgf file at all")
+        with pytest.raises(RPCRemoteError, match="magic"):
+            ndp_contour(client, "junk.vgf", "r", [3.0])
+
+    def test_client_side_corrupt_read_is_format_error(self, env):
+        store, fs, _, _ = env
+        from repro.io.vgf import read_vgf
+
+        blob = bytearray(store.get_object("sim", "g.vgf"))
+        blob[-10] ^= 0xFF
+        with pytest.raises(FormatError):
+            read_vgf(bytes(blob))
+
+
+class TestCorruptSelectionWire:
+    def test_tampered_reply_detected(self, env):
+        """Bit flips in the selection payload cannot decode silently."""
+        _, _, server, client = env
+        encoded = client.call(
+            "prefilter_contour", "g.vgf", "r", [3.0], "cell-closure", "auto", "lz4"
+        )
+        tampered = dict(encoded)
+        payload = bytearray(tampered["values"])
+        payload[len(payload) // 2] ^= 0xFF
+        tampered["values"] = bytes(payload)
+        from repro.core.encoding import decode_selection
+
+        with pytest.raises(ReproError):
+            decode_selection(tampered)
+
+    def test_truncated_id_stream_detected(self, env):
+        _, _, server, client = env
+        encoded = client.call(
+            "prefilter_contour", "g.vgf", "r", [3.0], "cell-closure", "ids", "raw"
+        )
+        tampered = dict(encoded)
+        tampered["id_deltas"] = tampered["id_deltas"][:-4]
+        from repro.core.encoding import decode_selection
+
+        with pytest.raises(FormatError):
+            decode_selection(tampered)
+
+
+class TestServerRobustness:
+    def test_bad_arguments_do_not_kill_server(self, env):
+        _, _, server, client = env
+        for bad_call in (
+            lambda: client.call("prefilter_contour", "g.vgf", "r", [], "cell-closure"),
+            lambda: client.call("prefilter_contour", "g.vgf", "r", ["NaN"], "cell-closure"),
+            lambda: client.call("prefilter_slice", "g.vgf", "r", 9, 0.0),
+            lambda: client.call("prefilter_threshold", "g.vgf", "r", 5.0, 1.0),
+        ):
+            with pytest.raises(RPCRemoteError):
+                bad_call()
+        # Server still healthy afterwards.
+        pd, _ = ndp_contour(client, "g.vgf", "r", [3.0])
+        assert pd.num_points > 0

@@ -1,0 +1,85 @@
+"""Public API surface tests: everything advertised is importable and real."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.grid",
+    "repro.pipeline",
+    "repro.filters",
+    "repro.compression",
+    "repro.rpc",
+    "repro.storage",
+    "repro.io",
+    "repro.core",
+    "repro.render",
+    "repro.datasets",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_resolves(name):
+    """Every name in __all__ must exist on the module."""
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 40, (
+        f"{name} lacks a meaningful docstring"
+    )
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_symbols_documented():
+    """Every public class/function exported at top level has a docstring."""
+    import repro
+
+    for symbol in repro.__all__:
+        obj = getattr(repro, symbol)
+        if callable(obj):
+            assert obj.__doc__, f"repro.{symbol} lacks a docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for symbol in errors.__all__:
+            obj = getattr(errors, symbol)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), symbol
+
+    def test_rpc_remote_error_payload(self):
+        from repro.errors import RPCError, RPCRemoteError
+
+        err = RPCRemoteError("method_x", "remote traceback text")
+        assert isinstance(err, RPCError)
+        assert err.method == "method_x"
+        assert "remote traceback text" in str(err)
+
+    def test_catching_base_covers_subsystems(self):
+        from repro.errors import (
+            CodecError,
+            FormatError,
+            GridError,
+            PipelineError,
+            ReproError,
+            StorageError,
+        )
+
+        for cls in (CodecError, FormatError, GridError, PipelineError, StorageError):
+            with pytest.raises(ReproError):
+                raise cls("boom")
