@@ -19,13 +19,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.ndp_client import ndp_contour
+from repro.core.ndp_client import FallbackPolicy, ndp_contour
 from repro.core.ndp_server import NDPServer
 from repro.datasets.asteroid import AsteroidImpactDataset, AsteroidParams
 from repro.datasets.nyx import NyxDataset, NyxParams
+from repro.errors import ReproError, RPCTransportError
 from repro.io.ppm import write_ppm
 from repro.io.vgf import read_vgf_info, write_vgf
 from repro.rpc.client import RPCClient
+from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
+from repro.rpc.transport import TCPTransport
+from repro.storage.metrics import ResilienceStats
 from repro.storage.object_store import DirectoryBackend, ObjectStore
 from repro.storage.s3fs import S3FileSystem
 
@@ -120,33 +124,103 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _resilience_from_args(args) -> tuple[RetryPolicy, CircuitBreaker | None, ResilienceStats]:
+    retry = RetryPolicy(
+        max_attempts=max(1, args.retries),
+        base_delay=args.backoff,
+        deadline=args.deadline if args.deadline > 0 else None,
+    )
+    breaker = (
+        CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            reset_timeout=args.breaker_reset,
+        )
+        if args.breaker_threshold > 0
+        else None
+    )
+    return retry, breaker, ResilienceStats()
+
+
 def cmd_contour(args) -> int:
-    values = [float(v) for v in args.values.split(",")]
-    if args.connect:
-        host, _, port = args.connect.rpartition(":")
-        client = RPCClient.connect_tcp(host or "127.0.0.1", int(port))
-        close = client.close
-    else:
+    try:
+        values = [float(v) for v in args.values.split(",")]
+    except ValueError:
+        print(f"error: --values must be comma-separated numbers, "
+              f"got {args.values!r}", file=sys.stderr)
+        return 2
+    retry, breaker, rstats = _resilience_from_args(args)
+    fallback = None
+    if args.fallback:
         if not args.store:
-            print("error: provide --connect host:port or --store DIR",
+            print("error: --fallback needs --store DIR to read from",
                   file=sys.stderr)
             return 2
-        fs = _open_fs(args.store, args.bucket)
-        client = RPCClient.in_process(NDPServer(fs).rpc)
-        close = lambda: None  # noqa: E731 - nothing to release in-process
+        fallback = FallbackPolicy(_open_fs(args.store, args.bucket), stats=rstats)
+    client = None
+    close = lambda: None  # noqa: E731 - replaced when a client is built
     try:
-        polydata, stats = ndp_contour(client, args.key, args.array, values)
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            try:
+                transport = TCPTransport(host or "127.0.0.1", int(port))
+            except RPCTransportError as exc:
+                if fallback is None:
+                    raise
+                # Server unreachable before the first frame: degrade now.
+                polydata, stats = fallback.contour(
+                    args.key, args.array, values, reason=exc
+                )
+                return _report_contour(args, polydata, stats, rstats)
+            client = RPCClient(
+                ResilientTransport(
+                    transport, retry=retry, breaker=breaker, stats=rstats
+                )
+            )
+            close = client.close
+        else:
+            if not args.store:
+                print("error: provide --connect host:port or --store DIR",
+                      file=sys.stderr)
+                return 2
+            fs = _open_fs(args.store, args.bucket)
+            from repro.rpc.transport import InProcessTransport
+
+            client = RPCClient(
+                ResilientTransport(
+                    InProcessTransport(NDPServer(fs).rpc.dispatch),
+                    retry=retry, breaker=breaker, stats=rstats,
+                )
+            )
+        polydata, stats = ndp_contour(
+            client, args.key, args.array, values, fallback=fallback
+        )
     finally:
         close()
+    return _report_contour(args, polydata, stats, rstats)
+
+
+def _report_contour(args, polydata, stats, rstats: ResilienceStats) -> int:
     print(
         f"contour: {polydata.triangles().shape[0]} triangles, "
         f"{polydata.num_points} points"
     )
-    if stats:
+    if stats and stats.get("path") == "fallback":
+        print(
+            f"path: baseline fallback ({stats.get('fallback_reason')}); "
+            f"read {stats['stored_bytes'] / 1e3:.1f} kB stored"
+        )
+    elif stats:
         print(
             f"transferred {stats['wire_bytes'] / 1e3:.1f} kB of "
             f"{stats['raw_bytes'] / 1e6:.2f} MB raw "
             f"({stats['selected_points']} of {stats['total_points']} points)"
+        )
+    events = rstats.as_dict()
+    if events.get("retries") or events.get("breaker_trips") or events.get("fallbacks"):
+        print(
+            f"resilience: {events.get('retries', 0)} retries, "
+            f"{events.get('breaker_trips', 0)} breaker trips, "
+            f"{events.get('fallbacks', 0)} fallbacks"
         )
     if args.render:
         from repro.render.scene import Scene
@@ -156,6 +230,32 @@ def cmd_contour(args) -> int:
         write_ppm(args.render, scene.render(args.width, args.height))
         print(f"wrote {args.render}")
     return 0
+
+
+def cmd_health(args) -> int:
+    retry, breaker, rstats = _resilience_from_args(args)
+    host, _, port = args.connect.rpartition(":")
+    try:
+        transport = TCPTransport(host or "127.0.0.1", int(port))
+    except RPCTransportError as exc:
+        print(f"unreachable: {exc}")
+        return 1
+    client = RPCClient(
+        ResilientTransport(transport, retry=retry, breaker=breaker, stats=rstats)
+    )
+    try:
+        report = client.call("health")
+    except RPCTransportError as exc:
+        print(f"unreachable: {exc}")
+        return 1
+    finally:
+        client.close()
+    print(
+        f"status: {report['status']} "
+        f"(store_reachable={report['store_reachable']}, "
+        f"requests_served={report['requests_served']})"
+    )
+    return 0 if report["status"] == "ok" else 1
 
 
 # ---------------------------------------------------------------------------
@@ -207,14 +307,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--render", default="", help="write a PPM frame here")
     p.add_argument("--width", type=int, default=640)
     p.add_argument("--height", type=int, default=480)
+    _add_resilience_flags(p)
+    p.add_argument("--fallback", action="store_true",
+                   help="degrade to a baseline full read through --store "
+                        "when the NDP server is unreachable")
     p.set_defaults(func=cmd_contour)
+
+    p = sub.add_parser("health", help="probe an NDP server's health endpoint")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    _add_resilience_flags(p)
+    p.set_defaults(func=cmd_health)
 
     return parser
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--retries", type=int, default=3,
+                   help="total attempts per RPC (default 3)")
+    p.add_argument("--backoff", type=float, default=0.05,
+                   help="base retry backoff in seconds (exponential)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="per-request time budget in seconds (0 = none)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive failures before the circuit breaker "
+                        "opens (0 = breaker off)")
+    p.add_argument("--breaker-reset", type=float, default=30.0,
+                   help="seconds an open breaker waits before a half-open probe")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.core.filter_splits import (
     prefilter_threshold,
 )
 from repro.core.ndp_client import (
+    FallbackPolicy,
     NDPContourSource,
     ndp_batch,
     ndp_contour,
@@ -60,6 +61,7 @@ __all__ = [
     "SplitContourPipeline",
     "NDPServer",
     "NDPContourSource",
+    "FallbackPolicy",
     "ndp_contour",
     "ndp_threshold",
     "ndp_slice",

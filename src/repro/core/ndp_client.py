@@ -9,20 +9,37 @@ pre-filter and emits the decoded
 
 :func:`ndp_contour` is the one-call convenience wrapping source +
 post-filter for scripts.
+
+:class:`FallbackPolicy` is the graceful-degradation half of the fault
+story: when the NDP hop is unreachable (transport errors survive the
+resilient transport's retries, or its circuit breaker is open), the client
+falls back to the paper's *baseline* placement — a full-array read through
+its own s3fs mount, contoured locally.  The pre/post-filter invariant
+guarantees the geometry is identical either way; only the cost differs,
+and that difference is surfaced through
+:class:`~repro.storage.metrics.ResilienceStats`.
 """
 
 from __future__ import annotations
 
 from repro.core.encoding import decode_selection
 from repro.core.postfilter import postfilter_contour
-from repro.errors import PipelineError
-from repro.filters.contour import normalize_values
+from repro.errors import CircuitOpenError, PipelineError, RPCTransportError
+from repro.filters.contour import contour_grid, normalize_values
 from repro.grid.polydata import PolyData
 from repro.grid.selection import PointSelection
 from repro.pipeline.source import Source
 from repro.rpc.client import RPCClient
+from repro.storage.metrics import ResilienceStats
 
-__all__ = ["NDPContourSource", "ndp_contour", "ndp_threshold", "ndp_slice", "ndp_batch"]
+__all__ = [
+    "NDPContourSource",
+    "FallbackPolicy",
+    "ndp_contour",
+    "ndp_threshold",
+    "ndp_slice",
+    "ndp_batch",
+]
 
 
 class NDPContourSource(Source):
@@ -102,6 +119,84 @@ class NDPContourSource(Source):
         return decode_selection(encoded)
 
 
+class FallbackPolicy:
+    """Degrade an NDP call to the baseline full-array read when the hop fails.
+
+    Parameters
+    ----------
+    fs:
+        The client-side mount (a :class:`~repro.storage.s3fs.S3FileSystem`
+        whose ``link``, if any, models the client<->storage network): the
+        baseline placement of paper Fig. 11b.  Must see the same bucket the
+        NDP server serves.
+    triggers:
+        Exception classes that justify falling back.  Defaults to transport
+        failures (including timeouts) and an open circuit breaker.  Remote
+        handler errors (``RPCRemoteError``) are *not* in the default set:
+        they are deterministic — the baseline read would hit the same
+        corrupt object — so falling back would only mask them.
+    stats:
+        Optional shared :class:`~repro.storage.metrics.ResilienceStats`;
+        records ``fallbacks`` / ``ndp_successes`` / ``fallback_bytes`` and
+        keeps the last fallback reason for operator visibility.
+    """
+
+    def __init__(
+        self,
+        fs,
+        triggers: tuple[type[BaseException], ...] = (
+            RPCTransportError,
+            CircuitOpenError,
+        ),
+        stats: ResilienceStats | None = None,
+    ):
+        self.fs = fs
+        self.triggers = tuple(triggers)
+        self.stats = stats if stats is not None else ResilienceStats()
+
+    def should_fallback(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.triggers)
+
+    # ------------------------------------------------------------------
+    def record_ndp_success(self) -> None:
+        self.stats.record("ndp_successes")
+
+    def contour(
+        self, key: str, array_name: str, values, roi=None, reason: BaseException | None = None
+    ) -> tuple[PolyData, dict]:
+        """Baseline contour: full array through ``fs``, filtered locally.
+
+        Returns ``(polydata, stats)`` shaped like the NDP reply's stats so
+        callers can stay path-agnostic; ``stats["path"]`` says which way
+        the data came.
+        """
+        from repro.io.vgf import read_vgf_array, read_vgf_info
+
+        with self.fs.open(key) as fh:
+            info = read_vgf_info(fh)
+            entry = info.array(array_name)
+            arr, _ = read_vgf_array(fh, array_name, info)
+        grid = info.make_grid()
+        grid.point_data.add(arr)
+        polydata = contour_grid(grid, array_name, values, roi=roi)
+        self.stats.record("fallbacks")
+        self.stats.record("fallback_bytes", entry.stored_bytes)
+        self.stats.last_fallback_reason = (
+            f"{type(reason).__name__}: {reason}" if reason is not None else None
+        )
+        stats = {
+            "path": "fallback",
+            "stored_bytes": entry.stored_bytes,
+            "raw_bytes": entry.raw_bytes,
+            "codec": entry.codec,
+            # The whole stored block crossed the client's mount: with no
+            # pre-filter there is no reduction to report.
+            "wire_bytes": entry.stored_bytes,
+            "fallback_reason": self.stats.last_fallback_reason,
+        }
+        return polydata, stats
+
+
 def ndp_threshold(
     client: RPCClient,
     key: str,
@@ -174,6 +269,7 @@ def ndp_contour(
     encoding: str = "auto",
     wire_codec: str = "lz4",
     roi=None,
+    fallback: FallbackPolicy | None = None,
 ) -> tuple[PolyData, dict | None]:
     """One-call NDP contour: offload the pre-filter, finish locally.
 
@@ -181,17 +277,35 @@ def ndp_contour(
     report (stored/raw/wire bytes, selection counts).  ``roi`` is an
     optional :class:`~repro.grid.bounds.Bounds` region of interest,
     applied identically on both sides.
+
+    With a :class:`FallbackPolicy`, transport-level failures (after
+    whatever retrying the client's transport performs) degrade to the
+    baseline full-array read instead of raising; the returned geometry is
+    identical either way and ``stats["path"]`` records which path served
+    the request.
     """
-    if roi is not None:
-        encoded = client.call(
-            "prefilter_contour", key, array_name, list(normalize_values(values)),
-            mode, encoding, wire_codec, list(roi.as_tuple()),
-        )
-        selection = decode_selection(encoded)
-        return (
-            postfilter_contour(selection, values, roi=roi),
-            encoded.get("stats"),
-        )
-    source = NDPContourSource(client, key, array_name, values, mode, encoding, wire_codec)
-    selection = source.output()
-    return postfilter_contour(selection, values), source.last_stats
+    try:
+        if roi is not None:
+            encoded = client.call(
+                "prefilter_contour", key, array_name, list(normalize_values(values)),
+                mode, encoding, wire_codec, list(roi.as_tuple()),
+            )
+            selection = decode_selection(encoded)
+            polydata = postfilter_contour(selection, values, roi=roi)
+            stats = encoded.get("stats")
+        else:
+            source = NDPContourSource(
+                client, key, array_name, values, mode, encoding, wire_codec
+            )
+            selection = source.output()
+            polydata = postfilter_contour(selection, values)
+            stats = source.last_stats
+    except Exception as exc:
+        if fallback is None or not fallback.should_fallback(exc):
+            raise
+        return fallback.contour(key, array_name, values, roi=roi, reason=exc)
+    if stats is not None:
+        stats.setdefault("path", "ndp")
+    if fallback is not None:
+        fallback.record_ndp_success()
+    return polydata, stats

@@ -73,6 +73,7 @@ class NDPServer:
                 "list_objects": self.list_objects,
                 "describe": self.describe,
                 "server_stats": self.server_stats,
+                "health": self.health,
             }
         )
 
@@ -165,6 +166,28 @@ class NDPServer:
             self._stats["raw_bytes_scanned"] += stats["raw_bytes"]
             self._stats["wire_bytes_sent"] += stats["wire_bytes"]
             self._stats["selected_points"] += stats["selected_points"]
+
+    def health(self) -> dict:
+        """Cheap liveness/readiness probe for clients and load balancers.
+
+        Unlike the pre-filter endpoints this touches no object data, so a
+        resilient client (or its circuit breaker's half-open probe) can
+        distinguish "server down" from "that one object is bad" without
+        paying for an array scan.  ``store_reachable`` confirms the local
+        mount answers a metadata call.
+        """
+        try:
+            self.fs.listdir("")
+            store_reachable = True
+        except Exception:
+            store_reachable = False
+        with self._stats_lock:
+            served = self._stats["requests"]
+        return {
+            "status": "ok" if store_reachable else "degraded",
+            "store_reachable": store_reachable,
+            "requests_served": served,
+        }
 
     def server_stats(self) -> dict:
         """Lifetime counters: offload calls, bytes scanned vs shipped.

@@ -17,6 +17,8 @@ __all__ = [
     "RPCError",
     "RPCRemoteError",
     "RPCTransportError",
+    "RPCTimeoutError",
+    "CircuitOpenError",
     "StorageError",
     "NoSuchObjectError",
     "NoSuchBucketError",
@@ -67,6 +69,28 @@ class RPCRemoteError(RPCError):
 
 class RPCTransportError(RPCError):
     """The transport failed (connection refused, truncated frame, ...)."""
+
+
+class RPCTimeoutError(RPCTransportError):
+    """A request exceeded its deadline (socket timeout or retry budget).
+
+    Subclasses :class:`RPCTransportError` because a timeout is a transport
+    failure: existing ``except RPCTransportError`` handlers keep working,
+    and the resilient transport treats it as retryable when budget remains.
+    """
+
+
+class CircuitOpenError(RPCError):
+    """The circuit breaker is open: the request was rejected locally.
+
+    Deliberately *not* a :class:`RPCTransportError` — nothing touched the
+    wire.  Carries the failure count and the simulated/real time until the
+    breaker will probe again, when known.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class StorageError(ReproError):

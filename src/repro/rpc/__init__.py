@@ -7,11 +7,14 @@ This package provides the same two layers from scratch:
 * :mod:`repro.rpc.msgpack` — a spec-complete MessagePack encoder/decoder,
 * :mod:`repro.rpc.server` / :mod:`repro.rpc.client` — function-registration
   RPC over pluggable transports (in-process for tests, TCP for real
-  two-process runs, simulated for benchmark cost accounting).
+  two-process runs, simulated for benchmark cost accounting),
+* :mod:`repro.rpc.resilience` — retry/backoff/deadline/circuit-breaker
+  wrapper making the client<->storage hop fault tolerant.
 """
 
 from repro.rpc.client import RPCClient
 from repro.rpc.msgpack import ExtType, Timestamp, pack, unpack
+from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
 from repro.rpc.server import RPCServer
 from repro.rpc.transport import (
     InProcessTransport,
@@ -33,4 +36,7 @@ __all__ = [
     "TCPTransport",
     "TCPServerTransport",
     "SimulatedTransport",
+    "ResilientTransport",
+    "RetryPolicy",
+    "CircuitBreaker",
 ]

@@ -24,7 +24,7 @@ import threading
 from abc import ABC, abstractmethod
 from typing import Callable
 
-from repro.errors import RPCTransportError
+from repro.errors import RPCTimeoutError, RPCTransportError
 
 __all__ = [
     "Transport",
@@ -128,18 +128,51 @@ class TCPTransport(Transport):
     """
 
     def __init__(self, host: str, port: int, timeout: float | None = 30.0):
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise RPCTransportError(f"cannot connect to {host}:{port}: {exc}") from exc
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._lock = threading.Lock()
+        self._sock = self._dial()
+
+    def _dial(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except socket.timeout as exc:
+            raise RPCTimeoutError(
+                f"connect to {self._host}:{self._port} timed out "
+                f"after {self._timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise RPCTransportError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def reconnect(self) -> None:
+        """Drop the current connection and dial a fresh one.
+
+        A failed request leaves the single framed connection in an unknown
+        state (half-written frame, server-side close), so retrying over it
+        can never succeed; :class:`~repro.rpc.resilience.ResilientTransport`
+        calls this between attempts when the wrapped transport offers it.
+        """
+        with self._lock:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = self._dial()
 
     def request(self, payload: bytes) -> bytes:
         with self._lock:
             try:
                 write_frame(self._sock, payload)
                 return read_frame(self._sock)
+            except socket.timeout as exc:
+                raise RPCTimeoutError(f"socket timed out: {exc}") from exc
             except OSError as exc:
                 raise RPCTransportError(f"socket error: {exc}") from exc
 

@@ -11,7 +11,12 @@ Substitutes for the paper's testbed pieces:
   benches aggregate into the paper's "data load time" breakdowns.
 """
 
-from repro.storage.metrics import ByteCounter, LoadBreakdown, PhaseTimer
+from repro.storage.metrics import (
+    ByteCounter,
+    LoadBreakdown,
+    PhaseTimer,
+    ResilienceStats,
+)
 from repro.storage.netsim import (
     PAPER_TESTBED,
     CodecTiming,
@@ -38,4 +43,5 @@ __all__ = [
     "ByteCounter",
     "PhaseTimer",
     "LoadBreakdown",
+    "ResilienceStats",
 ]

@@ -4,15 +4,21 @@ The paper measures "the time required for a pipeline to prepare data in
 memory for contour generation" broken into read, decompress, filter, and
 transfer components (Sec. VI).  :class:`LoadBreakdown` is that record;
 :class:`PhaseTimer` fills it from a :class:`~repro.storage.netsim.SimClock`.
+
+:class:`ResilienceStats` is the observability side of the fault-tolerant
+transport (:mod:`repro.rpc.resilience`): it counts retries, timeouts,
+breaker trips, and baseline fallbacks, plus the extra bytes the fallback
+path pulled — the cost of *not* offloading when the NDP hop is down.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
-__all__ = ["ByteCounter", "PhaseTimer", "LoadBreakdown"]
+__all__ = ["ByteCounter", "PhaseTimer", "LoadBreakdown", "ResilienceStats"]
 
 
 class ByteCounter:
@@ -35,6 +41,51 @@ class ByteCounter:
 
     def as_dict(self) -> dict[str, int]:
         return dict(self._counts)
+
+
+class ResilienceStats:
+    """Event counters for the resilient NDP path.
+
+    One instance is typically shared between a
+    :class:`~repro.rpc.resilience.ResilientTransport` (which records
+    ``attempts``/``retries``/``failures``/``successes``/``timeouts``/
+    ``breaker_trips``/``breaker_rejections``) and a
+    :class:`~repro.core.ndp_client.FallbackPolicy` (which records
+    ``fallbacks``, ``fallback_bytes``, and ``ndp_successes``).  Thread-safe:
+    the TCP client may retry from several threads.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: dict[str, int] = {}
+        #: human-readable reason for the most recent baseline fallback
+        self.last_fallback_reason: str | None = None
+
+    def record(self, event: str, n: int = 1) -> None:
+        if n < 0:
+            raise ReproError(f"cannot record {n} occurrences of {event!r}")
+        with self._lock:
+            self._events[event] = self._events.get(event, 0) + n
+
+    def get(self, event: str) -> int:
+        with self._lock:
+            return self._events.get(event, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._events)
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of completed NDP requests served by the baseline path."""
+        with self._lock:
+            fallbacks = self._events.get("fallbacks", 0)
+            done = fallbacks + self._events.get("ndp_successes", 0)
+        return fallbacks / done if done else 0.0
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))
+        return f"ResilienceStats({inner})"
 
 
 @dataclass

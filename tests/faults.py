@@ -1,0 +1,274 @@
+"""Deterministic fault-injection harness for the NDP transport stack.
+
+Everything here is *scripted*: faults come from an explicit action list or
+a seeded RNG, and time comes from a :class:`FakeClock`, so tests exercise
+every retry/backoff/breaker/fallback branch byte-for-byte reproducibly and
+with **zero wall-clock sleeps**.
+
+Building blocks
+---------------
+* :class:`FakeClock` — injectable monotonic clock; ``sleep`` advances it
+  and logs the requested duration instead of blocking.
+* Fault actions — :class:`Ok`, :class:`Drop`, :class:`Delay`,
+  :class:`Truncate`, :class:`Corrupt`; data records describing what happens
+  to one request.
+* :class:`FaultSchedule` — a queue of actions consumed one per request
+  (explicit script, ``drops(n)`` for N-consecutive-failure sequences, or
+  :meth:`FaultSchedule.random` from a seed).
+* :class:`FaultyTransport` — wraps a :class:`~repro.rpc.transport.Transport`,
+  applying the schedule to each ``request``.
+* :class:`FaultyBackend` — wraps an object store, applying a schedule to
+  ``get_object`` so storage-layer faults are injectable under a real
+  :class:`~repro.storage.s3fs.S3FileSystem`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import RPCTransportError, StorageError
+from repro.rpc.transport import Transport
+
+__all__ = [
+    "FakeClock",
+    "Ok",
+    "Drop",
+    "Delay",
+    "Truncate",
+    "Corrupt",
+    "drops",
+    "FaultSchedule",
+    "FaultyTransport",
+    "FaultyBackend",
+]
+
+
+class FakeClock:
+    """A monotonic clock tests control explicitly.
+
+    Use the instance itself as the ``clock`` callable and bind
+    :meth:`sleep` wherever a sleep function is injected; sleeps advance
+    the clock and are logged, never blocking.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        assert seconds >= 0
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.advance(seconds)
+
+
+# ---------------------------------------------------------------------------
+# Fault actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ok:
+    """Pass the request through untouched."""
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Fail before any bytes move (connection refused / reset)."""
+
+    message: str = "injected connection drop"
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Advance the injected clock by ``seconds``, then apply ``then``.
+
+    Models a slow link or stalled server without real waiting; with
+    ``then=Drop()`` it is a hang-then-reset, with the default ``Ok()`` a
+    late success (which a deadline may still reject).
+    """
+
+    seconds: float = 1.0
+    then: object = field(default_factory=Ok)
+
+
+@dataclass(frozen=True)
+class Truncate:
+    """Deliver only the first ``keep_bytes`` of the response payload.
+
+    The client's decoder must reject the remainder loudly — the library's
+    failure contract is typed errors, never silently wrong data.
+    """
+
+    keep_bytes: int = 8
+
+
+@dataclass(frozen=True)
+class Corrupt:
+    """XOR one response byte (``offset`` may be negative, Python-style)."""
+
+    offset: int = -1
+    mask: int = 0xFF
+
+
+def drops(n: int, message: str = "injected connection drop") -> list:
+    """An N-consecutive-failure sequence (then the schedule's default)."""
+    return [Drop(message)] * n
+
+
+class FaultSchedule:
+    """A per-request queue of fault actions.
+
+    Each intercepted call consumes the next action; once the script is
+    exhausted every call gets ``default`` (pass-through unless a
+    permanently-down scenario sets ``default=Drop()``).
+    """
+
+    def __init__(self, actions=(), default=None):
+        self._queue = deque(actions)
+        self.default = default if default is not None else Ok()
+        #: every action handed out, in order — assert against this
+        self.log: list = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def next(self):
+        action = self._queue.popleft() if self._queue else self.default
+        self.log.append(action)
+        return action
+
+    def push(self, *actions) -> "FaultSchedule":
+        self._queue.extend(actions)
+        return self
+
+    @classmethod
+    def permanently_down(cls, message: str = "injected: server down") -> "FaultSchedule":
+        return cls(default=Drop(message))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        length: int,
+        drop: float = 0.3,
+        delay: float = 0.2,
+        delay_seconds: float = 0.5,
+    ) -> "FaultSchedule":
+        """A seeded random script of drops/delays/passes.
+
+        Only *retryable* faults are drawn, so a resilient client with a
+        fallback configured always completes — which is exactly the
+        property the equivalence tests assert.
+        """
+        rng = random.Random(seed)
+        actions = []
+        for _ in range(length):
+            r = rng.random()
+            if r < drop:
+                actions.append(Drop())
+            elif r < drop + delay:
+                actions.append(Delay(rng.uniform(0.0, delay_seconds)))
+            else:
+                actions.append(Ok())
+        return cls(actions)
+
+
+# ---------------------------------------------------------------------------
+# Fault injectors
+# ---------------------------------------------------------------------------
+
+
+class FaultyTransport(Transport):
+    """Applies a :class:`FaultSchedule` to every ``request``.
+
+    Drops and delayed drops raise :class:`~repro.errors.RPCTransportError`
+    *without* reaching the inner transport (the frame never left);
+    truncation and corruption tamper with the inner response on the way
+    back.  ``clock`` is required whenever the schedule contains delays.
+    """
+
+    def __init__(self, inner: Transport, schedule: FaultSchedule, clock: FakeClock | None = None):
+        self.inner = inner
+        self.schedule = schedule
+        self.clock = clock
+        self.attempts = 0
+
+    def request(self, payload: bytes) -> bytes:
+        self.attempts += 1
+        return self._apply(self.schedule.next(), payload)
+
+    def _apply(self, action, payload: bytes) -> bytes:
+        if isinstance(action, Delay):
+            if self.clock is None:
+                raise AssertionError("Delay fault requires a FakeClock")
+            self.clock.advance(action.seconds)
+            return self._apply(action.then, payload)
+        if isinstance(action, Drop):
+            raise RPCTransportError(action.message)
+        response = self.inner.request(payload)
+        if isinstance(action, Truncate):
+            return response[: action.keep_bytes]
+        if isinstance(action, Corrupt):
+            mutated = bytearray(response)
+            mutated[action.offset] ^= action.mask
+            return bytes(mutated)
+        assert isinstance(action, Ok), f"unknown fault action {action!r}"
+        return response
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class FaultyBackend:
+    """Object-store wrapper injecting faults into ``get_object``.
+
+    Duck-types the store surface :class:`~repro.storage.s3fs.S3FileSystem`
+    needs (``get_object``/``head_object``/``list_objects``/``put_object``),
+    so a faulty *storage layer* can sit under real reads.  Drops surface
+    as :class:`~repro.errors.StorageError`; truncation and corruption
+    tamper with the returned bytes (downstream decoders must reject them).
+    """
+
+    def __init__(self, store, schedule: FaultSchedule, clock: FakeClock | None = None):
+        self.store = store
+        self.schedule = schedule
+        self.clock = clock
+        self.reads = 0
+
+    def get_object(self, bucket, key, offset=0, length=None):
+        self.reads += 1
+        action = self.schedule.next()
+        while isinstance(action, Delay):
+            if self.clock is None:
+                raise AssertionError("Delay fault requires a FakeClock")
+            self.clock.advance(action.seconds)
+            action = action.then
+        if isinstance(action, Drop):
+            raise StorageError(f"injected backend failure: {action.message}")
+        data = self.store.get_object(bucket, key, offset, length)
+        if isinstance(action, Truncate):
+            return data[: action.keep_bytes]
+        if isinstance(action, Corrupt):
+            mutated = bytearray(data)
+            mutated[action.offset] ^= action.mask
+            return bytes(mutated)
+        assert isinstance(action, Ok), f"unknown fault action {action!r}"
+        return data
+
+    # pass-throughs the filesystem layer relies on
+    def head_object(self, bucket, key):
+        return self.store.head_object(bucket, key)
+
+    def list_objects(self, bucket, prefix=""):
+        return self.store.list_objects(bucket, prefix)
+
+    def put_object(self, bucket, key, data):
+        return self.store.put_object(bucket, key, data)

@@ -1,0 +1,243 @@
+"""TCP transport edge cases: frame-size limits, truncation, empty frames.
+
+Direct tests of the wire framing (``uint32 BE length | payload``) that the
+failure-injection suite only exercises indirectly: oversized frames must
+be rejected on both send and receive, a peer disappearing mid-frame must
+raise a typed error, and zero-length frames are legal in both directions.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import RPCTimeoutError, RPCTransportError
+from repro.rpc import transport as transport_mod
+from repro.rpc.transport import (
+    TCPServerTransport,
+    TCPTransport,
+    read_frame,
+    write_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestMaxFrame:
+    def test_write_frame_rejects_oversized_payload(self, pair, monkeypatch):
+        a, _ = pair
+        # Shrink the limit rather than allocating a real 2 GiB payload.
+        monkeypatch.setattr(transport_mod, "MAX_FRAME", 64)
+        with pytest.raises(RPCTransportError, match="exceeds MAX_FRAME"):
+            write_frame(a, b"x" * 64)
+
+    def test_write_frame_at_limit_minus_one_passes(self, pair, monkeypatch):
+        a, b = pair
+        monkeypatch.setattr(transport_mod, "MAX_FRAME", 64)
+        write_frame(a, b"x" * 63)
+        assert read_frame(b) == b"x" * 63
+
+    def test_read_frame_rejects_garbage_length_prefix(self, pair):
+        a, b = pair
+        # A length prefix >= the real MAX_FRAME, no payload behind it.
+        a.sendall(struct.pack(">I", transport_mod.MAX_FRAME))
+        with pytest.raises(RPCTransportError, match="exceeds MAX_FRAME"):
+            read_frame(b)
+
+    def test_tcp_client_rejects_oversized_server_frame(self):
+        """A rogue server announcing a huge frame cannot OOM the client."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def rogue():
+            conn, _ = listener.accept()
+            read_frame(conn)  # consume the request politely
+            conn.sendall(struct.pack(">I", transport_mod.MAX_FRAME))
+            conn.close()
+
+        thread = threading.Thread(target=rogue, daemon=True)
+        thread.start()
+        client = TCPTransport("127.0.0.1", port, timeout=5.0)
+        try:
+            with pytest.raises(RPCTransportError, match="exceeds MAX_FRAME"):
+                client.request(b"hello")
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=2.0)
+
+
+class TestMidFrameDisconnect:
+    def test_read_frame_detects_truncated_payload(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b"only ten b")
+        a.close()
+        with pytest.raises(RPCTransportError, match="closed mid-frame"):
+            read_frame(b)
+
+    def test_read_frame_detects_truncated_header(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # half a length prefix
+        a.close()
+        with pytest.raises(RPCTransportError, match="closed mid-frame"):
+            read_frame(b)
+
+    def test_tcp_client_surfaces_mid_frame_disconnect(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def rogue():
+            conn, _ = listener.accept()
+            read_frame(conn)
+            conn.sendall(struct.pack(">I", 1 << 20) + b"partial payload")
+            conn.close()
+
+        thread = threading.Thread(target=rogue, daemon=True)
+        thread.start()
+        client = TCPTransport("127.0.0.1", port, timeout=5.0)
+        try:
+            with pytest.raises(RPCTransportError, match="mid-frame"):
+                client.request(b"hello")
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=2.0)
+
+    def test_unresponsive_server_is_timeout_error(self):
+        """A server that accepts but never replies trips the socket timeout
+        as :class:`RPCTimeoutError` (which the resilient layer can retry)."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        client = TCPTransport("127.0.0.1", port, timeout=0.2)
+        try:
+            with pytest.raises(RPCTimeoutError):
+                client.request(b"anyone there?")
+        finally:
+            client.close()
+            listener.close()
+
+
+class TestReconnect:
+    def test_retry_recovers_after_mid_request_connection_drop(self):
+        """A server that kills the first connection mid-frame must not doom
+        the request: :class:`ResilientTransport` re-dials between attempts
+        (via :meth:`TCPTransport.reconnect`), so the retry lands on a fresh
+        connection and succeeds."""
+        from repro.rpc.resilience import ResilientTransport, RetryPolicy
+        from repro.storage.metrics import ResilienceStats
+
+        listener = socket.socket()
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        connections = []
+
+        def flaky_server():
+            # First connection: read the request, then vanish mid-frame.
+            conn, _ = listener.accept()
+            connections.append(conn)
+            read_frame(conn)
+            conn.sendall(struct.pack(">I", 1 << 20) + b"gone")
+            conn.close()
+            # Second connection (the reconnect): behave.
+            conn, _ = listener.accept()
+            connections.append(conn)
+            payload = read_frame(conn)
+            write_frame(conn, payload.upper())
+            conn.close()
+
+        thread = threading.Thread(target=flaky_server, daemon=True)
+        thread.start()
+        stats = ResilienceStats()
+        client = ResilientTransport(
+            TCPTransport("127.0.0.1", port, timeout=5.0),
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                              deadline=None),
+            stats=stats,
+        )
+        try:
+            assert client.request(b"hello") == b"HELLO"
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=2.0)
+        assert len(connections) == 2  # retry really used a fresh socket
+        assert stats.get("reconnects") == 1
+        assert stats.get("retries") == 1
+
+    def test_reconnect_failure_is_swallowed_until_next_attempt(self):
+        """If the re-dial itself fails (server still down), the retry loop
+        keeps going and the *attempt* surfaces the error — reconnect never
+        raises out of the backoff path."""
+        from repro.rpc.resilience import ResilientTransport, RetryPolicy
+
+        class DeadAfterFirstUse:
+            def __init__(self):
+                self.reconnects = 0
+
+            def request(self, payload: bytes) -> bytes:
+                raise RPCTransportError("boom")
+
+            def reconnect(self) -> None:
+                self.reconnects += 1
+                raise RPCTransportError("still down")
+
+            def close(self) -> None:
+                pass
+
+        inner = DeadAfterFirstUse()
+        client = ResilientTransport(
+            inner,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0,
+                              deadline=None),
+        )
+        with pytest.raises(RPCTransportError, match="boom"):
+            client.request(b"x")
+        assert inner.reconnects == 2  # once per backoff between 3 attempts
+
+
+class TestZeroLengthFrames:
+    def test_zero_length_frame_roundtrip(self, pair):
+        a, b = pair
+        write_frame(a, b"")
+        assert read_frame(b) == b""
+
+    def test_zero_length_frames_interleave_with_data(self, pair):
+        a, b = pair
+        write_frame(a, b"")
+        write_frame(a, b"data")
+        write_frame(a, b"")
+        assert read_frame(b) == b""
+        assert read_frame(b) == b"data"
+        assert read_frame(b) == b""
+
+    def test_tcp_transport_empty_request_and_response(self):
+        """End to end: empty payloads are legal frames both ways."""
+        seen = []
+
+        def dispatcher(payload: bytes) -> bytes:
+            seen.append(payload)
+            return b"" if payload else b"was empty"
+
+        with TCPServerTransport(dispatcher) as server:
+            client = TCPTransport(server.host, server.port, timeout=5.0)
+            try:
+                assert client.request(b"") == b"was empty"
+                assert client.request(b"x") == b""
+            finally:
+                client.close()
+        assert seen == [b"", b"x"]

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.storage import ByteCounter, LoadBreakdown, PhaseTimer, SimClock
+from repro.storage import (
+    ByteCounter,
+    LoadBreakdown,
+    PhaseTimer,
+    ResilienceStats,
+    SimClock,
+)
 
 
 class TestByteCounter:
@@ -66,3 +72,43 @@ class TestPhaseTimer:
         with timer.phase("idle"):
             pass
         assert timer.breakdown.phases["idle"] == 0.0
+
+
+class TestResilienceStats:
+    def test_records_and_reads_events(self):
+        s = ResilienceStats()
+        s.record("retries")
+        s.record("retries")
+        s.record("fallback_bytes", 4096)
+        assert s.get("retries") == 2
+        assert s.get("fallback_bytes") == 4096
+        assert s.get("unknown") == 0
+        assert s.as_dict() == {"retries": 2, "fallback_bytes": 4096}
+        assert "retries=2" in repr(s)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            ResilienceStats().record("retries", -1)
+
+    def test_fallback_rate(self):
+        s = ResilienceStats()
+        assert s.fallback_rate == 0.0  # no traffic yet
+        s.record("ndp_successes", 3)
+        s.record("fallbacks", 1)
+        assert s.fallback_rate == pytest.approx(0.25)
+
+    def test_thread_safety_under_concurrent_records(self):
+        import threading
+
+        s = ResilienceStats()
+
+        def hammer():
+            for _ in range(1000):
+                s.record("attempts")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert s.get("attempts") == 8000

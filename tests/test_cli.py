@@ -97,6 +97,61 @@ class TestContour:
             listener.stop()
 
 
+class TestResilienceFlags:
+    @staticmethod
+    def _dead_port() -> int:
+        import socket
+
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+        s.close()
+        return port
+
+    def test_unreachable_server_falls_back_to_store(self, store, capsys):
+        rc = main([
+            "contour", "--connect", f"127.0.0.1:{self._dead_port()}",
+            "--store", store, "--fallback",
+            "--key", "asteroid/ts00000.vgf", "--array", "v02",
+            "--values", "0.1", "--retries", "1", "--deadline", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contour:" in out
+        assert "baseline fallback" in out
+
+    def test_fallback_flag_requires_store(self, capsys):
+        rc = main([
+            "contour", "--connect", "127.0.0.1:1", "--fallback",
+            "--key", "k", "--array", "a", "--values", "0.1",
+        ])
+        assert rc == 2
+        assert "--fallback needs --store" in capsys.readouterr().err
+
+    def test_health_subcommand_against_live_server(self, store, capsys):
+        from repro.core.ndp_server import NDPServer
+        from repro.storage.object_store import DirectoryBackend, ObjectStore
+        from repro.storage.s3fs import S3FileSystem
+
+        fs = S3FileSystem(ObjectStore(DirectoryBackend(store)), "sim")
+        listener = NDPServer(fs).serve_tcp()
+        try:
+            rc = main(["health", "--connect",
+                       f"{listener.host}:{listener.port}"])
+        finally:
+            listener.stop()
+        assert rc == 0
+        assert "status: ok" in capsys.readouterr().out
+
+    def test_health_subcommand_unreachable(self, capsys):
+        rc = main([
+            "health", "--connect", f"127.0.0.1:{self._dead_port()}",
+            "--retries", "1", "--deadline", "2",
+        ])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().out
+
+
 class TestServe:
     def test_serve_with_timeout(self, store, capsys):
         done = []

@@ -12,16 +12,24 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
 def run_example(tmp_path, name: str, *args: str, timeout: int = 420):
     script = os.path.abspath(os.path.join(EXAMPLES, name))
+    # The examples import repro from the source tree; the subprocess does
+    # not inherit pytest's import path, so prepend src to PYTHONPATH.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     proc = subprocess.run(
         [sys.executable, script, *args],
         cwd=str(tmp_path),
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout

@@ -3,6 +3,11 @@
 The system's failure contract: any corruption, truncation, or transport
 fault raises a :class:`~repro.errors.ReproError` subclass at the client —
 never silent wrong data, never a foreign exception type.
+
+Faults are injected through the deterministic harness in
+:mod:`tests.faults`; the recovery behaviour built on top of these typed
+errors (retry/backoff/breaker/fallback) is covered in
+``tests/rpc/test_resilience.py``.
 """
 
 import numpy as np
@@ -22,6 +27,18 @@ from repro.rpc.transport import Transport
 from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
 
 from tests.conftest import make_sphere_grid
+from tests.faults import (
+    Corrupt,
+    Delay,
+    Drop,
+    FakeClock,
+    FaultSchedule,
+    FaultyBackend,
+    FaultyTransport,
+    Ok,
+    Truncate,
+    drops,
+)
 
 
 @pytest.fixture
@@ -35,22 +52,6 @@ def env():
     return store, fs, server, client
 
 
-class FlakyTransport(Transport):
-    """Fails the first ``failures`` requests, then delegates."""
-
-    def __init__(self, inner: Transport, failures: int = 1):
-        self.inner = inner
-        self.remaining = failures
-        self.attempts = 0
-
-    def request(self, payload: bytes) -> bytes:
-        self.attempts += 1
-        if self.remaining > 0:
-            self.remaining -= 1
-            raise RPCTransportError("injected connection drop")
-        return self.inner.request(payload)
-
-
 class GarbageTransport(Transport):
     """Returns non-protocol bytes."""
 
@@ -61,12 +62,63 @@ class GarbageTransport(Transport):
 class TestTransportFaults:
     def test_drop_surfaces_as_transport_error(self, env):
         _, _, server, _ = env
-        flaky = FlakyTransport(InProcessTransport(server.dispatch), failures=1)
+        schedule = FaultSchedule(drops(1))
+        flaky = FaultyTransport(InProcessTransport(server.dispatch), schedule)
         client = RPCClient(flaky)
         with pytest.raises(RPCTransportError, match="injected"):
             client.call("list_objects", "")
         # The transport recovers; the client object is still usable.
         assert client.call("list_objects", "") == ["g.vgf"]
+        assert schedule.log == [Drop(), Ok()]
+
+    def test_scripted_consecutive_drops(self, env):
+        """An N-consecutive-failure schedule fails exactly N times."""
+        _, _, server, _ = env
+        flaky = FaultyTransport(
+            InProcessTransport(server.dispatch), FaultSchedule(drops(3))
+        )
+        client = RPCClient(flaky)
+        for _ in range(3):
+            with pytest.raises(RPCTransportError):
+                client.call("list_objects", "")
+        assert client.call("list_objects", "") == ["g.vgf"]
+        assert flaky.attempts == 4
+
+    def test_injected_delay_does_not_corrupt_results(self, env):
+        """Delays cost (injected) time only; payloads are untouched."""
+        _, _, server, _ = env
+        clock = FakeClock()
+        flaky = FaultyTransport(
+            InProcessTransport(server.dispatch),
+            FaultSchedule([Delay(2.5)]),
+            clock,
+        )
+        client = RPCClient(flaky)
+        assert client.call("list_objects", "") == ["g.vgf"]
+        assert clock.now == 2.5
+        assert clock.sleeps == []  # advanced, never slept
+
+    def test_truncated_response_is_typed_error(self, env):
+        """A response cut mid-payload must fail decoding loudly."""
+        _, _, server, _ = env
+        flaky = FaultyTransport(
+            InProcessTransport(server.dispatch),
+            FaultSchedule([Truncate(keep_bytes=6)]),
+        )
+        client = RPCClient(flaky)
+        with pytest.raises(ReproError):
+            client.call("prefilter_contour", "g.vgf", "r", [3.0])
+
+    def test_corrupted_response_is_typed_error(self, env):
+        """Bit flips in the reply can never decode into silent wrong data."""
+        _, _, server, _ = env
+        flaky = FaultyTransport(
+            InProcessTransport(server.dispatch),
+            FaultSchedule([Corrupt(offset=0, mask=0xFF)]),
+        )
+        client = RPCClient(flaky)
+        with pytest.raises(ReproError):
+            client.call("list_objects", "")
 
     def test_garbage_response_is_protocol_error(self):
         client = RPCClient(GarbageTransport())
@@ -83,6 +135,43 @@ class TestTransportFaults:
         client = RPCClient(ReplayTransport())
         with pytest.raises(RPCError, match="msgid"):
             client.call("list_objects", "")
+
+    def test_seeded_random_schedule_is_reproducible(self):
+        a = FaultSchedule.random(seed=42, length=20)
+        b = FaultSchedule.random(seed=42, length=20)
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]
+
+
+class TestFaultyBackendStorageLayer:
+    """Faults under the server's own mount surface as remote errors."""
+
+    def _faulty_env(self, schedule, clock=None):
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("sim")
+        S3FileSystem(store, "sim").write_object(
+            "g.vgf", write_vgf(make_sphere_grid(10), codec="gzip")
+        )
+        faulty_fs = S3FileSystem(FaultyBackend(store, schedule, clock), "sim")
+        server = NDPServer(faulty_fs)
+        return RPCClient(InProcessTransport(server.dispatch))
+
+    def test_backend_drop_is_remote_storage_error(self):
+        client = self._faulty_env(FaultSchedule([Drop("disk pulled")]))
+        with pytest.raises(RPCRemoteError, match="StorageError"):
+            ndp_contour(client, "g.vgf", "r", [3.0])
+        # Next read passes: the server survived its storage hiccup.
+        pd, _ = ndp_contour(client, "g.vgf", "r", [3.0])
+        assert pd.num_points > 0
+
+    def test_backend_truncation_is_remote_error(self):
+        client = self._faulty_env(FaultSchedule([Truncate(keep_bytes=64)]))
+        with pytest.raises(RPCRemoteError):
+            ndp_contour(client, "g.vgf", "r", [3.0])
+
+    def test_backend_corruption_is_remote_format_error(self):
+        client = self._faulty_env(FaultSchedule([Corrupt(offset=-10)]))
+        with pytest.raises(RPCRemoteError, match="FormatError"):
+            ndp_contour(client, "g.vgf", "r", [3.0])
 
 
 class TestCorruptStore:
@@ -157,6 +246,7 @@ class TestServerRobustness:
         ):
             with pytest.raises(RPCRemoteError):
                 bad_call()
-        # Server still healthy afterwards.
+        # Server still healthy afterwards — ask it directly.
+        assert client.call("health")["status"] == "ok"
         pd, _ = ndp_contour(client, "g.vgf", "r", [3.0])
         assert pd.num_points > 0
