@@ -109,10 +109,21 @@ def cmd_info(args) -> int:
 
 def cmd_serve(args) -> int:
     fs = _open_fs(args.store, args.bucket)
-    server = NDPServer(fs)
+    server = NDPServer(
+        fs,
+        cache_bytes=args.cache_bytes,
+        selection_cache_bytes=args.selection_cache,
+    )
     listener = server.rpc.serve_tcp(host=args.host, port=args.port)
+    caches = (
+        f"array_cache={args.cache_bytes // 2**20} MiB"
+        if args.cache_bytes > 0 else "array_cache=off",
+        f"selection_cache={args.selection_cache // 2**20} MiB"
+        if args.selection_cache > 0 else "selection_cache=off",
+    )
     print(f"NDP server on {listener.host}:{listener.port} "
-          f"(store={args.store}, bucket={args.bucket})")
+          f"(store={args.store}, bucket={args.bucket}, "
+          f"{caches[0]}, {caches[1]})")
     try:
         import threading
 
@@ -255,6 +266,20 @@ def cmd_health(args) -> int:
         f"(store_reachable={report['store_reachable']}, "
         f"requests_served={report['requests_served']})"
     )
+    for label in ("array_cache", "selection_cache"):
+        cache = report.get(label)
+        if not cache:
+            continue
+        if not cache.get("enabled"):
+            print(f"{label}: off")
+            continue
+        print(
+            f"{label}: {cache['entries']} entries, "
+            f"{cache['current_bytes'] / 2**20:.1f}/"
+            f"{cache['max_bytes'] / 2**20:.0f} MiB, "
+            f"{cache['hits']} hits / {cache['misses']} misses / "
+            f"{cache['coalesced']} coalesced"
+        )
     return 0 if report["status"] == "ok" else 1
 
 
@@ -294,6 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--timeout", type=float, default=0,
                    help="exit after N seconds (0 = run forever)")
+    p.add_argument("--cache-bytes", type=int, default=256 * 2**20,
+                   help="decoded-array LRU cache budget in bytes "
+                        "(default 256 MiB; 0 disables)")
+    p.add_argument("--selection-cache", type=int, default=64 * 2**20,
+                   metavar="BYTES",
+                   help="encoded pre-filter reply cache budget in bytes "
+                        "(default 64 MiB; 0 disables)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("contour", help="offloaded contour of a stored array")

@@ -25,7 +25,7 @@ from __future__ import annotations
 from repro.core.encoding import decode_selection
 from repro.core.postfilter import postfilter_contour
 from repro.errors import CircuitOpenError, PipelineError, RPCTransportError
-from repro.filters.contour import contour_grid, normalize_values
+from repro.filters.contour import _values_unset, contour_grid, normalize_values
 from repro.grid.polydata import PolyData
 from repro.grid.selection import PointSelection
 from repro.pipeline.source import Source
@@ -74,7 +74,9 @@ class NDPContourSource(Source):
         self._encoding = encoding
         self._wire_codec = wire_codec
         self.last_stats: dict | None = None
-        if values != () and values is not None:
+        # Emptiness test that is safe for numpy arrays (``values != ()``
+        # would be elementwise and ambiguous).
+        if not _values_unset(values):
             self.set_values(values)
 
     # ------------------------------------------------------------------
@@ -240,16 +242,37 @@ def ndp_batch(client: RPCClient, key: str, requests: list[dict]) -> list:
 
     Returns one finished :class:`~repro.grid.polydata.PolyData` per
     request (post-filters run locally), each paired with its stats dict.
+    Contour requests may carry a ``roi`` (a
+    :class:`~repro.grid.bounds.Bounds` or 6-sequence); it is forwarded to
+    the server and applied identically in the local post-filter, so a
+    batched ROI contour matches the direct-call geometry bit for bit.
     """
     from repro.core.filter_splits import postfilter_slice, postfilter_threshold
+    from repro.grid.bounds import Bounds
 
-    replies = client.call("prefilter_batch", key, requests)
+    def roi_list(req: dict) -> list | None:
+        roi = req.get("roi")
+        if roi is None:
+            return None
+        if hasattr(roi, "as_tuple"):
+            roi = roi.as_tuple()
+        return [float(v) for v in roi]
+
+    wire_requests = []
+    for req in requests:
+        roi = roi_list(req)
+        wire_requests.append(dict(req, roi=roi) if roi is not None else dict(req))
+    replies = client.call("prefilter_batch", key, wire_requests)
     results = []
     for req, encoded in zip(requests, replies):
         selection = decode_selection(encoded)
         kind = req["kind"]
         if kind == "contour":
-            pd = postfilter_contour(selection, req["values"])
+            roi = roi_list(req)
+            pd = postfilter_contour(
+                selection, req["values"],
+                roi=Bounds(*roi) if roi is not None else None,
+            )
         elif kind == "threshold":
             pd = postfilter_threshold(selection)
         elif kind == "slice":

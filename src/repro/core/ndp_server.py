@@ -15,6 +15,16 @@ If constructed with a :class:`~repro.storage.netsim.Testbed`, the server
 charges its CPU phases (decompression, pre-filter scan) to the simulated
 clock, mirroring where those costs land in the paper's NDP runs.  The
 real work always happens; only time is modelled.
+
+With ``cache_bytes`` / ``selection_cache_bytes`` budgets the server keeps
+storage-side caches (see :mod:`repro.storage.cache`): decoded array
+blocks and encoded pre-filter replies, both with single-flight request
+coalescing across the TCP listener's connection threads.  Testbed phases
+are charged *inside* the cache loaders, so a hit honestly skips the
+read/decompress (array cache) or the whole scan+encode (selection cache)
+on the simulated clock too.  Entries are keyed by the store's
+mtime/version token for the object, so overwriting an object invalidates
+by construction.
 """
 
 from __future__ import annotations
@@ -27,9 +37,11 @@ from repro.core.encoding import encode_selection, wire_size
 from repro.core.filter_splits import prefilter_slice, prefilter_threshold
 from repro.core.prefilter import prefilter_contour
 from repro.errors import RPCError
+from repro.filters.contour import normalize_values
 from repro.grid.bounds import Bounds
 from repro.io.vgf import read_vgf_array, read_vgf_info
 from repro.rpc.server import RPCServer
+from repro.storage.cache import ArrayCache, SelectionCache
 from repro.storage.s3fs import S3FileSystem
 
 __all__ = ["NDPServer"]
@@ -47,11 +59,30 @@ class NDPServer:
     testbed:
         Optional cost model; when present, decompress and scan phases
         advance its simulated clock.
+    cache_bytes:
+        Byte budget for the decoded-array LRU cache (0 disables it, the
+        default — benchmarks that model per-load costs construct the
+        server cold).  The ``serve`` CLI enables it by default.
+    selection_cache_bytes:
+        Byte budget for the encoded pre-filter reply cache (0 disables).
     """
 
-    def __init__(self, fs: S3FileSystem, testbed=None):
+    def __init__(
+        self,
+        fs: S3FileSystem,
+        testbed=None,
+        cache_bytes: int = 0,
+        selection_cache_bytes: int = 0,
+    ):
         self.fs = fs
         self.testbed = testbed
+        self.array_cache = ArrayCache(cache_bytes) if cache_bytes > 0 else None
+        self.selection_cache = (
+            SelectionCache(selection_cache_bytes)
+            if selection_cache_bytes > 0
+            else None
+        )
+        self._batch_local = threading.local()
         self._stats_lock = threading.Lock()
         self._stats = {
             "requests": 0,
@@ -104,7 +135,22 @@ class NDPServer:
             ],
         }
 
-    def _load_array(self, key: str, array: str):
+    def _store_version(self, key: str):
+        """Invalidation token for ``key`` (store mtime/version + size).
+
+        Metadata-only, so probing it per request is cheap next to a read.
+        ``None`` (a store-like without any version surface) still caches,
+        but then an overwrite is only noticed if the size changes.
+        """
+        version = getattr(self.fs, "version", None)
+        if version is None:
+            return None
+        try:
+            return version(key)
+        except Exception:
+            return None
+
+    def _read_array(self, key: str, array: str):
         """Read + decode one array block, charging read/decompress phases."""
         with self.fs.open(key) as fh:
             info = read_vgf_info(fh)
@@ -115,6 +161,29 @@ class NDPServer:
         grid = info.make_grid()
         grid.point_data.add(data_array)
         return grid, entry
+
+    def _load_array(self, key: str, array: str):
+        """One decoded ``(grid, entry)`` pair, via every cache layer.
+
+        Lookup order: the current batch's per-thread memo (one read per
+        object per ``prefilter_batch``, even with caching off), then the
+        shared :class:`~repro.storage.cache.ArrayCache` (single-flight
+        across connection threads), then the store.  Testbed read and
+        decompress charges happen only on the store path.
+        """
+        memo = getattr(self._batch_local, "memo", None)
+        if memo is not None and (key, array) in memo:
+            return memo[(key, array)]
+        if self.array_cache is None:
+            pair = self._read_array(key, array)
+        else:
+            cache_key = (key, array, self._store_version(key))
+            pair = self.array_cache.get_or_load(
+                cache_key, lambda: self._read_array(key, array)
+            )
+        if memo is not None:
+            memo[(key, array)] = pair
+        return pair
 
     def prefilter_contour(
         self,
@@ -134,12 +203,21 @@ class NDPServer:
         ``(xmin, xmax, ymin, ymax, zmin, zmax)`` restricting the offload
         to a region of interest.
         """
-        grid, entry = self._load_array(key, array)
-        if self.testbed is not None:
-            self.testbed.charge_filter_scan(entry.raw_bytes)
-        bounds = Bounds(*roi) if roi is not None else None
-        selection = prefilter_contour(grid, array, values, mode=mode, roi=bounds)
-        return self._finish(selection, entry, encoding, wire_codec)
+        roi_key = tuple(float(v) for v in roi) if roi is not None else None
+
+        def compute() -> dict:
+            grid, entry = self._load_array(key, array)
+            if self.testbed is not None:
+                self.testbed.charge_filter_scan(entry.raw_bytes)
+            bounds = Bounds(*roi_key) if roi_key is not None else None
+            selection = prefilter_contour(grid, array, values, mode=mode, roi=bounds)
+            return self._finish(selection, entry, encoding, wire_codec)
+
+        return self._reply(
+            ("contour", key, array, normalize_values(values), mode,
+             encoding, wire_codec, roi_key),
+            key, compute,
+        )
 
     def _finish(self, selection, entry, encoding: str, wire_codec: str) -> dict:
         """Shared tail: encode, charge wire compression, attach stats."""
@@ -154,8 +232,27 @@ class NDPServer:
             "total_points": int(selection.total_points),
             "wire_bytes": wire_size(encoded),
         }
-        self._record(encoded["stats"])
         return encoded
+
+    def _reply(self, request_key: tuple, key: str, compute) -> dict:
+        """Serve one pre-filter reply, via the selection cache when enabled.
+
+        ``request_key`` is the full request tuple (kind, key, array,
+        canonical parameters, encoding, wire codec, roi); the store's
+        version token for ``key`` is appended so an overwrite invalidates.
+        Per-request accounting still runs on every call — a cache hit is
+        a served request; only the compute is shared.
+        """
+        if self.selection_cache is None:
+            encoded = compute()
+        else:
+            encoded = self.selection_cache.get_or_load(
+                request_key + (self._store_version(key),), compute
+            )
+        self._record(encoded["stats"])
+        # Shallow copy: cached replies are shared across threads and the
+        # dispatcher/transport must be free to mutate its own frame dict.
+        return dict(encoded)
 
     def _record(self, stats: dict) -> None:
         """Accumulate per-request statistics (thread-safe: the TCP
@@ -187,7 +284,13 @@ class NDPServer:
             "status": "ok" if store_reachable else "degraded",
             "store_reachable": store_reachable,
             "requests_served": served,
+            "array_cache": self._cache_info(self.array_cache),
+            "selection_cache": self._cache_info(self.selection_cache),
         }
+
+    @staticmethod
+    def _cache_info(cache) -> dict:
+        return cache.info() if cache is not None else {"enabled": False}
 
     def server_stats(self) -> dict:
         """Lifetime counters: offload calls, bytes scanned vs shipped.
@@ -201,6 +304,8 @@ class NDPServer:
         out["reduction_ratio"] = (
             scanned / out["wire_bytes_sent"] if out["wire_bytes_sent"] else 0.0
         )
+        out["array_cache"] = self._cache_info(self.array_cache)
+        out["selection_cache"] = self._cache_info(self.selection_cache)
         return out
 
     def prefilter_threshold(
@@ -213,11 +318,19 @@ class NDPServer:
         wire_codec: str = "lz4",
     ) -> dict:
         """Offloaded threshold: ship exactly the in-range points."""
-        grid, entry = self._load_array(key, array)
-        if self.testbed is not None:
-            self.testbed.charge_filter_scan(entry.raw_bytes)
-        selection = prefilter_threshold(grid, array, lower, upper)
-        return self._finish(selection, entry, encoding, wire_codec)
+
+        def compute() -> dict:
+            grid, entry = self._load_array(key, array)
+            if self.testbed is not None:
+                self.testbed.charge_filter_scan(entry.raw_bytes)
+            selection = prefilter_threshold(grid, array, lower, upper)
+            return self._finish(selection, entry, encoding, wire_codec)
+
+        return self._reply(
+            ("threshold", key, array, float(lower), float(upper),
+             encoding, wire_codec),
+            key, compute,
+        )
 
     def prefilter_slice(
         self,
@@ -229,50 +342,66 @@ class NDPServer:
         wire_codec: str = "lz4",
     ) -> dict:
         """Offloaded axis-aligned slice: ship the bracketing planes."""
-        grid, entry = self._load_array(key, array)
-        if self.testbed is not None:
-            self.testbed.charge_filter_scan(entry.raw_bytes)
-        selection = prefilter_slice(grid, array, axis, coordinate)
-        return self._finish(selection, entry, encoding, wire_codec)
+
+        def compute() -> dict:
+            grid, entry = self._load_array(key, array)
+            if self.testbed is not None:
+                self.testbed.charge_filter_scan(entry.raw_bytes)
+            selection = prefilter_slice(grid, array, axis, coordinate)
+            return self._finish(selection, entry, encoding, wire_codec)
+
+        return self._reply(
+            ("slice", key, array, int(axis), float(coordinate),
+             encoding, wire_codec),
+            key, compute,
+        )
 
     def prefilter_batch(self, key: str, requests: list) -> list:
         """Run several pre-filters against one object in one round trip.
 
         Each request is a dict with a ``kind`` ("contour" / "threshold" /
-        "slice") plus that kind's arguments.  The object's array blocks
-        are still read per-request (they may differ), but the client pays
-        a single RPC round trip — the paper's multi-instance pipelines
-        (one filter per array, Sec. VI) map onto this directly.
+        "slice") plus that kind's arguments (contours may carry a ``roi``
+        6-tuple, forwarded unchanged).  Each distinct ``(key, array)``
+        block is read **once** per batch — a per-thread memo shares the
+        decoded grid across the batch's requests even when the shared
+        caches are disabled — and the client pays a single RPC round trip:
+        the paper's multi-instance pipelines (one filter per array,
+        Sec. VI) map onto this directly.
         """
-        replies = []
-        for req in requests:
-            kind = req.get("kind")
-            common = {
-                "encoding": req.get("encoding", "auto"),
-                "wire_codec": req.get("wire_codec", "lz4"),
-            }
-            if kind == "contour":
-                replies.append(
-                    self.prefilter_contour(
-                        key, req["array"], req["values"],
-                        req.get("mode", "cell-closure"), **common,
+        self._batch_local.memo = {}
+        try:
+            replies = []
+            for req in requests:
+                kind = req.get("kind")
+                common = {
+                    "encoding": req.get("encoding", "auto"),
+                    "wire_codec": req.get("wire_codec", "lz4"),
+                }
+                if kind == "contour":
+                    replies.append(
+                        self.prefilter_contour(
+                            key, req["array"], req["values"],
+                            req.get("mode", "cell-closure"),
+                            roi=req.get("roi"), **common,
+                        )
                     )
-                )
-            elif kind == "threshold":
-                replies.append(
-                    self.prefilter_threshold(
-                        key, req["array"], req["lower"], req["upper"], **common
+                elif kind == "threshold":
+                    replies.append(
+                        self.prefilter_threshold(
+                            key, req["array"], req["lower"], req["upper"], **common
+                        )
                     )
-                )
-            elif kind == "slice":
-                replies.append(
-                    self.prefilter_slice(
-                        key, req["array"], req["axis"], req["coordinate"], **common
+                elif kind == "slice":
+                    replies.append(
+                        self.prefilter_slice(
+                            key, req["array"], req["axis"], req["coordinate"], **common
+                        )
                     )
-                )
-            else:
-                raise RPCError(f"unknown batch request kind {kind!r}")
-        return replies
+                else:
+                    raise RPCError(f"unknown batch request kind {kind!r}")
+            return replies
+        finally:
+            self._batch_local.memo = None
 
     def probe_selectivity(
         self,

@@ -29,11 +29,21 @@ from repro.core.encoding import decode_selection
 from repro.core.filter_splits import postfilter_slice, postfilter_threshold
 from repro.core.postfilter import postfilter_contour
 from repro.errors import ReproError
+from repro.grid.bounds import Bounds
 from repro.grid.polydata import PolyData
 
 __all__ = ["NDPPrefetcher"]
 
 _KINDS = ("contour", "threshold", "slice")
+
+
+def _roi_wire(roi) -> list | None:
+    """A request's ``roi`` as the wire-friendly 6-float list (or None)."""
+    if roi is None:
+        return None
+    if hasattr(roi, "as_tuple"):
+        roi = roi.as_tuple()
+    return [float(v) for v in roi]
 
 
 class NDPPrefetcher:
@@ -70,6 +80,7 @@ class NDPPrefetcher:
             return self._client.call(
                 "prefilter_contour", req["key"], req["array"], list(req["values"]),
                 req.get("mode", "cell-closure"), *common,
+                _roi_wire(req.get("roi")),
             )
         if kind == "threshold":
             return self._client.call(
@@ -86,7 +97,11 @@ class NDPPrefetcher:
         selection = decode_selection(encoded)
         kind = req.get("kind", "contour")
         if kind == "contour":
-            return postfilter_contour(selection, req["values"])
+            roi = _roi_wire(req.get("roi"))
+            return postfilter_contour(
+                selection, req["values"],
+                roi=Bounds(*roi) if roi is not None else None,
+            )
         if kind == "threshold":
             return postfilter_threshold(selection)
         return postfilter_slice(selection, int(req["axis"]), float(req["coordinate"]))

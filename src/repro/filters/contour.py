@@ -38,8 +38,15 @@ __all__ = ["ContourFilter", "contour_grid", "normalize_values"]
 
 
 def normalize_values(values) -> tuple[float, ...]:
-    """Validate and canonicalize contour values: a sorted, unique tuple."""
-    if np.isscalar(values):
+    """Validate and canonicalize contour values: a sorted, unique tuple.
+
+    Accepts a scalar, any iterable of numbers, or a numpy array — including
+    0-d arrays and numpy scalar types, which ``np.isscalar`` rejects and
+    plain iteration would crash on ("iteration over a 0-d array").
+    """
+    if isinstance(values, np.ndarray):
+        values = np.atleast_1d(values).ravel().tolist()
+    elif np.isscalar(values) or isinstance(values, np.generic):
         values = [values]
     vals = sorted({float(v) for v in values})
     if not vals:
@@ -48,6 +55,24 @@ def normalize_values(values) -> tuple[float, ...]:
         if not np.isfinite(v):
             raise FilterError(f"contour value must be finite, got {v}")
     return tuple(vals)
+
+
+def _values_unset(values) -> bool:
+    """True when a ``values`` argument means "not configured".
+
+    ``None`` and empty sequences/arrays are unset; scalars (including 0.0)
+    and non-empty collections are values.
+    """
+    if values is None:
+        return True
+    if isinstance(values, np.ndarray):
+        return values.size == 0
+    if np.isscalar(values) or isinstance(values, np.generic):
+        return False
+    try:
+        return len(values) == 0
+    except TypeError:
+        return False  # a non-sized iterable: let normalize_values decide
 
 
 def _squeeze_2d(grid: UniformGrid, field3d: np.ndarray):
@@ -195,7 +220,9 @@ class ContourFilter(Filter):
         super().__init__()
         self._array_name = array_name
         self._values: tuple[float, ...] = ()
-        if values != () and values is not None:
+        # ``values != ()`` would be an elementwise comparison for ndarray
+        # inputs (ambiguous truth value); test emptiness explicitly instead.
+        if not _values_unset(values):
             self.set_values(values)
 
     # ------------------------------------------------------------------

@@ -43,7 +43,8 @@ class RPCClient:
         Raises
         ------
         RPCRemoteError
-            If the remote handler raised; carries the remote traceback.
+            If the remote handler raised; carries the remote error line
+            (``ExcType: message`` — the server keeps the traceback).
         RPCError
             On protocol violations (bad frame shape, msgid mismatch).
         """
@@ -65,9 +66,9 @@ class RPCClient:
         return result
 
     def notify(self, method: str, *params: Any) -> None:
-        """Fire-and-forget call (response discarded)."""
+        """Fire-and-forget call: per msgpack-rpc, no response frame exists."""
         payload = pack([_NOTIFY, method, list(params)])
-        self._transport.request(payload)
+        self._transport.send(payload)
 
     def close(self) -> None:
         self._transport.close()

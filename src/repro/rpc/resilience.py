@@ -322,5 +322,15 @@ class ResilientTransport(Transport):
         assert last_exc is not None
         raise last_exc
 
+    def send(self, payload: bytes) -> None:
+        """One-way send (NOTIFY): no response to retry on, so pass through.
+
+        The breaker still gates it — a known-dead endpoint should not eat
+        writes silently.
+        """
+        if self.breaker is not None and not self.breaker.allow():
+            self._reject_open(None)
+        self._inner.send(payload)
+
     def close(self) -> None:
         self._inner.close()

@@ -2,14 +2,21 @@
 
 Wire protocol (the msgpack-rpc convention rpclib implements):
 
-* request:  ``[0, msgid, method, params]``
+* request:  ``[0, msgid, method, params]`` (exactly 4 elements)
 * response: ``[1, msgid, error, result]`` (``error`` is ``None`` on success,
-  else a string carrying the remote exception text)
-* notify:   ``[2, method, params]`` (no response)
+  else a one-line ``ExcType: message`` string)
+* notify:   ``[2, method, params]`` (exactly 3 elements, **no** response)
+
+Error contract: handler exceptions cross the wire as the stable
+``ExcType: message`` line only.  The full server-side traceback never
+leaves the process — it goes to the ``on_error`` hook (default: the
+``repro.rpc.server`` logger), so operators keep the detail without
+leaking internals (paths, line numbers, local state) to remote clients.
 """
 
 from __future__ import annotations
 
+import logging
 import traceback
 from typing import Any, Callable
 
@@ -23,6 +30,8 @@ _REQUEST = 0
 _RESPONSE = 1
 _NOTIFY = 2
 
+_log = logging.getLogger("repro.rpc.server")
+
 
 class RPCServer:
     """Holds a function registry and turns request frames into responses.
@@ -31,10 +40,25 @@ class RPCServer:
 
     * hand :meth:`dispatch` to an :class:`~repro.rpc.transport.InProcessTransport`, or
     * call :meth:`serve_tcp` to listen on a socket.
+
+    Parameters
+    ----------
+    handlers:
+        Optional initial ``{name: callable}`` registry.
+    on_error:
+        Server-side sink for handler failures, called as
+        ``on_error(method, exc, traceback_text)``.  Defaults to logging
+        on the ``repro.rpc.server`` logger.  Hook failures are swallowed:
+        observability must never take down the dispatch thread.
     """
 
-    def __init__(self, handlers: dict[str, Callable[..., Any]] | None = None):
+    def __init__(
+        self,
+        handlers: dict[str, Callable[..., Any]] | None = None,
+        on_error: Callable[[str, BaseException, str], None] | None = None,
+    ):
         self._handlers: dict[str, Callable[..., Any]] = {}
+        self._on_error = on_error
         if handlers:
             for name, fn in handlers.items():
                 self.bind(name, fn)
@@ -51,8 +75,15 @@ class RPCServer:
         return sorted(self._handlers)
 
     # ------------------------------------------------------------------
-    def dispatch(self, payload: bytes) -> bytes:
-        """Decode one request frame, invoke the handler, encode the response."""
+    def dispatch(self, payload: bytes) -> bytes | None:
+        """Decode one frame, invoke the handler, encode the response.
+
+        Returns ``None`` for NOTIFY frames — per msgpack-rpc a
+        notification produces *no* response frame, and transports must
+        not write one.  Malformed NOTIFY frames (wrong element count)
+        are reported to the error hook and dropped instead of killing
+        the connection thread.
+        """
         try:
             message = unpack(payload)
         except FormatError as exc:
@@ -60,16 +91,28 @@ class RPCServer:
 
         if (
             not isinstance(message, list)
-            or len(message) < 3
+            or not message
             or message[0] not in (_REQUEST, _NOTIFY)
         ):
             return pack([_RESPONSE, 0, f"invalid rpc message: {message!r}", None])
 
         if message[0] == _NOTIFY:
+            if len(message) != 3:
+                self._report_error(
+                    "<notify>",
+                    RPCError(f"notify frame must have 3 elements, got {len(message)}"),
+                    f"invalid notify frame: {message!r}",
+                )
+                return None
             _, method, params = message
             self._invoke(method, params)
-            return pack([_RESPONSE, 0, None, None])
+            return None
 
+        if len(message) != 4:
+            return pack(
+                [_RESPONSE, 0,
+                 f"request frame must have 4 elements, got {len(message)}", None]
+            )
         _, msgid, method, params = message
         error, result = self._invoke(method, params)
         return pack([_RESPONSE, msgid, error, result])
@@ -81,8 +124,19 @@ class RPCServer:
             return (f"params must be an array, got {type(params).__name__}", None)
         try:
             return (None, self._handlers[method](*params))
-        except Exception:
-            return (traceback.format_exc(limit=8), None)
+        except Exception as exc:
+            self._report_error(method, exc, traceback.format_exc(limit=8))
+            # Stable wire contract: type + message only, never the traceback.
+            return (f"{type(exc).__name__}: {exc}", None)
+
+    def _report_error(self, method: str, exc: BaseException, tb_text: str) -> None:
+        if self._on_error is not None:
+            try:
+                self._on_error(method, exc, tb_text)
+            except Exception:
+                _log.exception("rpc on_error hook failed for %r", method)
+            return
+        _log.error("handler %r raised:\n%s", method, tb_text)
 
     # ------------------------------------------------------------------
     def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> TCPServerTransport:

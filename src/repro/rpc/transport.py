@@ -78,6 +78,15 @@ class Transport(ABC):
     def request(self, payload: bytes) -> bytes:
         """Send ``payload``; block until the response payload arrives."""
 
+    def send(self, payload: bytes) -> None:
+        """One-way send, for NOTIFY frames that get no response.
+
+        The base implementation delegates to :meth:`request` and discards
+        the result; transports that would block waiting for a reply that
+        never comes (TCP) must override this with a pure write.
+        """
+        self.request(payload)
+
     def close(self) -> None:
         """Release transport resources (no-op by default)."""
 
@@ -113,8 +122,12 @@ class SimulatedTransport(Transport):
     def request(self, payload: bytes) -> bytes:
         self._link.charge(len(payload))
         response = self._inner.request(payload)
-        self._link.charge(len(response))
+        self._link.charge(len(response) if response is not None else 0)
         return response
+
+    def send(self, payload: bytes) -> None:
+        self._link.charge(len(payload))
+        self._inner.send(payload)
 
     def close(self) -> None:
         self._inner.close()
@@ -171,6 +184,20 @@ class TCPTransport(Transport):
             try:
                 write_frame(self._sock, payload)
                 return read_frame(self._sock)
+            except socket.timeout as exc:
+                raise RPCTimeoutError(f"socket timed out: {exc}") from exc
+            except OSError as exc:
+                raise RPCTransportError(f"socket error: {exc}") from exc
+
+    def send(self, payload: bytes) -> None:
+        """Write one frame without awaiting a response (NOTIFY semantics).
+
+        The server sends no response frame for a notification, so reading
+        here would either hang or steal the next call's response.
+        """
+        with self._lock:
+            try:
+                write_frame(self._sock, payload)
             except socket.timeout as exc:
                 raise RPCTimeoutError(f"socket timed out: {exc}") from exc
             except OSError as exc:
@@ -234,6 +261,8 @@ class TCPServerTransport:
                 except OSError:
                     return
                 response = self._dispatcher(payload)
+                if response is None:
+                    continue  # NOTIFY: protocol says no response frame
                 try:
                     write_frame(conn, response)
                 except OSError:

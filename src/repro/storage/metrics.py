@@ -9,6 +9,10 @@ transfer components (Sec. VI).  :class:`LoadBreakdown` is that record;
 transport (:mod:`repro.rpc.resilience`): it counts retries, timeouts,
 breaker trips, and baseline fallbacks, plus the extra bytes the fallback
 path pulled — the cost of *not* offloading when the NDP hop is down.
+
+:class:`CacheStats` is the observability side of the storage-side caches
+(:mod:`repro.storage.cache`): hits, misses, evictions, and coalesced
+(single-flight) waiters, surfaced through ``server_stats``.
 """
 
 from __future__ import annotations
@@ -18,7 +22,58 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
-__all__ = ["ByteCounter", "PhaseTimer", "LoadBreakdown", "ResilienceStats"]
+__all__ = [
+    "ByteCounter",
+    "CacheStats",
+    "PhaseTimer",
+    "LoadBreakdown",
+    "ResilienceStats",
+]
+
+
+class CacheStats:
+    """Thread-safe hit/miss/eviction/coalesced counters for one cache.
+
+    ``coalesced`` counts requests that piggybacked on another thread's
+    in-flight load (single-flight request coalescing) instead of reading
+    the store themselves; ``hits + misses + coalesced`` is the total
+    number of lookups.
+    """
+
+    _FIELDS = ("hits", "misses", "evictions", "coalesced")
+
+    def __init__(self, name: str = "cache"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(self._FIELDS, 0)
+
+    def record(self, event: str, n: int = 1) -> None:
+        if event not in self._counts:
+            raise ReproError(f"unknown cache event {event!r}; use {self._FIELDS}")
+        if n < 0:
+            raise ReproError(f"cannot record {n} occurrences of {event!r}")
+        with self._lock:
+            self._counts[event] += n
+
+    def get(self, event: str) -> int:
+        with self._lock:
+            return self._counts.get(event, 0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a store load (hit or coalesced)."""
+        with self._lock:
+            served = self._counts["hits"] + self._counts["coalesced"]
+            total = served + self._counts["misses"]
+        return served / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))
+        return f"CacheStats({self.name!r}, {inner})"
 
 
 class ByteCounter:

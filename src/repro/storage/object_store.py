@@ -44,6 +44,16 @@ def _check_name(kind: str, name: str) -> str:
 class Backend(ABC):
     """Raw byte storage under (bucket, key) pairs."""
 
+    def version(self, bucket: str, key: str) -> tuple:
+        """A token that changes whenever the object's content may have.
+
+        Caches key their entries by it (the "store mtime/version"
+        invalidation rule).  The base fallback is size-only — weaker than
+        the mtime/generation tokens the concrete backends return, but
+        safe for any backend that only implements the abstract surface.
+        """
+        return ("size", self.size(bucket, key))
+
     @abstractmethod
     def create_bucket(self, bucket: str) -> None: ...
 
@@ -72,6 +82,8 @@ class MemoryBackend(Backend):
     def __init__(self):
         self._buckets: dict[str, dict[str, bytes]] = {}
         self._lock = threading.Lock()
+        self._generation = 0
+        self._versions: dict[tuple[str, str], int] = {}
 
     def create_bucket(self, bucket: str) -> None:
         with self._lock:
@@ -89,6 +101,13 @@ class MemoryBackend(Backend):
     def put(self, bucket: str, key: str, data: bytes) -> None:
         with self._lock:
             self._bucket(bucket)[key] = bytes(data)
+            self._generation += 1
+            self._versions[(bucket, key)] = self._generation
+
+    def version(self, bucket: str, key: str) -> tuple:
+        with self._lock:
+            size = len(self._object(bucket, key))
+            return ("gen", self._versions.get((bucket, key), 0), size)
 
     def _object(self, bucket: str, key: str) -> bytes:
         objects = self._bucket(bucket)
@@ -114,6 +133,7 @@ class MemoryBackend(Backend):
             if key not in objects:
                 raise NoSuchObjectError(f"no object {bucket}/{key}")
             del objects[key]
+            self._versions.pop((bucket, key), None)
 
 
 class DirectoryBackend(Backend):
@@ -160,6 +180,13 @@ class DirectoryBackend(Backend):
             return os.path.getsize(self._path(bucket, key))
         except FileNotFoundError:
             raise NoSuchObjectError(f"no object {bucket}/{key}") from None
+
+    def version(self, bucket: str, key: str) -> tuple:
+        try:
+            st = os.stat(self._path(bucket, key))
+        except FileNotFoundError:
+            raise NoSuchObjectError(f"no object {bucket}/{key}") from None
+        return ("mtime", st.st_mtime_ns, st.st_size)
 
     def list_keys(self, bucket: str, prefix: str) -> list[str]:
         bdir = self._bucket_dir(bucket)
@@ -226,6 +253,10 @@ class ObjectStore:
         """Return the object's size in bytes."""
         return self.backend.size(bucket, key)
 
+    def object_version(self, bucket: str, key: str) -> tuple:
+        """Version token for cache invalidation (mtime/generation + size)."""
+        return tuple(self.backend.version(bucket, key))
+
     def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
         return self.backend.list_keys(bucket, prefix)
 
@@ -244,8 +275,12 @@ class ObjectStoreServer:
                 "head_object": store.head_object,
                 "list_objects": store.list_objects,
                 "put_object": store.put_object,
+                "object_version": self._version,
             }
         )
+
+    def _version(self, bucket: str, key: str) -> list:
+        return list(self.store.object_version(bucket, key))
 
     def _get(self, bucket: str, key: str, offset: int, length) -> bytes:
         return self.store.get_object(bucket, key, offset, length)
@@ -275,3 +310,14 @@ class RemoteObjectStore:
 
     def put_object(self, bucket, key, data):
         return self._client.call("put_object", bucket, key, data)
+
+    def object_version(self, bucket, key):
+        from repro.errors import RPCRemoteError
+
+        try:
+            return tuple(self._client.call("object_version", bucket, key))
+        except RPCRemoteError as exc:
+            # An older server without the endpoint: degrade to size-only.
+            if "no such method" in str(exc):
+                return ("size", self.head_object(bucket, key))
+            raise

@@ -83,6 +83,18 @@ class S3FileSystem:
     def size(self, key: str) -> int:
         return self.store.head_object(self.bucket, key)
 
+    def version(self, key: str) -> tuple:
+        """Cache-invalidation token for one object (metadata only, no data).
+
+        Prefers the store's ``object_version`` (mtime/generation + size);
+        store-likes that only offer HEAD degrade to a size-only token.
+        """
+        object_version = getattr(self.store, "object_version", None)
+        if object_version is not None:
+            ver = object_version(self.bucket, key)
+            return tuple(ver) if isinstance(ver, list) else ver
+        return ("size", self.store.head_object(self.bucket, key))
+
     # internal: one ranged GET
     def _fetch(self, key: str, offset: int, length: int) -> bytes:
         data = self.store.get_object(self.bucket, key, offset, length)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import FilterError
 from repro.filters import ContourFilter, contour_grid
-from repro.filters.contour import normalize_values
+from repro.filters.contour import _values_unset, normalize_values
 from repro.grid import DataArray, UniformGrid
 from repro.pipeline import TrivialProducer
 
@@ -28,6 +28,63 @@ class TestNormalizeValues:
             normalize_values([np.nan])
         with pytest.raises(FilterError, match="finite"):
             normalize_values([np.inf])
+
+    def test_numpy_scalar(self):
+        # np.float64 is not a python scalar for ``np.isscalar`` purposes
+        # on older numpy, and used to slip through to the iteration path.
+        assert normalize_values(np.float64(0.5)) == (0.5,)
+        assert normalize_values(np.float32(0.25)) == (0.25,)
+        assert normalize_values(np.int64(3)) == (3.0,)
+
+    def test_0d_array(self):
+        # Iterating a 0-d array raises TypeError; it must be treated as
+        # a single value instead.
+        assert normalize_values(np.array(0.5)) == (0.5,)
+
+    def test_ndarray(self):
+        assert normalize_values(np.array([0.9, 0.1, 0.5])) == (0.1, 0.5, 0.9)
+        assert normalize_values(np.array([[0.2], [0.8]])) == (0.2, 0.8)
+
+    def test_empty_ndarray_rejected(self):
+        with pytest.raises(FilterError):
+            normalize_values(np.array([]))
+
+
+class TestValuesUnset:
+    def test_unset_forms(self):
+        assert _values_unset(None)
+        assert _values_unset(())
+        assert _values_unset([])
+        assert _values_unset(np.array([]))
+
+    def test_set_forms(self):
+        assert not _values_unset(0.0)  # falsy scalar is still a value
+        assert not _values_unset(np.float64(0.0))
+        assert not _values_unset(np.array(0.5))  # 0-d array
+        assert not _values_unset(np.array([1.0, 2.0]))
+        assert not _values_unset((1.0,))
+
+    def test_filter_accepts_ndarray_values(self):
+        # ``values != ()`` in the constructor used to be an elementwise
+        # comparison for arrays — truth-testing it raised ValueError.
+        grid = make_sphere_grid(12)
+        producer = TrivialProducer(grid)
+        filt = ContourFilter(array_name="r", values=np.array([4.0, 6.0]))
+        filt.set_input_connection(0, producer)
+        assert filt.values == (4.0, 6.0)
+        pd = filt.output()
+        assert pd.num_points > 0
+
+    def test_filter_accepts_numpy_scalar(self):
+        filt = ContourFilter(array_name="r", values=np.float64(6.0))
+        assert filt.values == (6.0,)
+
+    def test_ndp_source_accepts_ndarray_values(self):
+        from repro.core.ndp_client import NDPContourSource
+
+        src = NDPContourSource(values=np.array([1.0, 2.0]))
+        assert src.values == (1.0, 2.0)
+        assert NDPContourSource(values=np.array([])).values == ()
 
 
 class TestContourGrid3D:

@@ -1,0 +1,164 @@
+"""Wire error contract + NOTIFY semantics (msgpack-rpc conformance).
+
+Two bugfix regressions live here:
+
+* handler failures used to ship the full server-side traceback to remote
+  clients (information leak, unstable error text); the contract is now a
+  single ``ExcType: message`` line with the traceback routed to a
+  server-side hook,
+* a NOTIFY frame with the wrong element count used to crash ``dispatch``
+  (killing the TCP connection thread), and NOTIFY got a response frame
+  it must not have.
+"""
+
+import socket
+
+import pytest
+
+from repro.errors import CircuitOpenError, RPCRemoteError
+from repro.rpc import InProcessTransport, RPCClient, RPCServer, pack, unpack
+from repro.rpc.resilience import CircuitBreaker, ResilientTransport
+from repro.rpc.transport import read_frame, write_frame
+
+
+def make_server(**kwargs):
+    srv = RPCServer(
+        {
+            "add": lambda a, b: a + b,
+            "fail": lambda: (_ for _ in ()).throw(ValueError("boom")),
+        },
+        **kwargs,
+    )
+    return srv
+
+
+class TestErrorContract:
+    def test_wire_error_is_type_and_message_only(self):
+        response = unpack(make_server().dispatch(pack([0, 7, "fail", []])))
+        assert response[2] == "ValueError: boom"
+        assert "Traceback" not in response[2]
+        assert __file__ not in response[2]  # no paths / line numbers leak
+
+    def test_client_sees_stable_error_line(self):
+        cli = RPCClient.in_process(make_server())
+        with pytest.raises(RPCRemoteError, match="ValueError: boom"):
+            cli.call("fail")
+
+    def test_traceback_routed_to_hook(self):
+        seen = []
+        srv = make_server(on_error=lambda m, e, tb: seen.append((m, e, tb)))
+        RPCClient.in_process(srv).call("add", 1, 1)
+        assert seen == []  # successes never hit the hook
+        with pytest.raises(RPCRemoteError):
+            RPCClient.in_process(srv).call("fail")
+        [(method, exc, tb)] = seen
+        assert method == "fail"
+        assert isinstance(exc, ValueError)
+        assert "Traceback" in tb and "boom" in tb
+
+    def test_default_hook_logs_server_side(self, caplog):
+        with caplog.at_level("ERROR", logger="repro.rpc.server"):
+            with pytest.raises(RPCRemoteError):
+                RPCClient.in_process(make_server()).call("fail")
+        assert any("Traceback" in r.getMessage() for r in caplog.records)
+
+    def test_broken_hook_does_not_break_dispatch(self):
+        def bad_hook(method, exc, tb):
+            raise RuntimeError("observability down")
+
+        cli = RPCClient.in_process(make_server(on_error=bad_hook))
+        with pytest.raises(RPCRemoteError, match="ValueError: boom"):
+            cli.call("fail")
+        assert cli.call("add", 2, 3) == 5
+
+
+class TestNotifySemantics:
+    def test_notify_produces_no_response_frame(self):
+        received = []
+        srv = RPCServer({"log": lambda m: received.append(m)})
+        assert srv.dispatch(pack([2, "log", ["hello"]])) is None
+        assert received == ["hello"]
+
+    def test_notify_wrong_arity_does_not_crash(self):
+        seen = []
+        srv = make_server(on_error=lambda m, e, tb: seen.append(m))
+        # 4-element NOTIFY used to raise "too many values to unpack" and
+        # kill the connection thread; now it is reported and dropped.
+        assert srv.dispatch(pack([2, "add", [1, 2], "extra"])) is None
+        assert srv.dispatch(pack([2, "add"])) is None
+        assert seen == ["<notify>", "<notify>"]
+        # The server still works afterwards.
+        assert unpack(srv.dispatch(pack([0, 1, "add", [1, 2]])))[3] == 3
+
+    def test_notify_handler_error_stays_server_side(self):
+        seen = []
+        srv = make_server(on_error=lambda m, e, tb: seen.append(m))
+        assert srv.dispatch(pack([2, "fail", []])) is None
+        assert seen == ["fail"]
+
+    def test_request_wrong_arity_is_an_error_response(self):
+        # A 3-element REQUEST used to crash the unpack; now it errors.
+        response = unpack(make_server().dispatch(pack([0, 1, "add"])))
+        assert response[0] == 1
+        assert "4 elements" in response[2]
+
+    def test_in_process_notify_via_client(self):
+        received = []
+        srv = RPCServer({"log": lambda m: received.append(m)})
+        cli = RPCClient(InProcessTransport(srv.dispatch))
+        cli.notify("log", "a")
+        cli.notify("log", "b")
+        assert received == ["a", "b"]
+
+
+class TestNotifyOverTCP:
+    def test_notify_then_call_shares_the_connection(self):
+        """The server must not write a frame for NOTIFY — if it did, the
+        next call would read the stale frame and fail the msgid check."""
+        received = []
+        srv = RPCServer({"log": lambda m: received.append(m), "add": lambda a, b: a + b})
+        listener = srv.serve_tcp()
+        try:
+            cli = RPCClient.connect_tcp(listener.host, listener.port)
+            try:
+                cli.notify("log", "over-tcp")
+                assert cli.call("add", 20, 22) == 42  # same socket, clean stream
+                cli.notify("log", "again")
+                assert cli.call("add", 1, 1) == 2
+            finally:
+                cli.close()
+        finally:
+            listener.stop()
+        assert received == ["over-tcp", "again"]
+
+    def test_malformed_notify_does_not_kill_connection(self):
+        srv = make_server()
+        listener = srv.serve_tcp()
+        try:
+            sock = socket.create_connection((listener.host, listener.port), timeout=5.0)
+            try:
+                write_frame(sock, pack([2, "add", [1, 2], "junk"]))  # bad arity
+                write_frame(sock, pack([0, 9, "add", [2, 2]]))
+                response = unpack(read_frame(sock))
+                assert response == [1, 9, None, 4]
+            finally:
+                sock.close()
+        finally:
+            listener.stop()
+
+    def test_resilient_transport_send_passthrough(self):
+        received = []
+        srv = RPCServer({"log": lambda m: received.append(m)})
+        transport = ResilientTransport(InProcessTransport(srv.dispatch))
+        RPCClient(transport).notify("log", "x")
+        assert received == ["x"]
+
+    def test_resilient_send_rejected_when_breaker_open(self):
+        received = []
+        srv = RPCServer({"log": lambda m: received.append(m)})
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure()
+        transport = ResilientTransport(InProcessTransport(srv.dispatch), breaker=breaker)
+        with pytest.raises(CircuitOpenError):
+            RPCClient(transport).notify("log", "x")
+        assert received == []
