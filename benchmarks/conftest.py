@@ -10,21 +10,80 @@ Resolution defaults to 64^3 so the whole suite runs in minutes; set
 printed tables carry simulated seconds; the paper's absolute numbers
 correspond to 500^3 arrays, so only *ratios* are comparable, which is what
 EXPERIMENTS.md records.
+
+Every session also emits ``BENCH_results.json`` (override the path with
+``REPRO_BENCH_RESULTS``): one record per benchmark with its wall-clock
+call duration and the simulated seconds it advanced the shared testbed
+clock, plus a :class:`repro.obs.Registry` snapshot of the session totals.
+CI uploads the file as an artifact, so the perf trajectory accumulates
+run over run.
 """
 
+import json
 import os
+import time
 
 import pytest
 
 from repro.bench import BenchEnv
+from repro.obs import Registry
 
 BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "64"))
+
+#: Session-wide totals surfaced in the BENCH_results.json snapshot.
+_registry = Registry(namespace="bench")
+_results: list[dict] = []
+_env: BenchEnv | None = None
 
 
 @pytest.fixture(scope="session")
 def env():
-    return BenchEnv(dims=(BENCH_DIM,) * 3, with_nyx=True)
+    global _env
+    if _env is None:
+        _env = BenchEnv(dims=(BENCH_DIM,) * 3, with_nyx=True)
+    return _env
 
 
 def pytest_report_header(config):
     return f"repro benchmarks: dataset resolution {BENCH_DIM}^3"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    sim_before = _env.testbed.clock.now if _env is not None else None
+    wall_before = time.perf_counter()
+    outcome = yield
+    wall = time.perf_counter() - wall_before
+    record = {
+        "name": item.nodeid,
+        "wall_s": wall,
+        "outcome": "failed" if outcome.excinfo is not None else "passed",
+    }
+    # The env fixture may have been built lazily inside this very test;
+    # only a before/after pair measures a meaningful delta.
+    if _env is not None and sim_before is not None:
+        record["sim_s"] = _env.testbed.clock.now - sim_before
+    _results.append(record)
+    _registry.counter("benchmarks_run").inc()
+    _registry.histogram("benchmark_wall_seconds").observe(wall)
+    if "sim_s" in record:
+        _registry.histogram("benchmark_sim_seconds").observe(record["sim_s"])
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _results:
+        return
+    if _env is not None:
+        _registry.gauge("sim_clock_total_seconds").set(_env.testbed.clock.now)
+    payload = {
+        "dim": BENCH_DIM,
+        "exit_status": int(exitstatus),
+        "benchmarks": _results,
+        "totals": _registry.snapshot(),
+    }
+    path = os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    tw = getattr(session.config, "get_terminal_writer", lambda: None)()
+    if tw is not None:
+        tw.line(f"wrote {len(_results)} benchmark records to {path}")

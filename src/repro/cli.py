@@ -26,6 +26,9 @@ from repro.datasets.nyx import NyxDataset, NyxParams
 from repro.errors import ReproError, RPCTransportError
 from repro.io.ppm import write_ppm
 from repro.io.vgf import read_vgf_info, write_vgf
+from repro.obs.export import prometheus_text, write_chrome_trace, write_jsonl
+from repro.obs.metrics import Registry
+from repro.obs.trace import Tracer
 from repro.rpc.client import RPCClient
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
 from repro.rpc.transport import TCPTransport
@@ -43,6 +46,19 @@ def _open_fs(store_dir: str, bucket: str, create: bool = False) -> S3FileSystem:
     if create:
         store.create_bucket(bucket)
     return S3FileSystem(store, bucket)
+
+
+def _write_trace(tracer: Tracer, path: str) -> None:
+    """Export a tracer's spans: ``.jsonl`` writes a span log, anything
+    else the Chrome trace-event JSON Perfetto loads."""
+    spans = tracer.finished()
+    if path.endswith(".jsonl"):
+        n = write_jsonl(spans, path)
+        print(f"wrote {n} spans to {path}")
+    else:
+        n = write_chrome_trace(spans, path)
+        print(f"wrote {n} trace events to {path} (load in Perfetto / "
+              f"chrome://tracing)")
 
 
 # ---------------------------------------------------------------------------
@@ -109,10 +125,12 @@ def cmd_info(args) -> int:
 
 def cmd_serve(args) -> int:
     fs = _open_fs(args.store, args.bucket)
+    tracer = Tracer(process="server") if args.trace_out else None
     server = NDPServer(
         fs,
         cache_bytes=args.cache_bytes,
         selection_cache_bytes=args.selection_cache,
+        tracer=tracer,
     )
     listener = server.rpc.serve_tcp(host=args.host, port=args.port)
     caches = (
@@ -123,7 +141,8 @@ def cmd_serve(args) -> int:
     )
     print(f"NDP server on {listener.host}:{listener.port} "
           f"(store={args.store}, bucket={args.bucket}, "
-          f"{caches[0]}, {caches[1]})")
+          f"{caches[0]}, {caches[1]}"
+          f"{', tracing on' if tracer else ''})")
     try:
         import threading
 
@@ -132,6 +151,8 @@ def cmd_serve(args) -> int:
         pass
     finally:
         listener.stop()
+        if tracer is not None:
+            _write_trace(tracer, args.trace_out)
     return 0
 
 
@@ -160,13 +181,16 @@ def cmd_contour(args) -> int:
               f"got {args.values!r}", file=sys.stderr)
         return 2
     retry, breaker, rstats = _resilience_from_args(args)
+    tracer = Tracer(process="client") if args.trace_out else None
     fallback = None
     if args.fallback:
         if not args.store:
             print("error: --fallback needs --store DIR to read from",
                   file=sys.stderr)
             return 2
-        fallback = FallbackPolicy(_open_fs(args.store, args.bucket), stats=rstats)
+        fallback = FallbackPolicy(
+            _open_fs(args.store, args.bucket), stats=rstats, tracer=tracer
+        )
     client = None
     close = lambda: None  # noqa: E731 - replaced when a client is built
     try:
@@ -181,11 +205,16 @@ def cmd_contour(args) -> int:
                 polydata, stats = fallback.contour(
                     args.key, args.array, values, reason=exc
                 )
-                return _report_contour(args, polydata, stats, rstats)
+                rc = _report_contour(args, polydata, stats, rstats)
+                if tracer is not None:
+                    _write_trace(tracer, args.trace_out)
+                return rc
             client = RPCClient(
                 ResilientTransport(
-                    transport, retry=retry, breaker=breaker, stats=rstats
-                )
+                    transport, retry=retry, breaker=breaker, stats=rstats,
+                    tracer=tracer,
+                ),
+                tracer=tracer,
             )
             close = client.close
         else:
@@ -196,18 +225,28 @@ def cmd_contour(args) -> int:
             fs = _open_fs(args.store, args.bucket)
             from repro.rpc.transport import InProcessTransport
 
+            # The in-process server gets its own tracer: its spans travel
+            # back through the reply envelope exactly as over TCP, so the
+            # exported trace has the same two-process shape either way.
+            server = NDPServer(
+                fs, tracer=Tracer(process="server") if tracer else None
+            )
             client = RPCClient(
                 ResilientTransport(
-                    InProcessTransport(NDPServer(fs).rpc.dispatch),
-                    retry=retry, breaker=breaker, stats=rstats,
-                )
+                    InProcessTransport(server.rpc.dispatch),
+                    retry=retry, breaker=breaker, stats=rstats, tracer=tracer,
+                ),
+                tracer=tracer,
             )
         polydata, stats = ndp_contour(
             client, args.key, args.array, values, fallback=fallback
         )
     finally:
         close()
-    return _report_contour(args, polydata, stats, rstats)
+    rc = _report_contour(args, polydata, stats, rstats)
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    return rc
 
 
 def _report_contour(args, polydata, stats, rstats: ResilienceStats) -> int:
@@ -283,6 +322,107 @@ def cmd_health(args) -> int:
     return 0 if report["status"] == "ok" else 1
 
 
+def _hist_summary(hist: dict) -> str:
+    """Compact one-line view of a snapshot histogram dict."""
+    count = int(hist.get("count", 0))
+    if count == 0:
+        return "no observations"
+    mean = hist.get("sum", 0.0) / count
+
+    def quantile(q: float) -> str:
+        rank = q * count
+        seen = 0
+        for bucket in hist.get("buckets", []):
+            seen += int(bucket.get("count", 0))
+            if seen >= rank:
+                le = bucket.get("le")
+                return "+Inf" if le == "+Inf" else f"{float(le) * 1e3:.3g}ms"
+        return "+Inf"
+
+    return (
+        f"count={count} mean={mean * 1e3:.3g}ms "
+        f"p50<={quantile(0.5)} p90<={quantile(0.9)} p99<={quantile(0.99)}"
+    )
+
+
+def _print_cache_line(label: str, cache: dict) -> None:
+    if not cache or not cache.get("enabled", True):
+        print(f"{label}: off")
+        return
+    hits = int(cache.get("hits", 0))
+    misses = int(cache.get("misses", 0))
+    coalesced = int(cache.get("coalesced", 0))
+    served = hits + coalesced
+    total = served + misses
+    rate = f"{100.0 * served / total:.1f}%" if total else "n/a"
+    line = f"{label}: hit_rate {rate} ({hits} hits / {misses} misses / " \
+           f"{coalesced} coalesced)"
+    if "entries" in cache:
+        line += (f", {cache['entries']} entries, "
+                 f"{cache.get('current_bytes', 0) / 2**20:.1f}/"
+                 f"{cache.get('max_bytes', 0) / 2**20:.0f} MiB")
+    print(line)
+
+
+def cmd_stats(args) -> int:
+    """Fetch and pretty-print a server's unified registry snapshot."""
+    retry, breaker, rstats = _resilience_from_args(args)
+    host, _, port = args.connect.rpartition(":")
+    try:
+        transport = TCPTransport(host or "127.0.0.1", int(port))
+    except RPCTransportError as exc:
+        print(f"unreachable: {exc}")
+        return 1
+    client = RPCClient(
+        ResilientTransport(transport, retry=retry, breaker=breaker, stats=rstats)
+    )
+    try:
+        snapshot = client.call("stats")
+    except RPCTransportError as exc:
+        print(f"unreachable: {exc}")
+        return 1
+    finally:
+        client.close()
+    # Fold this probe's own client-side resilience counters into the same
+    # snapshot: one tree for everything the request chain observed.
+    registry = Registry()
+    registry.register("resilience_client", rstats.as_dict)
+    snapshot.setdefault("collected", {}).update(
+        registry.snapshot()["collected"]
+    )
+    if args.prom:
+        print(prometheus_text(snapshot), end="")
+        return 0
+    counters = snapshot.get("counters", {})
+    print(f"stats for {args.connect}:")
+    print(
+        f"requests: {int(counters.get('requests', 0))}  "
+        f"prefilter_calls: {int(counters.get('prefilter_calls', 0))}  "
+        f"selected_points: {int(counters.get('selected_points', 0))}"
+    )
+    scanned = counters.get("raw_bytes_scanned", 0)
+    sent = counters.get("wire_bytes_sent", 0)
+    reduction = f" (reduction {scanned / sent:.1f}x)" if sent else ""
+    print(
+        f"raw_bytes_scanned: {scanned / 1e6:.2f} MB  "
+        f"wire_bytes_sent: {sent / 1e3:.1f} kB{reduction}"
+    )
+    hists = snapshot.get("histograms", {})
+    if "request_latency_seconds" in hists:
+        print(f"latency (wall): {_hist_summary(hists['request_latency_seconds'])}")
+    sim = hists.get("request_sim_seconds")
+    if sim and sim.get("count"):
+        print(f"latency (simulated): {_hist_summary(sim)}")
+    collected = snapshot.get("collected", {})
+    for label in ("array_cache", "selection_cache"):
+        _print_cache_line(label, collected.get(label, {}))
+    resilience = collected.get("resilience_client") or {}
+    if resilience:
+        inner = " ".join(f"{k}={v}" for k, v in sorted(resilience.items()))
+        print(f"resilience (this probe): {inner}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -326,6 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="BYTES",
                    help="encoded pre-filter reply cache budget in bytes "
                         "(default 64 MiB; 0 disables)")
+    p.add_argument("--trace-out", default="", metavar="FILE",
+                   help="record server-side spans and write them on exit "
+                        "(.jsonl = span log, else Chrome trace JSON)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("contour", help="offloaded contour of a stored array")
@@ -339,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--render", default="", help="write a PPM frame here")
     p.add_argument("--width", type=int, default=640)
     p.add_argument("--height", type=int, default=480)
+    p.add_argument("--trace-out", default="", metavar="FILE",
+                   help="trace the request end-to-end and write the merged "
+                        "client+server tree (.jsonl = span log, else Chrome "
+                        "trace JSON for Perfetto)")
     _add_resilience_flags(p)
     p.add_argument("--fallback", action="store_true",
                    help="degrade to a baseline full read through --store "
@@ -349,6 +496,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--connect", required=True, metavar="HOST:PORT")
     _add_resilience_flags(p)
     p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "stats", help="pretty-print an NDP server's unified registry snapshot"
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--prom", action="store_true",
+                   help="print Prometheus text exposition instead")
+    _add_resilience_flags(p)
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

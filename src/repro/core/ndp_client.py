@@ -141,6 +141,10 @@ class FallbackPolicy:
         Optional shared :class:`~repro.storage.metrics.ResilienceStats`;
         records ``fallbacks`` / ``ndp_successes`` / ``fallback_bytes`` and
         keeps the last fallback reason for operator visibility.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; a degrade records an
+        ``ndp.fallback`` event on the current span and times the baseline
+        read in a ``fallback.read`` child span.
     """
 
     def __init__(
@@ -151,10 +155,14 @@ class FallbackPolicy:
             CircuitOpenError,
         ),
         stats: ResilienceStats | None = None,
+        tracer=None,
     ):
+        from repro.obs.trace import NULL_TRACER
+
         self.fs = fs
         self.triggers = tuple(triggers)
         self.stats = stats if stats is not None else ResilienceStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def should_fallback(self, exc: BaseException) -> bool:
         return isinstance(exc, self.triggers)
@@ -174,13 +182,19 @@ class FallbackPolicy:
         """
         from repro.io.vgf import read_vgf_array, read_vgf_info
 
-        with self.fs.open(key) as fh:
-            info = read_vgf_info(fh)
-            entry = info.array(array_name)
-            arr, _ = read_vgf_array(fh, array_name, info)
+        self.tracer.add_event(
+            "ndp.fallback",
+            reason=f"{type(reason).__name__}: {reason}" if reason else "requested",
+        )
+        with self.tracer.span("fallback.read", key=key, array=array_name):
+            with self.fs.open(key) as fh:
+                info = read_vgf_info(fh)
+                entry = info.array(array_name)
+                arr, _ = read_vgf_array(fh, array_name, info)
         grid = info.make_grid()
         grid.point_data.add(arr)
-        polydata = contour_grid(grid, array_name, values, roi=roi)
+        with self.tracer.span("fallback.contour"):
+            polydata = contour_grid(grid, array_name, values, roi=roi)
         self.stats.record("fallbacks")
         self.stats.record("fallback_bytes", entry.stored_bytes)
         self.stats.last_fallback_reason = (
@@ -306,29 +320,39 @@ def ndp_contour(
     baseline full-array read instead of raising; the returned geometry is
     identical either way and ``stats["path"]`` records which path served
     the request.
+
+    With a traced client (see :class:`~repro.rpc.client.RPCClient`) the
+    whole operation runs inside an ``ndp.contour`` span: the RPC hop,
+    the server's remote subtree, the local post-filter, and any fallback
+    all nest under it — the complete end-to-end request tree.
     """
-    try:
-        if roi is not None:
-            encoded = client.call(
-                "prefilter_contour", key, array_name, list(normalize_values(values)),
-                mode, encoding, wire_codec, list(roi.as_tuple()),
-            )
-            selection = decode_selection(encoded)
-            polydata = postfilter_contour(selection, values, roi=roi)
-            stats = encoded.get("stats")
-        else:
-            source = NDPContourSource(
-                client, key, array_name, values, mode, encoding, wire_codec
-            )
-            selection = source.output()
-            polydata = postfilter_contour(selection, values)
-            stats = source.last_stats
-    except Exception as exc:
-        if fallback is None or not fallback.should_fallback(exc):
-            raise
-        return fallback.contour(key, array_name, values, roi=roi, reason=exc)
-    if stats is not None:
-        stats.setdefault("path", "ndp")
-    if fallback is not None:
-        fallback.record_ndp_success()
-    return polydata, stats
+    tracer = client.tracer
+    with tracer.span("ndp.contour", key=key, array=array_name):
+        try:
+            if roi is not None:
+                encoded = client.call(
+                    "prefilter_contour", key, array_name,
+                    list(normalize_values(values)),
+                    mode, encoding, wire_codec, list(roi.as_tuple()),
+                )
+                selection = decode_selection(encoded)
+                with tracer.span("postfilter"):
+                    polydata = postfilter_contour(selection, values, roi=roi)
+                stats = encoded.get("stats")
+            else:
+                source = NDPContourSource(
+                    client, key, array_name, values, mode, encoding, wire_codec
+                )
+                selection = source.output()
+                with tracer.span("postfilter"):
+                    polydata = postfilter_contour(selection, values)
+                stats = source.last_stats
+        except Exception as exc:
+            if fallback is None or not fallback.should_fallback(exc):
+                raise
+            return fallback.contour(key, array_name, values, roi=roi, reason=exc)
+        if stats is not None:
+            stats.setdefault("path", "ndp")
+        if fallback is not None:
+            fallback.record_ndp_success()
+        return polydata, stats

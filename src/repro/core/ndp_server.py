@@ -30,6 +30,7 @@ by construction.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -40,6 +41,8 @@ from repro.errors import RPCError
 from repro.filters.contour import normalize_values
 from repro.grid.bounds import Bounds
 from repro.io.vgf import read_vgf_array, read_vgf_info
+from repro.obs.metrics import Registry
+from repro.obs.trace import NULL_TRACER
 from repro.rpc.server import RPCServer
 from repro.storage.cache import ArrayCache, SelectionCache
 from repro.storage.s3fs import S3FileSystem
@@ -65,6 +68,17 @@ class NDPServer:
         server cold).  The ``serve`` CLI enables it by default.
     selection_cache_bytes:
         Byte budget for the encoded pre-filter reply cache (0 disables).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` (use a dedicated
+        instance per server, labelled e.g. ``"server"``).  Handlers then
+        open child spans around store reads, decompression, pre-filter
+        scans, and encoding, nested under the caller's propagated trace
+        context, and ship them back in each traced reply.
+    registry:
+        Optional :class:`~repro.obs.metrics.Registry`; one is created
+        when omitted.  All request counters, the request-latency
+        histograms, and both cache stats surface through its
+        ``snapshot()`` (also exposed as the ``stats`` RPC endpoint).
     """
 
     def __init__(
@@ -73,24 +87,44 @@ class NDPServer:
         testbed=None,
         cache_bytes: int = 0,
         selection_cache_bytes: int = 0,
+        tracer=None,
+        registry: Registry | None = None,
     ):
         self.fs = fs
         self.testbed = testbed
-        self.array_cache = ArrayCache(cache_bytes) if cache_bytes > 0 else None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry if registry is not None else Registry()
+        self.array_cache = (
+            ArrayCache(cache_bytes, tracer=self.tracer) if cache_bytes > 0 else None
+        )
         self.selection_cache = (
-            SelectionCache(selection_cache_bytes)
+            SelectionCache(selection_cache_bytes, tracer=self.tracer)
             if selection_cache_bytes > 0
             else None
         )
         self._batch_local = threading.local()
-        self._stats_lock = threading.Lock()
-        self._stats = {
-            "requests": 0,
-            "prefilter_calls": 0,
-            "raw_bytes_scanned": 0,
-            "wire_bytes_sent": 0,
-            "selected_points": 0,
-        }
+        # Lifetime request counters, unified behind the registry: the
+        # legacy ``server_stats`` endpoint reads the same instruments.
+        self._requests = self.registry.counter(
+            "requests", "total pre-filter requests served")
+        self._prefilter_calls = self.registry.counter(
+            "prefilter_calls", "pre-filter endpoint invocations")
+        self._raw_bytes_scanned = self.registry.counter(
+            "raw_bytes_scanned", "decompressed bytes scanned by pre-filters")
+        self._wire_bytes_sent = self.registry.counter(
+            "wire_bytes_sent", "encoded selection bytes shipped to clients")
+        self._selected_points = self.registry.counter(
+            "selected_points", "points selected across all pre-filters")
+        self._latency = self.registry.histogram(
+            "request_latency_seconds",
+            help="wall-clock latency of pre-filter requests")
+        self._sim_latency = self.registry.histogram(
+            "request_sim_seconds",
+            help="simulated-clock cost of pre-filter requests")
+        if self.array_cache is not None:
+            self.registry.register("array_cache", self.array_cache.info)
+        if self.selection_cache is not None:
+            self.registry.register("selection_cache", self.selection_cache.info)
         self.rpc = RPCServer(
             {
                 "prefilter_contour": self.prefilter_contour,
@@ -104,8 +138,10 @@ class NDPServer:
                 "list_objects": self.list_objects,
                 "describe": self.describe,
                 "server_stats": self.server_stats,
+                "stats": self.stats_snapshot,
                 "health": self.health,
-            }
+            },
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -151,13 +187,22 @@ class NDPServer:
             return None
 
     def _read_array(self, key: str, array: str):
-        """Read + decode one array block, charging read/decompress phases."""
-        with self.fs.open(key) as fh:
-            info = read_vgf_info(fh)
-            entry = info.array(array)
-            data_array, _ = read_vgf_array(fh, array, info)
-        if self.testbed is not None:
-            self.testbed.charge_decompress(entry.codec, entry.raw_bytes)
+        """Read + decode one array block, charging read/decompress phases.
+
+        Span layout: ``store.read`` covers the object read + real decode
+        (its sim time is the modelled SSD cost), ``decompress`` carries
+        the modelled decompression charge (the *real* decompress wall
+        time is folded into the read, where the VGF reader performs it).
+        """
+        with self.tracer.span("store.read", key=key, array=array):
+            with self.fs.open(key) as fh:
+                info = read_vgf_info(fh)
+                entry = info.array(array)
+                data_array, _ = read_vgf_array(fh, array, info)
+        with self.tracer.span("decompress", codec=entry.codec,
+                              raw_bytes=entry.raw_bytes):
+            if self.testbed is not None:
+                self.testbed.charge_decompress(entry.codec, entry.raw_bytes)
         grid = info.make_grid()
         grid.point_data.add(data_array)
         return grid, entry
@@ -207,10 +252,14 @@ class NDPServer:
 
         def compute() -> dict:
             grid, entry = self._load_array(key, array)
-            if self.testbed is not None:
-                self.testbed.charge_filter_scan(entry.raw_bytes)
-            bounds = Bounds(*roi_key) if roi_key is not None else None
-            selection = prefilter_contour(grid, array, values, mode=mode, roi=bounds)
+            with self.tracer.span("prefilter", kind="contour", key=key,
+                                  array=array):
+                if self.testbed is not None:
+                    self.testbed.charge_filter_scan(entry.raw_bytes)
+                bounds = Bounds(*roi_key) if roi_key is not None else None
+                selection = prefilter_contour(
+                    grid, array, values, mode=mode, roi=bounds
+                )
             return self._finish(selection, entry, encoding, wire_codec)
 
         return self._reply(
@@ -221,9 +270,12 @@ class NDPServer:
 
     def _finish(self, selection, entry, encoding: str, wire_codec: str) -> dict:
         """Shared tail: encode, charge wire compression, attach stats."""
-        encoded = encode_selection(selection, method=encoding, payload_codec=wire_codec)
-        if self.testbed is not None and wire_codec != "raw":
-            self.testbed.charge_compress(wire_codec, selection.payload_nbytes)
+        with self.tracer.span("encode", encoding=encoding, wire_codec=wire_codec):
+            encoded = encode_selection(
+                selection, method=encoding, payload_codec=wire_codec
+            )
+            if self.testbed is not None and wire_codec != "raw":
+                self.testbed.charge_compress(wire_codec, selection.payload_nbytes)
         encoded["stats"] = {
             "stored_bytes": entry.stored_bytes,
             "raw_bytes": entry.raw_bytes,
@@ -241,28 +293,34 @@ class NDPServer:
         canonical parameters, encoding, wire codec, roi); the store's
         version token for ``key`` is appended so an overwrite invalidates.
         Per-request accounting still runs on every call — a cache hit is
-        a served request; only the compute is shared.
+        a served request; only the compute is shared.  Each served reply
+        lands one observation in the wall-clock latency histogram (and
+        the simulated one, when a testbed is attached).
         """
+        wall0 = time.perf_counter()
+        sim0 = self.testbed.clock.now if self.testbed is not None else None
         if self.selection_cache is None:
             encoded = compute()
         else:
             encoded = self.selection_cache.get_or_load(
                 request_key + (self._store_version(key),), compute
             )
+        self._latency.observe(time.perf_counter() - wall0)
+        if sim0 is not None:
+            self._sim_latency.observe(self.testbed.clock.now - sim0)
         self._record(encoded["stats"])
         # Shallow copy: cached replies are shared across threads and the
         # dispatcher/transport must be free to mutate its own frame dict.
         return dict(encoded)
 
     def _record(self, stats: dict) -> None:
-        """Accumulate per-request statistics (thread-safe: the TCP
-        listener serves each connection on its own thread)."""
-        with self._stats_lock:
-            self._stats["requests"] += 1
-            self._stats["prefilter_calls"] += 1
-            self._stats["raw_bytes_scanned"] += stats["raw_bytes"]
-            self._stats["wire_bytes_sent"] += stats["wire_bytes"]
-            self._stats["selected_points"] += stats["selected_points"]
+        """Accumulate per-request statistics (instruments are thread-safe:
+        the TCP listener serves each connection on its own thread)."""
+        self._requests.inc()
+        self._prefilter_calls.inc()
+        self._raw_bytes_scanned.inc(stats["raw_bytes"])
+        self._wire_bytes_sent.inc(stats["wire_bytes"])
+        self._selected_points.inc(stats["selected_points"])
 
     def health(self) -> dict:
         """Cheap liveness/readiness probe for clients and load balancers.
@@ -278,8 +336,7 @@ class NDPServer:
             store_reachable = True
         except Exception:
             store_reachable = False
-        with self._stats_lock:
-            served = self._stats["requests"]
+        served = int(self._requests.value)
         return {
             "status": "ok" if store_reachable else "degraded",
             "store_reachable": store_reachable,
@@ -296,10 +353,16 @@ class NDPServer:
         """Lifetime counters: offload calls, bytes scanned vs shipped.
 
         The scanned-to-shipped ratio is the server's aggregate view of the
-        paper's data-reduction claim.
+        paper's data-reduction claim.  Reads the same registry instruments
+        :meth:`stats_snapshot` exposes — one source of truth.
         """
-        with self._stats_lock:
-            out = dict(self._stats)
+        out = {
+            "requests": int(self._requests.value),
+            "prefilter_calls": int(self._prefilter_calls.value),
+            "raw_bytes_scanned": int(self._raw_bytes_scanned.value),
+            "wire_bytes_sent": int(self._wire_bytes_sent.value),
+            "selected_points": int(self._selected_points.value),
+        }
         scanned = out["raw_bytes_scanned"]
         out["reduction_ratio"] = (
             scanned / out["wire_bytes_sent"] if out["wire_bytes_sent"] else 0.0
@@ -307,6 +370,15 @@ class NDPServer:
         out["array_cache"] = self._cache_info(self.array_cache)
         out["selection_cache"] = self._cache_info(self.selection_cache)
         return out
+
+    def stats_snapshot(self) -> dict:
+        """The unified registry snapshot (the ``stats`` RPC endpoint).
+
+        One msgpack-safe tree holding every counter, the request-latency
+        histograms, and both caches' stats — what ``repro stats <addr>``
+        pretty-prints and the Prometheus exporter renders.
+        """
+        return self.registry.snapshot()
 
     def prefilter_threshold(
         self,
@@ -321,9 +393,11 @@ class NDPServer:
 
         def compute() -> dict:
             grid, entry = self._load_array(key, array)
-            if self.testbed is not None:
-                self.testbed.charge_filter_scan(entry.raw_bytes)
-            selection = prefilter_threshold(grid, array, lower, upper)
+            with self.tracer.span("prefilter", kind="threshold", key=key,
+                                  array=array):
+                if self.testbed is not None:
+                    self.testbed.charge_filter_scan(entry.raw_bytes)
+                selection = prefilter_threshold(grid, array, lower, upper)
             return self._finish(selection, entry, encoding, wire_codec)
 
         return self._reply(
@@ -345,9 +419,11 @@ class NDPServer:
 
         def compute() -> dict:
             grid, entry = self._load_array(key, array)
-            if self.testbed is not None:
-                self.testbed.charge_filter_scan(entry.raw_bytes)
-            selection = prefilter_slice(grid, array, axis, coordinate)
+            with self.tracer.span("prefilter", kind="slice", key=key,
+                                  array=array):
+                if self.testbed is not None:
+                    self.testbed.charge_filter_scan(entry.raw_bytes)
+                selection = prefilter_slice(grid, array, axis, coordinate)
             return self._finish(selection, entry, encoding, wire_codec)
 
         return self._reply(

@@ -1,0 +1,45 @@
+"""Observability: end-to-end tracing, metrics, and exporters.
+
+The paper's evaluation is one long load-time breakdown; this package is
+the instrumentation that produces such breakdowns from live runs instead
+of hand-placed timers:
+
+* :mod:`repro.obs.trace` — span-based tracing over wall *and* simulated
+  clocks, with trace-context propagation across the RPC boundary so a
+  single contour request yields one client+server tree,
+* :mod:`repro.obs.metrics` — named Counter/Gauge/Histogram instruments
+  and a :class:`Registry` that absorbs the legacy ``CacheStats`` /
+  ``ResilienceStats`` / ``ByteCounter`` objects behind one
+  ``snapshot()``,
+* :mod:`repro.obs.export` — JSONL span logs, Chrome trace-event JSON
+  (Perfetto-loadable), and Prometheus text exposition.
+
+Everything defaults to off: :data:`~repro.obs.trace.NULL_TRACER` is a
+reused no-op, so un-traced hot paths pay a single attribute read.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry, exponential_buckets
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, new_id
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "new_id",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "exponential_buckets",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "prometheus_text",
+]

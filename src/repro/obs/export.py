@@ -1,0 +1,180 @@
+"""Trace and metrics exporters: JSONL, Chrome trace events, Prometheus text.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one span dict per line; greppable, streamable,
+  and the stable on-disk archive format,
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON Perfetto and ``chrome://tracing`` load directly:
+  complete ("ph": "X") events in microseconds, with the span's process
+  mapped to a pid track and its thread to a tid row, plus instant
+  events for span events (retries, cache hits),
+* :func:`prometheus_text` — the text exposition format for a
+  :meth:`~repro.obs.metrics.Registry.snapshot`, so any scraper (or
+  human with curl) can read the unified counters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+__all__ = [
+    "span_dicts",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+]
+
+
+def span_dicts(spans: Iterable) -> list[dict]:
+    """Normalize a mix of Span objects and plain dicts to dicts."""
+    return [s if isinstance(s, dict) else s.to_dict() for s in spans]
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def write_jsonl(spans: Iterable, fh_or_path: IO | str) -> int:
+    """Write one JSON object per span per line; returns the span count."""
+    dicts = span_dicts(spans)
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w", encoding="utf-8") as fh:
+            return write_jsonl(dicts, fh)
+    for d in dicts:
+        fh_or_path.write(json.dumps(d, sort_keys=True) + "\n")
+    return len(dicts)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace(spans: Iterable) -> dict:
+    """Render spans as a Chrome trace-event object for Perfetto.
+
+    Each distinct span ``process`` becomes a pid with a
+    ``process_name`` metadata record; each span is a complete event on
+    its recorded thread.  Span events become instant ("ph": "i") events
+    at their wall timestamp so retries and cache hits show up as marks
+    on the timeline.
+    """
+    dicts = span_dicts(spans)
+    pids: dict[str, int] = {}
+    events: list[dict] = []
+    for d in dicts:
+        process = str(d.get("process", "?"))
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        tid = int(d.get("thread_id", 0)) % 1_000_000
+        args = {
+            "trace_id": d.get("trace_id"),
+            "span_id": d.get("span_id"),
+            "parent_id": d.get("parent_id"),
+            **(d.get("attrs") or {}),
+        }
+        if d.get("error"):
+            args["error"] = d["error"]
+        sim = d.get("start_sim")
+        if sim is not None and d.get("end_sim") is not None:
+            args["sim_seconds"] = d["end_sim"] - sim
+        start = float(d.get("start_wall", 0.0))
+        end = float(d.get("end_wall", start))
+        events.append({
+            "name": str(d.get("name", "?")),
+            "cat": "span",
+            "ph": "X",
+            "ts": _us(start),
+            "dur": max(0.0, _us(end - start)),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for ev in d.get("events") or []:
+            events.append({
+                "name": str(ev.get("name", "event")),
+                "cat": "event",
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": _us(float(ev.get("wall", start))),
+                "pid": pid,
+                "tid": tid,
+                "args": {k: v for k, v in ev.items() if k not in ("name", "wall")},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable, path: str) -> int:
+    """Write the Chrome-trace JSON for ``spans``; returns the event count."""
+    trace = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _sanitize(name: str) -> str:
+    out = [c if c.isalnum() or c == "_" else "_" for c in name]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == float("inf"):
+        return "+Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Text exposition of a :meth:`Registry.snapshot` dict.
+
+    Counters/gauges emit as ``<ns>_<name>``; histograms emit the
+    conventional ``_bucket{le=...}`` (cumulative) / ``_sum`` / ``_count``
+    triplet; collector dicts flatten to ``<ns>_<collector>_<key>`` with
+    non-numeric values skipped (they are labels, not samples).
+    """
+    ns = _sanitize(str(snapshot.get("namespace", "repro")))
+    lines: list[str] = []
+
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, hist in sorted((snapshot.get("histograms") or {}).items()):
+        metric = f"{ns}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bucket in hist.get("buckets", []):
+            cumulative += int(bucket.get("count", 0))
+            le = bucket.get("le")
+            le_txt = "+Inf" if le == "+Inf" else _fmt(float(le))
+            lines.append(f'{metric}_bucket{{le="{le_txt}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(float(hist.get('sum', 0.0)))}")
+        lines.append(f"{metric}_count {int(hist.get('count', 0))}")
+    for source, values in sorted((snapshot.get("collected") or {}).items()):
+        for key, value in sorted(values.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            lines.append(f"{ns}_{_sanitize(source)}_{_sanitize(key)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

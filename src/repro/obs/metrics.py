@@ -1,0 +1,233 @@
+"""Named metric instruments and the unified registry.
+
+Before this module the repo's counters were scattered: ``CacheStats``
+per cache, ``ResilienceStats`` per transport, ``ByteCounter`` in the
+storage layer, ad-hoc dicts in ``NDPServer._stats``.  A
+:class:`Registry` pulls them behind one surface: code creates named
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+(get-or-create, so callsites never coordinate), legacy stats objects
+attach as *collectors* (any zero-arg callable returning a flat dict),
+and :meth:`Registry.snapshot` renders everything as one plain-dict
+tree — msgpack-safe, so a server can ship its whole registry over RPC
+in one call.
+
+Histograms use exponential bucket boundaries by default (microseconds
+to minutes), matching how request latencies actually spread.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry", "exponential_buckets"]
+
+
+def exponential_buckets(start: float = 1e-4, factor: float = 4.0,
+                        count: int = 10) -> tuple[float, ...]:
+    """Bucket upper bounds ``start * factor**i`` — the latency default
+    spans 100 µs to ~26 s in 10 buckets."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ReproError(
+            f"invalid bucket spec start={start} factor={factor} count={count}"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease (inc {n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, cache occupancy)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with a sum and count (Prometheus style).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket always
+    exists, so every observation lands somewhere.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] | None = None,
+                 help: str = ""):
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else exponential_buckets()
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ReproError(f"histogram buckets must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; +Inf bucket reports the last bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0
+        for idx, c in enumerate(counts):
+            seen += c
+            if seen >= rank:
+                return self.buckets[min(idx, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "buckets": [
+                    {"le": b, "count": c}
+                    for b, c in zip(self.buckets, self._counts)
+                ] + [{"le": "+Inf", "count": self._counts[-1]}],
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class Registry:
+    """Get-or-create instrument registry plus legacy-stats collectors.
+
+    ``register(name, fn)`` attaches any zero-arg callable returning a
+    dict — ``CacheStats.as_dict``, ``ResilienceStats.as_dict``,
+    ``ByteCounter.as_dict`` — so existing stats objects surface in
+    :meth:`snapshot` without being rewritten.
+    """
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, Callable[[], dict]] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name, help)
+            return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name, help)
+            return inst
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None,
+                  help: str = "") -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, buckets, help)
+            return inst
+
+    def register(self, name: str, collector: Callable[[], dict]) -> None:
+        """Attach a legacy stats source under ``name`` (last one wins)."""
+        if not callable(collector):
+            raise ReproError(f"collector for {name!r} is not callable")
+        with self._lock:
+            self._collectors[name] = collector
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One plain-dict view of every instrument and collector.
+
+        Collector failures surface as ``{"error": ...}`` under their
+        name instead of breaking the whole snapshot: a stats endpoint
+        must stay up even when one source is sick.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            collectors = dict(self._collectors)
+        collected = {}
+        for name, fn in collectors.items():
+            try:
+                collected[name] = dict(fn())
+            except Exception as exc:
+                collected[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "namespace": self.namespace,
+            "counters": {n: c.value for n, c in counters.items()},
+            "gauges": {n: g.value for n, g in gauges.items()},
+            "histograms": {n: h.as_dict() for n, h in histograms.items()},
+            "collected": collected,
+        }

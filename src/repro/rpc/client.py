@@ -1,4 +1,16 @@
-"""rpclib-style RPC client over any :class:`~repro.rpc.transport.Transport`."""
+"""rpclib-style RPC client over any :class:`~repro.rpc.transport.Transport`.
+
+Tracing: constructed with a real :class:`~repro.obs.trace.Tracer`, every
+:meth:`RPCClient.call` runs inside an ``rpc.call`` span and appends the
+span's trace context as an optional fifth request-frame element,
+``[0, msgid, method, params, {"trace_id", "span_id"}]``.  A trace-aware
+server opens child spans under that context and returns their summaries
+as an optional fifth response element, which the client grafts into its
+own tracer — one tree across both processes.  With the default
+:data:`~repro.obs.trace.NULL_TRACER` the frames are byte-identical to
+the plain 4-element protocol, so an untraced client works against any
+server, old or new.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +18,7 @@ import itertools
 from typing import Any
 
 from repro.errors import RPCError, RPCRemoteError
+from repro.obs.trace import NULL_TRACER
 from repro.rpc.msgpack import pack, unpack
 from repro.rpc.transport import InProcessTransport, TCPTransport, Transport
 
@@ -20,21 +33,25 @@ class RPCClient:
     """Issues msgpack-rpc calls through a transport.
 
     Construct with a transport, or use :meth:`connect_tcp` /
-    :meth:`in_process` conveniences.
+    :meth:`in_process` conveniences.  Pass ``tracer`` (a
+    :class:`~repro.obs.trace.Tracer`) to record an ``rpc.call`` span per
+    call and propagate trace context to the server.
     """
 
-    def __init__(self, transport: Transport):
+    def __init__(self, transport: Transport, tracer=None):
         self._transport = transport
         self._msgid = itertools.count(1)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @classmethod
-    def connect_tcp(cls, host: str, port: int, timeout: float | None = 30.0) -> "RPCClient":
-        return cls(TCPTransport(host, port, timeout=timeout))
+    def connect_tcp(cls, host: str, port: int, timeout: float | None = 30.0,
+                    tracer=None) -> "RPCClient":
+        return cls(TCPTransport(host, port, timeout=timeout), tracer=tracer)
 
     @classmethod
-    def in_process(cls, server) -> "RPCClient":
+    def in_process(cls, server, tracer=None) -> "RPCClient":
         """Client wired straight to an :class:`~repro.rpc.server.RPCServer`."""
-        return cls(InProcessTransport(server.dispatch))
+        return cls(InProcessTransport(server.dispatch), tracer=tracer)
 
     # ------------------------------------------------------------------
     def call(self, method: str, *params: Any) -> Any:
@@ -48,19 +65,35 @@ class RPCClient:
         RPCError
             On protocol violations (bad frame shape, msgid mismatch).
         """
-        msgid = next(self._msgid)
-        payload = pack([_REQUEST, msgid, method, list(params)])
+        if not self.tracer:
+            return self._roundtrip(next(self._msgid), method, list(params))
+        with self.tracer.span("rpc.call", method=method) as span:
+            ctx = self.tracer.inject()
+            result = self._roundtrip(
+                next(self._msgid), method, list(params), ctx=ctx, anchor=span
+            )
+        return result
+
+    def _roundtrip(self, msgid: int, method: str, params: list,
+                   ctx: dict | None = None, anchor=None) -> Any:
+        frame = [_REQUEST, msgid, method, params]
+        if ctx is not None:
+            frame.append(ctx)
+        payload = pack(frame)
         raw = self._transport.request(payload)
         message = unpack(raw)
         if (
             not isinstance(message, list)
-            or len(message) != 4
+            or len(message) not in (4, 5)
             or message[0] != _RESPONSE
         ):
             raise RPCError(f"invalid rpc response: {message!r}")
-        _, rid, error, result = message
+        rid, error, result = message[1], message[2], message[3]
         if rid != msgid:
             raise RPCError(f"response msgid {rid} != request msgid {msgid}")
+        if len(message) == 5 and anchor is not None:
+            # The server's span summaries ride back as the 5th element.
+            self.tracer.adopt(message[4], anchor=anchor)
         if error is not None:
             raise RPCRemoteError(method, str(error))
         return result

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import CircuitOpenError, RPCError, RPCTimeoutError, RPCTransportError
+from repro.obs.trace import NULL_TRACER
 from repro.rpc.transport import Transport
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "ResilientTransport"]
@@ -210,6 +211,12 @@ class ResilientTransport(Transport):
         Exception classes worth retrying.  Defaults to transport faults
         only: remote handler errors and protocol violations are
         deterministic and re-raised immediately.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  Retries, reconnects,
+        deadline timeouts, and breaker activity are recorded as *events*
+        on whatever span is current (normally the client's ``rpc.call``),
+        so a trace shows not just that a request was slow but that it
+        burned two retries and tripped the breaker on the way.
     """
 
     def __init__(
@@ -222,6 +229,7 @@ class ResilientTransport(Transport):
         rng: random.Random | None = None,
         stats=None,
         retryable: tuple[type[BaseException], ...] = (RPCTransportError,),
+        tracer=None,
     ):
         self._inner = inner
         self.retry = retry if retry is not None else RetryPolicy()
@@ -231,6 +239,7 @@ class ResilientTransport(Transport):
         self._rng = rng if rng is not None else random.Random()
         self._stats = stats
         self._retryable = retryable
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def _record(self, event: str, n: int = 1) -> None:
@@ -239,6 +248,7 @@ class ResilientTransport(Transport):
 
     def _reject_open(self, cause: BaseException | None) -> None:
         self._record("breaker_rejections")
+        self._tracer.add_event("breaker.reject", state=self.breaker.state)
         after = self.breaker.retry_after()
         hint = f"; retrying in {after:.3g}s" if after else ""
         raise CircuitOpenError(
@@ -263,6 +273,7 @@ class ResilientTransport(Transport):
         try:
             reconnect()
             self._record("reconnects")
+            self._tracer.add_event("rpc.reconnect")
         except RPCTransportError:
             pass
 
@@ -273,6 +284,9 @@ class ResilientTransport(Transport):
         self.breaker.record_failure()
         if self.breaker.trips > trips_before:
             self._record("breaker_trips")
+            self._tracer.add_event(
+                "breaker.trip", failures=self.breaker.failures
+            )
 
     def request(self, payload: bytes) -> bytes:
         policy = self.retry
@@ -296,11 +310,18 @@ class ResilientTransport(Transport):
                     and (self._clock() - start) + delay > policy.deadline
                 ):
                     self._record("timeouts")
+                    self._tracer.add_event(
+                        "rpc.deadline_exceeded", attempts=attempt + 1
+                    )
                     raise RPCTimeoutError(
                         f"deadline of {policy.deadline}s exhausted after "
                         f"{attempt + 1} attempt(s): {exc}"
                     ) from exc
                 self._record("retries")
+                self._tracer.add_event(
+                    "rpc.retry", attempt=attempt + 1, delay=delay,
+                    cause=f"{type(exc).__name__}: {exc}",
+                )
                 self._sleep(delay)
                 self._reconnect_inner()
             else:
@@ -311,6 +332,9 @@ class ResilientTransport(Transport):
                     # behaviour does not depend on fault timing.
                     self._record("timeouts")
                     self._breaker_failure()
+                    self._tracer.add_event(
+                        "rpc.deadline_exceeded", elapsed=elapsed
+                    )
                     raise RPCTimeoutError(
                         f"response arrived after {elapsed:.3g}s, "
                         f"deadline was {policy.deadline}s"

@@ -2,10 +2,16 @@
 
 Wire protocol (the msgpack-rpc convention rpclib implements):
 
-* request:  ``[0, msgid, method, params]`` (exactly 4 elements)
+* request:  ``[0, msgid, method, params]``, optionally followed by a
+  trace-context map ``{"trace_id", "span_id"}`` as a fifth element
 * response: ``[1, msgid, error, result]`` (``error`` is ``None`` on success,
-  else a one-line ``ExcType: message`` string)
+  else a one-line ``ExcType: message`` string); when the request carried
+  trace context *and* this server has a tracer, a fifth element lists
+  the server-side span summaries for that request
 * notify:   ``[2, method, params]`` (exactly 3 elements, **no** response)
+
+Untraced clients send plain 4-element frames and always get 4-element
+responses — the classic protocol is the zero-trace special case.
 
 Error contract: handler exceptions cross the wire as the stable
 ``ExcType: message`` line only.  The full server-side traceback never
@@ -21,6 +27,7 @@ import traceback
 from typing import Any, Callable
 
 from repro.errors import FormatError, RPCError
+from repro.obs.trace import NULL_TRACER
 from repro.rpc.msgpack import pack, unpack
 from repro.rpc.transport import TCPServerTransport
 
@@ -50,15 +57,22 @@ class RPCServer:
         ``on_error(method, exc, traceback_text)``.  Defaults to logging
         on the ``repro.rpc.server`` logger.  Hook failures are swallowed:
         observability must never take down the dispatch thread.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When a request frame
+        carries trace context, dispatch runs inside an ``rpc.dispatch``
+        span parented under the remote caller, and every span the handler
+        produced is shipped back in the response's fifth element.
     """
 
     def __init__(
         self,
         handlers: dict[str, Callable[..., Any]] | None = None,
         on_error: Callable[[str, BaseException, str], None] | None = None,
+        tracer=None,
     ):
         self._handlers: dict[str, Callable[..., Any]] = {}
         self._on_error = on_error
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if handlers:
             for name, fn in handlers.items():
                 self.bind(name, fn)
@@ -108,14 +122,31 @@ class RPCServer:
             self._invoke(method, params)
             return None
 
-        if len(message) != 4:
+        if len(message) not in (4, 5):
             return pack(
                 [_RESPONSE, 0,
-                 f"request frame must have 4 elements, got {len(message)}", None]
+                 f"request frame must have 4 or 5 elements, got {len(message)}",
+                 None]
             )
-        _, msgid, method, params = message
-        error, result = self._invoke(method, params)
-        return pack([_RESPONSE, msgid, error, result])
+        msgid, method, params = message[1], message[2], message[3]
+        ctx = message[4] if len(message) == 5 else None
+        if ctx is None or not self.tracer:
+            # Compat path: no trace context (or no tracer) — classic frames.
+            error, result = self._invoke(method, params)
+            return pack([_RESPONSE, msgid, error, result])
+        with self.tracer.collect() as captured:
+            with self.tracer.activate(
+                ctx, "rpc.dispatch",
+                method=method if isinstance(method, str) else repr(method),
+            ) as dispatch_span:
+                error, result = self._invoke(method, params)
+                if error is not None:
+                    # _invoke swallows handler exceptions into the error
+                    # string; mirror it onto the span so the trace shows
+                    # the failing dispatch, not a clean one.
+                    dispatch_span.error = str(error)
+        spans = [span.to_dict() for span in captured.spans]
+        return pack([_RESPONSE, msgid, error, result, spans])
 
     def _invoke(self, method: Any, params: Any) -> tuple[str | None, Any]:
         if not isinstance(method, str) or method not in self._handlers:

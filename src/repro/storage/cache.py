@@ -33,6 +33,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 from repro.errors import ReproError
+from repro.obs.trace import NULL_TRACER
 from repro.storage.metrics import CacheStats
 
 __all__ = ["SingleFlightCache", "ArrayCache", "SelectionCache"]
@@ -76,6 +77,10 @@ class SingleFlightCache:
         bytes/ndarray/dict-of-bytes shapes.
     name:
         Label used in stats and ``repr``.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; each lookup outcome
+        (hit / miss / coalesced) is recorded as an event on the caller's
+        current span, so a trace shows which phases a cache hit skipped.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class SingleFlightCache:
         max_bytes: int,
         sizeof: Callable[[Any], int] | None = None,
         name: str = "cache",
+        tracer=None,
     ):
         if max_bytes <= 0:
             raise ReproError(f"cache budget must be > 0 bytes, got {max_bytes}")
@@ -94,6 +100,7 @@ class SingleFlightCache:
         self._inflight: dict[Hashable, _InFlight] = {}
         self._current_bytes = 0
         self.stats = CacheStats(name=name)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     def get_or_load(self, key: Hashable, loader: Callable[[], Any]) -> Any:
@@ -109,6 +116,7 @@ class SingleFlightCache:
                 value, _ = self._entries[key]
                 self._entries.move_to_end(key)
                 self.stats.record("hits")
+                self.tracer.add_event("cache.hit", cache=self.name)
                 return value
             flight = self._inflight.get(key)
             if flight is None:
@@ -116,9 +124,11 @@ class SingleFlightCache:
                 self._inflight[key] = flight
                 leader = True
                 self.stats.record("misses")
+                self.tracer.add_event("cache.miss", cache=self.name)
             else:
                 leader = False
                 self.stats.record("coalesced")
+                self.tracer.add_event("cache.coalesced", cache=self.name)
 
         if not leader:
             flight.event.wait()
@@ -219,8 +229,8 @@ class ArrayCache(SingleFlightCache):
     NDP server only charges those Testbed phases inside the loader.
     """
 
-    def __init__(self, max_bytes: int, name: str = "array_cache"):
-        super().__init__(max_bytes, sizeof=_array_sizeof, name=name)
+    def __init__(self, max_bytes: int, name: str = "array_cache", tracer=None):
+        super().__init__(max_bytes, sizeof=_array_sizeof, name=name, tracer=tracer)
 
 
 class SelectionCache(SingleFlightCache):
@@ -230,5 +240,5 @@ class SelectionCache(SingleFlightCache):
     and compressed), so a hit costs no scan, no encode, and no compress.
     """
 
-    def __init__(self, max_bytes: int, name: str = "selection_cache"):
-        super().__init__(max_bytes, sizeof=_generic_sizeof, name=name)
+    def __init__(self, max_bytes: int, name: str = "selection_cache", tracer=None):
+        super().__init__(max_bytes, sizeof=_generic_sizeof, name=name, tracer=tracer)

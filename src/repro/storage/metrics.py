@@ -56,8 +56,12 @@ class CacheStats:
             self._counts[event] += n
 
     def get(self, event: str) -> int:
+        if event not in self._counts:
+            # Same contract as record(): an unknown event name is a typo
+            # at the callsite, not a zero — fail loudly either direction.
+            raise ReproError(f"unknown cache event {event!r}; use {self._FIELDS}")
         with self._lock:
-            return self._counts.get(event, 0)
+            return self._counts[event]
 
     @property
     def hit_rate(self) -> float:
@@ -77,25 +81,36 @@ class CacheStats:
 
 
 class ByteCounter:
-    """Counts bytes attributed to named categories."""
+    """Counts bytes attributed to named categories.
+
+    Thread-safe, like its ``CacheStats``/``ResilienceStats`` siblings:
+    the read-modify-write in :meth:`add` is reachable from the threaded
+    TCP server path, where unlocked ``dict.get``+assign pairs can lose
+    increments under contention.
+    """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._counts: dict[str, int] = {}
 
     def add(self, category: str, nbytes: int) -> None:
         if nbytes < 0:
             raise ReproError(f"cannot count {nbytes} bytes")
-        self._counts[category] = self._counts.get(category, 0) + nbytes
+        with self._lock:
+            self._counts[category] = self._counts.get(category, 0) + nbytes
 
     def get(self, category: str) -> int:
-        return self._counts.get(category, 0)
+        with self._lock:
+            return self._counts.get(category, 0)
 
     @property
     def total(self) -> int:
-        return sum(self._counts.values())
+        with self._lock:
+            return sum(self._counts.values())
 
     def as_dict(self) -> dict[str, int]:
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
 
 class ResilienceStats:
@@ -178,11 +193,20 @@ class PhaseTimer:
         with timer.phase("read"):
             ssd.read(nbytes)          # advances the clock
         breakdown = timer.breakdown
+
+    Nesting records **exclusive (self) time**: a ``phase`` block's
+    attribution excludes any interval covered by phases nested inside
+    it, so the breakdown's total always equals the real clock interval
+    — the same well-defined semantics the span tracer
+    (:mod:`repro.obs.trace`) assumes when it renders self-time per
+    phase.  (Previously a nested block's interval was double-counted
+    into both phases, silently inflating totals.)
     """
 
     def __init__(self, clock):
         self._clock = clock
         self.breakdown = LoadBreakdown()
+        self._stack: list[_PhaseContext] = []
 
     def phase(self, name: str):
         return _PhaseContext(self, name)
@@ -193,11 +217,19 @@ class _PhaseContext:
         self._timer = timer
         self._name = name
         self._start = 0.0
+        self._child_time = 0.0
 
     def __enter__(self):
         self._start = self._timer._clock.now
+        self._timer._stack.append(self)
         return self
 
     def __exit__(self, *exc):
         elapsed = self._timer._clock.now - self._start
-        self._timer.breakdown.add(self._name, elapsed)
+        stack = self._timer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            # The enclosing phase must not count this interval again.
+            stack[-1]._child_time += elapsed
+        self._timer.breakdown.add(self._name, max(0.0, elapsed - self._child_time))

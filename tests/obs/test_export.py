@@ -1,0 +1,116 @@
+"""Exporter tests: JSONL archive, Chrome trace events, Prometheus text."""
+
+import json
+
+from repro.obs import Registry, Tracer, chrome_trace, prometheus_text, write_jsonl
+from repro.obs.export import span_dicts, write_chrome_trace
+
+
+def make_spans():
+    client = Tracer(process="client")
+    server = Tracer(process="server")
+    with client.span("rpc.call", method="prefilter_contour") as call:
+        with server.activate(client.inject(), "rpc.dispatch") as dispatch:
+            dispatch.add_event("cache.hit", cache="array")
+    return client.finished() + server.finished(), call, dispatch
+
+
+class TestJsonl:
+    def test_round_trips_through_json_lines(self, tmp_path):
+        spans, call, dispatch = make_spans()
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(spans, str(path)) == 2
+        lines = path.read_text().strip().splitlines()
+        decoded = [json.loads(line) for line in lines]
+        assert {d["name"] for d in decoded} == {"rpc.call", "rpc.dispatch"}
+        by_name = {d["name"]: d for d in decoded}
+        assert by_name["rpc.dispatch"]["parent_id"] == call.span_id
+        assert by_name["rpc.dispatch"]["events"][0]["name"] == "cache.hit"
+
+    def test_accepts_file_handle_and_plain_dicts(self, tmp_path):
+        spans, _, _ = make_spans()
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            assert write_jsonl(span_dicts(spans), fh) == 2
+
+
+class TestChromeTrace:
+    def test_structure_and_process_tracks(self, tmp_path):
+        spans, call, dispatch = make_spans()
+        trace = chrome_trace(spans)
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        # Two processes, each announced once with its own pid.
+        assert {m["args"]["name"] for m in meta} == {"client", "server"}
+        assert len({m["pid"] for m in meta}) == 2
+        # Both spans present; ids carried in args so the tree is recoverable.
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["rpc.dispatch"]["args"]["parent_id"] == call.span_id
+        assert by_name["rpc.call"]["args"]["method"] == "prefilter_contour"
+        assert all(e["dur"] >= 0 for e in complete)
+        # The cache hit shows as an instant mark.
+        [hit] = instants
+        assert hit["name"] == "cache.hit"
+        assert hit["args"] == {"cache": "array"}
+        # The file form is valid JSON Perfetto can open.
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(spans, str(path)) == len(events)
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_sim_seconds_surface_in_args(self):
+        from repro.storage import SimClock
+
+        clock = SimClock()
+        tracer = Tracer(process="server", sim_clock=clock)
+        with tracer.span("store.read"):
+            clock.advance(1.25)
+        [event] = [e for e in chrome_trace(tracer.finished())["traceEvents"]
+                   if e["ph"] == "X"]
+        assert event["args"]["sim_seconds"] == 1.25
+
+    def test_error_span_carries_error_arg(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("bad"):
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+        [event] = [e for e in chrome_trace(tracer.finished())["traceEvents"]
+                   if e["ph"] == "X"]
+        assert event["args"]["error"] == "RuntimeError: nope"
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms(self):
+        reg = Registry(namespace="repro")
+        reg.counter("requests").inc(3)
+        reg.gauge("depth").set(2)
+        h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE repro_requests counter\nrepro_requests 3" in text
+        assert "# TYPE repro_depth gauge\nrepro_depth 2" in text
+        # Buckets must be CUMULATIVE in the exposition format.
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_collectors_flatten_numeric_only(self):
+        reg = Registry()
+        reg.register("array_cache", lambda: {"hits": 4, "name": "array"})
+        text = prometheus_text(reg.snapshot())
+        assert "repro_array_cache_hits 4" in text
+        assert "name" not in text  # strings are labels, not samples
+
+    def test_metric_names_sanitized(self):
+        reg = Registry(namespace="re pro")
+        reg.counter("bad-name.x").inc()
+        text = prometheus_text(reg.snapshot())
+        assert "re_pro_bad_name_x 1" in text

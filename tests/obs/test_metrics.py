@@ -1,0 +1,153 @@
+"""Unit tests for Counter/Gauge/Histogram and the unified Registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import Counter, Gauge, Histogram, Registry, exponential_buckets
+from repro.storage.metrics import CacheStats, ResilienceStats
+
+
+class TestBuckets:
+    def test_exponential_defaults(self):
+        buckets = exponential_buckets()
+        assert len(buckets) == 10
+        assert buckets[0] == pytest.approx(1e-4)
+        for lo, hi in zip(buckets, buckets[1:]):
+            assert hi == pytest.approx(lo * 4.0)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ReproError):
+            exponential_buckets(start=0)
+        with pytest.raises(ReproError):
+            exponential_buckets(factor=1.0)
+        with pytest.raises(ReproError):
+            exponential_buckets(count=0)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ReproError):
+            Counter("requests").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("n")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_observe_lands_in_correct_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        h.observe(0.5)    # <= 1.0
+        h.observe(1.0)    # boundary: le=1.0 bucket (upper bound inclusive)
+        h.observe(50.0)   # <= 100.0
+        h.observe(1000.0)  # +Inf
+        d = h.as_dict()
+        per_bucket = {b["le"]: b["count"] for b in d["buckets"]}
+        assert per_bucket == {1.0: 2, 10.0: 0, 100.0: 1, "+Inf": 1}
+        assert d["count"] == 4
+        assert d["sum"] == pytest.approx(1051.5)
+
+    def test_quantiles(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram("empty").quantile(0.9) == 0.0
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ReproError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ReproError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_count_and_sum(self):
+        h = Histogram("h")
+        h.observe(0.001)
+        h.observe(0.002)
+        assert h.count == 2
+        assert h.sum == pytest.approx(0.003)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = Registry()
+        assert reg.counter("requests") is reg.counter("requests")
+        assert reg.gauge("depth") is reg.gauge("depth")
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+    def test_snapshot_shape(self):
+        reg = Registry(namespace="testns")
+        reg.counter("requests").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["namespace"] == "testns"
+        assert snap["counters"] == {"requests": 3}
+        assert snap["gauges"] == {"depth": 2}
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["collected"] == {}
+
+    def test_legacy_collectors_absorbed(self):
+        reg = Registry()
+        cache = CacheStats("array")
+        cache.record("hits", 3)
+        resilience = ResilienceStats()
+        resilience.record("retries", 2)
+        reg.register("array_cache", cache.as_dict)
+        reg.register("resilience", resilience.as_dict)
+        snap = reg.snapshot()
+        assert snap["collected"]["array_cache"]["hits"] == 3
+        assert snap["collected"]["resilience"]["retries"] == 2
+
+    def test_broken_collector_does_not_break_snapshot(self):
+        reg = Registry()
+        reg.counter("ok").inc()
+
+        def sick():
+            raise RuntimeError("source down")
+
+        reg.register("sick", sick)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"ok": 1}
+        assert snap["collected"]["sick"] == {"error": "RuntimeError: source down"}
+
+    def test_non_callable_collector_rejected(self):
+        with pytest.raises(ReproError):
+            Registry().register("x", {"not": "callable"})
+
+    def test_snapshot_is_msgpack_safe(self):
+        from repro.rpc import pack, unpack
+
+        reg = Registry()
+        reg.counter("requests").inc()
+        reg.histogram("lat").observe(0.5)
+        reg.register("cache", CacheStats().as_dict)
+        assert unpack(pack(reg.snapshot())) == reg.snapshot()

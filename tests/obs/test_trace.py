@@ -1,0 +1,258 @@
+"""Unit tests for the span tracer: nesting, ids, clocks, adopt, no-op path."""
+
+import threading
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, new_id
+from repro.storage import SimClock
+
+
+class TestIds:
+    def test_new_id_format(self):
+        ident = new_id()
+        assert len(ident) == 16
+        int(ident, 16)  # valid hex
+
+    def test_new_ids_are_distinct(self):
+        assert len({new_id() for _ in range(100)}) == 100
+
+
+class TestNesting:
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert span.parent_id is None
+            assert span.trace_id
+        assert tracer.finished() == [span]
+
+    def test_child_inherits_trace_and_parents_under_top(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        names = [s.name for s in tracer.finished()]
+        assert names == ["inner", "outer"]  # finish order: inner first
+
+    def test_sequential_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span().span_id is None  # null outside spans
+        with tracer.span("a") as a:
+            assert tracer.current_span() is a
+            with tracer.span("b") as b:
+                assert tracer.current_span() is b
+            assert tracer.current_span() is a
+
+    def test_threads_have_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker-root") as s:
+                seen["parent"] = s.parent_id
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker thread's span must NOT parent under main's span.
+        assert seen["parent"] is None
+
+
+class TestClocksAndAttrs:
+    def test_wall_duration_non_negative(self):
+        tracer = Tracer()
+        with tracer.span("t") as span:
+            pass
+        assert span.end_wall >= span.start_wall
+        assert span.wall_duration >= 0.0
+
+    def test_sim_clock_recorded_when_present(self):
+        clock = SimClock()
+        tracer = Tracer(sim_clock=clock)
+        with tracer.span("load") as span:
+            clock.advance(2.5)
+        assert span.sim_duration == 2.5
+
+    def test_sim_none_without_clock(self):
+        tracer = Tracer()
+        with tracer.span("t") as span:
+            pass
+        assert span.start_sim is None and span.sim_duration is None
+
+    def test_attrs_and_events(self):
+        tracer = Tracer()
+        with tracer.span("req", key="a.vgf") as span:
+            tracer.add_event("cache.hit", cache="array")
+        assert span.attrs == {"key": "a.vgf"}
+        [event] = span.events
+        assert event["name"] == "cache.hit"
+        assert event["cache"] == "array"
+        assert "wall" in event
+
+    def test_exception_marks_error_and_still_records(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("bad")
+        except ValueError:
+            pass
+        [span] = tracer.finished()
+        assert span.error == "ValueError: bad"
+
+    def test_to_dict_roundtrip_is_plain(self):
+        tracer = Tracer(process="server")
+        with tracer.span("t", n=1) as span:
+            span.add_event("e")
+        d = span.to_dict()
+        assert d["name"] == "t"
+        assert d["process"] == "server"
+        assert isinstance(d["attrs"], dict) and isinstance(d["events"], list)
+
+
+class TestRetention:
+    def test_max_spans_bounds_history(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["s2", "s3", "s4"]
+
+    def test_drain_clears(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.finished() == []
+
+
+class TestCollect:
+    def test_collect_captures_only_inner_spans(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        with tracer.collect() as captured:
+            with tracer.span("inside"):
+                pass
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in captured.spans] == ["inside"]
+        # The global record still has everything.
+        assert [s.name for s in tracer.finished()] == ["before", "inside", "after"]
+
+    def test_collect_is_thread_local(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def other():
+            with tracer.span("other-thread"):
+                pass
+            done.set()
+
+        with tracer.collect() as captured:
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+            done.wait(5)
+        assert captured.spans == []
+
+
+class TestInjectActivateAdopt:
+    def test_inject_outside_span_is_none(self):
+        assert Tracer().inject() is None
+
+    def test_inject_carries_current_ids(self):
+        tracer = Tracer()
+        with tracer.span("rpc") as span:
+            ctx = tracer.inject()
+        assert ctx == {"trace_id": span.trace_id, "span_id": span.span_id}
+
+    def test_activate_parents_under_remote_ctx(self):
+        client, server = Tracer(process="client"), Tracer(process="server")
+        with client.span("call") as call:
+            ctx = client.inject()
+        with server.activate(ctx, "dispatch") as dispatch:
+            pass
+        assert dispatch.trace_id == call.trace_id
+        assert dispatch.parent_id == call.span_id
+        assert dispatch.process == "server"
+
+    def test_activate_malformed_ctx_falls_back_to_root(self):
+        server = Tracer(process="server")
+        for bad in (None, "junk", {"trace_id": 7}, {}):
+            with server.activate(bad, "dispatch") as span:
+                assert span.parent_id is None
+                assert span.trace_id
+
+    def test_adopt_rebases_remote_walls_onto_anchor(self):
+        client = Tracer(process="client")
+        with client.span("rpc.call") as anchor:
+            pass
+        remote = [{
+            "trace_id": anchor.trace_id, "span_id": "aa" * 8,
+            "parent_id": anchor.span_id, "name": "rpc.dispatch",
+            "process": "server", "thread_id": 1,
+            # A wildly different perf_counter epoch, 2s wide.
+            "start_wall": 1e9, "end_wall": 1e9 + 2.0,
+            "start_sim": None, "end_sim": None, "attrs": {}, "events": [],
+            "error": None,
+        }]
+        client.adopt(remote, anchor=anchor)
+        adopted = [s for s in client.finished() if s.name == "rpc.dispatch"]
+        [span] = adopted
+        # Midpoint alignment: remote interval centred in the anchor's.
+        anchor_mid = (anchor.start_wall + anchor.end_wall) / 2
+        span_mid = (span.start_wall + span.end_wall) / 2
+        # 1e9-magnitude doubles keep ~1e-7 s of precision through the shift.
+        assert abs(span_mid - anchor_mid) < 1e-6
+        assert span.wall_duration == 2.0  # duration preserved
+        assert span.parent_id == anchor.span_id
+
+    def test_adopt_preserves_sim_times_unshifted(self):
+        client = Tracer()
+        with client.span("rpc.call") as anchor:
+            pass
+        client.adopt([{
+            "trace_id": "t", "span_id": "s", "parent_id": None,
+            "name": "x", "process": "server", "thread_id": 0,
+            "start_wall": 0.0, "end_wall": 1.0,
+            "start_sim": 10.0, "end_sim": 12.0, "attrs": {}, "events": [],
+            "error": None,
+        }], anchor=anchor)
+        span = client.finished()[-1]
+        assert (span.start_sim, span.end_sim) == (10.0, 12.0)
+
+    def test_adopt_garbage_is_ignored(self):
+        tracer = Tracer()
+        tracer.adopt(None)
+        tracer.adopt(["not-a-dict", 42])
+        assert tracer.finished() == []
+
+
+class TestNullTracer:
+    def test_is_falsy_and_inert(self):
+        assert not NULL_TRACER
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("anything", k=1) as span:
+            span.add_event("e")
+        NULL_TRACER.add_event("loose")
+        assert NULL_TRACER.inject() is None
+        assert NULL_TRACER.finished() == [] and NULL_TRACER.drain() == []
+        NULL_TRACER.adopt([{"name": "x"}])
+        assert NULL_TRACER.finished() == []
+
+    def test_null_span_is_shared_singleton(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b  # no allocation on the disabled path
+
+    def test_real_tracer_is_truthy(self):
+        assert Tracer()
+        assert isinstance(Tracer().span("x").__enter__(), Span)

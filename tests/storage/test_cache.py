@@ -196,6 +196,14 @@ class TestCacheStats:
         with pytest.raises(ReproError, match="unknown cache event"):
             stats.record("nope")
 
+    def test_get_unknown_event_rejected(self):
+        # get() used to silently return 0 for a typo'd event name while
+        # record() raised; both directions now share the same contract.
+        stats = CacheStats()
+        with pytest.raises(ReproError, match="unknown cache event"):
+            stats.get("hit")  # singular typo for "hits"
+        assert stats.get("hits") == 0
+
     def test_negative_rejected(self):
         with pytest.raises(ReproError):
             CacheStats().record("hits", -1)

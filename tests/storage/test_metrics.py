@@ -29,6 +29,25 @@ class TestByteCounter:
         with pytest.raises(ReproError):
             ByteCounter().add("net", -1)
 
+    def test_thread_safety_under_concurrent_adds(self):
+        # The unlocked get+assign in add() used to lose increments when
+        # several TCP connection threads recorded bytes concurrently.
+        import threading
+
+        c = ByteCounter()
+
+        def hammer():
+            for _ in range(1000):
+                c.add("net", 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.get("net") == 8000
+        assert c.total == 8000
+
 
 class TestLoadBreakdown:
     def test_add_and_total(self):
@@ -72,6 +91,55 @@ class TestPhaseTimer:
         with timer.phase("idle"):
             pass
         assert timer.breakdown.phases["idle"] == 0.0
+
+    def test_nested_phases_do_not_double_count(self):
+        # A nested phase() used to attribute its interval to BOTH the
+        # inner and the outer phase, inflating the breakdown total past
+        # the real clock interval.  Each phase now records exclusive
+        # (self) time, so the total matches the clock exactly.
+        clock = SimClock()
+        timer = PhaseTimer(clock)
+        with timer.phase("load"):
+            clock.advance(1.0)
+            with timer.phase("decompress"):
+                clock.advance(3.0)
+            clock.advance(0.5)
+        assert timer.breakdown.phases == {"load": 1.5, "decompress": 3.0}
+        assert timer.breakdown.total == pytest.approx(clock.now)
+
+    def test_deep_nesting_sums_to_clock(self):
+        clock = SimClock()
+        timer = PhaseTimer(clock)
+        with timer.phase("a"):
+            clock.advance(1.0)
+            with timer.phase("b"):
+                clock.advance(1.0)
+                with timer.phase("c"):
+                    clock.advance(1.0)
+                clock.advance(1.0)
+            clock.advance(1.0)
+        assert timer.breakdown.phases == {"a": 2.0, "b": 2.0, "c": 1.0}
+        assert timer.breakdown.total == pytest.approx(5.0)
+
+    def test_nested_sibling_phases(self):
+        clock = SimClock()
+        timer = PhaseTimer(clock)
+        with timer.phase("outer"):
+            with timer.phase("read"):
+                clock.advance(2.0)
+            with timer.phase("filter"):
+                clock.advance(1.0)
+        assert timer.breakdown.phases == {"outer": 0.0, "read": 2.0, "filter": 1.0}
+
+    def test_nested_repeated_name_accumulates_exclusive(self):
+        clock = SimClock()
+        timer = PhaseTimer(clock)
+        for _ in range(2):
+            with timer.phase("load"):
+                clock.advance(0.5)
+                with timer.phase("io"):
+                    clock.advance(1.0)
+        assert timer.breakdown.phases == {"load": 1.0, "io": 2.0}
 
 
 class TestResilienceStats:

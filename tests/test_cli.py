@@ -170,6 +170,101 @@ class TestServe:
         assert "NDP server on" in capsys.readouterr().out
 
 
+class TestTraceOut:
+    def test_contour_writes_chrome_trace(self, store, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "trace.json")
+        rc = main([
+            "contour", "--store", store, "--key", "asteroid/ts00000.vgf",
+            "--array", "v02", "--values", "0.1", "--trace-out", trace,
+        ])
+        assert rc == 0
+        assert "trace events" in capsys.readouterr().out
+        events = json.loads(open(trace).read())["traceEvents"]
+        names = {e["name"] for e in events}
+        # The end-to-end request tree: client AND server phases present.
+        assert {"ndp.contour", "rpc.call", "rpc.dispatch",
+                "store.read", "prefilter", "postfilter"} <= names
+        # Both processes announced as separate tracks.
+        procs = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert procs == {"client", "server"}
+
+    def test_contour_writes_jsonl(self, store, tmp_path):
+        import json
+
+        trace = str(tmp_path / "trace.jsonl")
+        rc = main([
+            "contour", "--store", store, "--key", "asteroid/ts00000.vgf",
+            "--array", "v02", "--values", "0.1", "--trace-out", trace,
+        ])
+        assert rc == 0
+        spans = [json.loads(line) for line in open(trace)]
+        assert any(s["name"] == "ndp.contour" for s in spans)
+        # One merged tree: every parent_id resolves inside the file.
+        ids = {s["span_id"] for s in spans}
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert len(roots) == 1
+        for s in spans:
+            assert s["parent_id"] is None or s["parent_id"] in ids
+
+
+class TestStatsSubcommand:
+    def test_stats_against_live_server(self, store, capsys):
+        from repro.core.ndp_server import NDPServer
+        from repro.storage.object_store import DirectoryBackend, ObjectStore
+        from repro.storage.s3fs import S3FileSystem
+
+        fs = S3FileSystem(ObjectStore(DirectoryBackend(store)), "sim")
+        server = NDPServer(fs, cache_bytes=2**20)
+        listener = server.serve_tcp()
+        try:
+            addr = f"{listener.host}:{listener.port}"
+            # Generate one request so the counters are non-zero.
+            assert main([
+                "contour", "--connect", addr,
+                "--key", "asteroid/ts00000.vgf", "--array", "v02",
+                "--values", "0.1",
+            ]) == 0
+            capsys.readouterr()
+            rc = main(["stats", "--connect", addr])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "requests: 1" in out
+            assert "reduction" in out
+            assert "latency (wall): count=1" in out
+            assert "array_cache: hit_rate" in out
+        finally:
+            listener.stop()
+
+    def test_stats_prometheus_output(self, store, capsys):
+        from repro.core.ndp_server import NDPServer
+        from repro.storage.object_store import DirectoryBackend, ObjectStore
+        from repro.storage.s3fs import S3FileSystem
+
+        fs = S3FileSystem(ObjectStore(DirectoryBackend(store)), "sim")
+        listener = NDPServer(fs).serve_tcp()
+        try:
+            addr = f"{listener.host}:{listener.port}"
+            rc = main(["stats", "--connect", addr, "--prom"])
+        finally:
+            listener.stop()
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# TYPE repro_requests counter" in out
+        assert "# TYPE repro_request_latency_seconds histogram" in out
+        assert 'repro_request_latency_seconds_bucket{le="+Inf"} 0' in out
+
+    def test_stats_unreachable(self, capsys):
+        rc = main([
+            "stats", "--connect",
+            f"127.0.0.1:{TestResilienceFlags._dead_port()}",
+            "--retries", "1", "--deadline", "2",
+        ])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().out
+
+
 class TestInfoStats:
     def test_stats_flag_prints_ranges(self, store, capsys):
         rc = main(["info", "--store", store, "--stats",

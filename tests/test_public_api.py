@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.storage",
     "repro.io",
     "repro.core",
+    "repro.obs",
     "repro.render",
     "repro.datasets",
     "repro.bench",
