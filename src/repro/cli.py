@@ -124,6 +124,9 @@ def cmd_info(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal
+    import threading
+
     fs = _open_fs(args.store, args.bucket)
     tracer = Tracer(process="server") if args.trace_out else None
     server = NDPServer(
@@ -131,29 +134,91 @@ def cmd_serve(args) -> int:
         cache_bytes=args.cache_bytes,
         selection_cache_bytes=args.selection_cache,
         tracer=tracer,
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        verify_checksums=args.verify_checksums == "on",
     )
-    listener = server.rpc.serve_tcp(host=args.host, port=args.port)
+    listener = server.serve_tcp(
+        host=args.host, port=args.port,
+        max_connections=args.max_connections if args.max_connections > 0 else None,
+    )
     caches = (
         f"array_cache={args.cache_bytes // 2**20} MiB"
         if args.cache_bytes > 0 else "array_cache=off",
         f"selection_cache={args.selection_cache // 2**20} MiB"
         if args.selection_cache > 0 else "selection_cache=off",
     )
+    admission = (
+        f"max_inflight={args.max_inflight}" if args.max_inflight > 0
+        else "admission=unlimited"
+    )
     print(f"NDP server on {listener.host}:{listener.port} "
           f"(store={args.store}, bucket={args.bucket}, "
-          f"{caches[0]}, {caches[1]}"
+          f"{caches[0]}, {caches[1]}, {admission}, "
+          f"checksums={args.verify_checksums}"
           f"{', tracing on' if tracer else ''})")
-    try:
-        import threading
 
-        threading.Event().wait(args.timeout if args.timeout > 0 else None)
+    stop = threading.Event()
+    # Graceful drain on SIGTERM/SIGINT.  Signal handlers can only be
+    # installed from the main thread; when driven from a worker thread
+    # (tests, embedding) the --timeout path still provides shutdown.
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, _frame):
+            print(f"\nsignal {signum}: draining (in-flight requests get up "
+                  f"to {args.drain_timeout:.1f}s)")
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    clean = True
+    try:
+        stop.wait(args.timeout if args.timeout > 0 else None)
     except KeyboardInterrupt:
         pass
     finally:
-        listener.stop()
+        clean = listener.stop(drain_timeout=args.drain_timeout)
+        shed = server.admission.info()["shed"]
+        print(f"stopped ({'clean' if clean else 'forced'}; "
+              f"{server.admission.info()['admitted']} requests served, "
+              f"{shed} shed)")
         if tracer is not None:
             _write_trace(tracer, args.trace_out)
-    return 0
+    return 0 if clean else 1
+
+
+def cmd_verify(args) -> int:
+    """Check every stored VGF's header and per-array checksums.
+
+    Exit status 0 means every object verified clean; 1 means at least one
+    corrupt object (or nothing to check).  Objects written before
+    checksums existed are reported unverifiable but don't fail the run —
+    they are not *known* bad, merely unprovable.
+    """
+    from repro.io.vgf import verify_vgf
+
+    fs = _open_fs(args.store, args.bucket)
+    keys = [k for k in fs.listdir(args.prefix) if k.endswith(".vgf")]
+    if not keys:
+        print("no .vgf objects found")
+        return 1
+    corrupt = 0
+    unverifiable = 0
+    for key in keys:
+        problems = verify_vgf(fs.read_object(key))
+        if not problems:
+            print(f"{key}: OK")
+        elif all("unverifiable" in p for p in problems):
+            unverifiable += 1
+            print(f"{key}: UNVERIFIABLE (written without checksums)")
+        else:
+            corrupt += 1
+            print(f"{key}: CORRUPT")
+            for problem in problems:
+                print(f"    {problem}")
+    print(f"checked {len(keys)} object(s): "
+          f"{len(keys) - corrupt - unverifiable} ok, {corrupt} corrupt, "
+          f"{unverifiable} unverifiable")
+    return 1 if corrupt else 0
 
 
 def _resilience_from_args(args) -> tuple[RetryPolicy, CircuitBreaker | None, ResilienceStats]:
@@ -305,6 +370,19 @@ def cmd_health(args) -> int:
         f"(store_reachable={report['store_reachable']}, "
         f"requests_served={report['requests_served']})"
     )
+    admission = report.get("admission") or {}
+    if admission:
+        limit = admission.get("max_inflight", 0) or "unlimited"
+        print(
+            f"admission: inflight={admission.get('inflight', 0)}/{limit}, "
+            f"pending={admission.get('pending', 0)}, "
+            f"shed={admission.get('shed', 0)}, "
+            f"expired={admission.get('expired', 0)}"
+        )
+    integrity = int(report.get("integrity_failures", 0))
+    if integrity:
+        print(f"integrity_failures: {integrity} (checksum mismatches on "
+              f"at-rest reads — run `repro verify` against the store)")
     for label in ("array_cache", "selection_cache"):
         cache = report.get(label)
         if not cache:
@@ -416,6 +494,18 @@ def cmd_stats(args) -> int:
     collected = snapshot.get("collected", {})
     for label in ("array_cache", "selection_cache"):
         _print_cache_line(label, collected.get(label, {}))
+    admission = collected.get("admission") or {}
+    if admission:
+        limit = admission.get("max_inflight", 0) or "unlimited"
+        print(
+            f"admission: {int(admission.get('admitted', 0))} admitted, "
+            f"{int(admission.get('shed', 0))} shed, "
+            f"{int(admission.get('expired', 0))} expired, "
+            f"peak_inflight {int(admission.get('peak_inflight', 0))}/{limit}"
+        )
+    integrity = int(counters.get("integrity_failures", 0))
+    if integrity:
+        print(f"integrity_failures: {integrity}")
     resilience = collected.get("resilience_client") or {}
     if resilience:
         inner = " ".join(f"{k}={v}" for k, v in sorted(resilience.items()))
@@ -466,10 +556,35 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="BYTES",
                    help="encoded pre-filter reply cache budget in bytes "
                         "(default 64 MiB; 0 disables)")
+    p.add_argument("--max-inflight", type=int, default=0,
+                   help="admission control: max requests processed "
+                        "concurrently; excess queue then shed (0 = unlimited)")
+    p.add_argument("--max-pending", type=int, default=0,
+                   help="admission control: max requests queued waiting for "
+                        "a slot before shedding (0 = shed immediately once "
+                        "--max-inflight is saturated)")
+    p.add_argument("--max-connections", type=int, default=0,
+                   help="refuse TCP connections beyond this many concurrent "
+                        "(0 = unlimited)")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   help="on shutdown, seconds to let in-flight requests "
+                        "finish before forcing connections closed")
+    p.add_argument("--verify-checksums", choices=["on", "off"], default="on",
+                   help="verify at-rest array CRCs on every read and stamp "
+                        "pre-filter replies with an integrity checksum "
+                        "(default on)")
     p.add_argument("--trace-out", default="", metavar="FILE",
                    help="record server-side spans and write them on exit "
                         "(.jsonl = span log, else Chrome trace JSON)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "verify", help="verify stored VGF checksums (detect at-rest corruption)"
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--prefix", default="")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("contour", help="offloaded contour of a stored array")
     p.add_argument("--connect", default="", metavar="HOST:PORT",

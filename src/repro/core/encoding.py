@@ -23,6 +23,13 @@ extends to the selection wire format itself — typically a further 2-4x
 
 Every encoding is a flat dict of msgpack-friendly values (strs, ints,
 bytes), so it rides the RPC layer without auxiliary framing.
+
+Integrity: :func:`attach_checksum` stamps an encoded reply with a digest
+over its canonical serialization (every field except the stamp itself),
+and :func:`decode_selection` verifies the stamp — when present — *before*
+decompressing or trusting any field, raising
+:class:`~repro.errors.IntegrityError` on mismatch.  Replies without a
+stamp decode exactly as before, so old and new peers interoperate.
 """
 
 from __future__ import annotations
@@ -32,8 +39,17 @@ import numpy as np
 from repro.compression import get_codec
 from repro.errors import FormatError, SelectionError
 from repro.grid.selection import PointSelection
+from repro.io.checksum import DEFAULT_ALGO, checksum
+from repro.io.checksum import verify as verify_bytes
+from repro.rpc.msgpack import pack
 
-__all__ = ["encode_selection", "decode_selection", "wire_size", "ENCODINGS"]
+__all__ = [
+    "encode_selection",
+    "decode_selection",
+    "attach_checksum",
+    "wire_size",
+    "ENCODINGS",
+]
 
 ENCODINGS = ("auto", "ids", "bitmap")
 
@@ -128,8 +144,51 @@ def encode_selection(
     return a if wire_size(a) <= wire_size(b) else b
 
 
+# Keys excluded from the digest: the stamp itself.
+_CHECKSUM_KEYS = frozenset({"crc", "crc_algo"})
+
+
+def _digest_bytes(encoded: dict) -> bytes:
+    """Canonical bytes of an encoding for checksumming.
+
+    Key-sorted ``[key, value]`` pairs through the deterministic msgpack
+    encoder: insertion order, which differs between encode paths, never
+    affects the digest — only content does.
+    """
+    return pack(
+        [[key, encoded[key]] for key in sorted(encoded) if key not in _CHECKSUM_KEYS]
+    )
+
+
+def attach_checksum(encoded: dict, algo: str = DEFAULT_ALGO) -> dict:
+    """Return a copy of ``encoded`` stamped with an integrity checksum.
+
+    Applied to the final wire dict (after payload compression), so the
+    digest covers exactly the bytes that cross the link.
+    """
+    out = dict(encoded)
+    out.pop("crc", None)
+    out.pop("crc_algo", None)
+    out["crc"] = checksum(_digest_bytes(out), algo)
+    out["crc_algo"] = algo
+    return out
+
+
 def decode_selection(encoded: dict) -> PointSelection:
-    """Rebuild a :class:`PointSelection` from :func:`encode_selection` output."""
+    """Rebuild a :class:`PointSelection` from :func:`encode_selection` output.
+
+    A reply stamped by :func:`attach_checksum` is verified before any
+    field is trusted; mismatch raises
+    :class:`~repro.errors.IntegrityError`.  Unstamped replies skip the
+    check (pre-checksum peers).
+    """
+    if "crc" in encoded:
+        verify_bytes(
+            _digest_bytes(encoded),
+            encoded["crc"],
+            encoded.get("crc_algo", DEFAULT_ALGO),
+            "encoded selection reply",
+        )
     payload_codec = encoded.get("payload_codec", "raw")
     if payload_codec != "raw":
         codec = get_codec(payload_codec)

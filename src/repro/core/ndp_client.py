@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from repro.core.encoding import decode_selection
 from repro.core.postfilter import postfilter_contour
-from repro.errors import CircuitOpenError, PipelineError, RPCTransportError
+from repro.errors import (
+    CircuitOpenError,
+    IntegrityError,
+    PipelineError,
+    RPCTransportError,
+)
 from repro.filters.contour import _values_unset, contour_grid, normalize_values
 from repro.grid.polydata import PolyData
 from repro.grid.selection import PointSelection
@@ -133,10 +138,15 @@ class FallbackPolicy:
         NDP server serves.
     triggers:
         Exception classes that justify falling back.  Defaults to transport
-        failures (including timeouts) and an open circuit breaker.  Remote
-        handler errors (``RPCRemoteError``) are *not* in the default set:
-        they are deterministic — the baseline read would hit the same
-        corrupt object — so falling back would only mask them.
+        failures (including timeouts), an open circuit breaker, and
+        integrity failures (a corrupted NDP reply or storage-side read —
+        after the one re-read :func:`ndp_contour` performs — degrades to
+        the baseline read, which verifies its own checksums, so a
+        corrupted storage node yields a loud error or correct geometry,
+        never wrong geometry).  Remote handler errors (``RPCRemoteError``)
+        are *not* in the default set: they are deterministic — the
+        baseline read would hit the same problem — so falling back would
+        only mask them.
     stats:
         Optional shared :class:`~repro.storage.metrics.ResilienceStats`;
         records ``fallbacks`` / ``ndp_successes`` / ``fallback_bytes`` and
@@ -153,6 +163,7 @@ class FallbackPolicy:
         triggers: tuple[type[BaseException], ...] = (
             RPCTransportError,
             CircuitOpenError,
+            IntegrityError,
         ),
         stats: ResilienceStats | None = None,
         tracer=None,
@@ -319,7 +330,10 @@ def ndp_contour(
     whatever retrying the client's transport performs) degrade to the
     baseline full-array read instead of raising; the returned geometry is
     identical either way and ``stats["path"]`` records which path served
-    the request.
+    the request.  A checksum mismatch (:class:`~repro.errors.IntegrityError`,
+    detected at decode or reported by the server's at-rest verification)
+    triggers exactly one re-read before the fallback applies — corrupted
+    data can delay a contour but never silently change it.
 
     With a traced client (see :class:`~repro.rpc.client.RPCClient`) the
     whole operation runs inside an ``ndp.contour`` span: the RPC hop,
@@ -327,26 +341,41 @@ def ndp_contour(
     all nest under it — the complete end-to-end request tree.
     """
     tracer = client.tracer
+
+    def run_ndp() -> tuple[PolyData, dict | None]:
+        if roi is not None:
+            encoded = client.call(
+                "prefilter_contour", key, array_name,
+                list(normalize_values(values)),
+                mode, encoding, wire_codec, list(roi.as_tuple()),
+            )
+            selection = decode_selection(encoded)
+            with tracer.span("postfilter"):
+                polydata = postfilter_contour(selection, values, roi=roi)
+            return polydata, encoded.get("stats")
+        source = NDPContourSource(
+            client, key, array_name, values, mode, encoding, wire_codec
+        )
+        selection = source.output()
+        with tracer.span("postfilter"):
+            polydata = postfilter_contour(selection, values)
+        return polydata, source.last_stats
+
     with tracer.span("ndp.contour", key=key, array=array_name):
         try:
-            if roi is not None:
-                encoded = client.call(
-                    "prefilter_contour", key, array_name,
-                    list(normalize_values(values)),
-                    mode, encoding, wire_codec, list(roi.as_tuple()),
+            try:
+                polydata, stats = run_ndp()
+            except IntegrityError as exc:
+                # Corruption is often transient (a flipped bit in flight):
+                # re-read exactly once.  The server never caches errors and
+                # keys its caches by store version, so the retry reaches
+                # honest bytes — a clean cached reply, or a fresh read.
+                tracer.add_event(
+                    "integrity.retry", cause=f"{type(exc).__name__}: {exc}"
                 )
-                selection = decode_selection(encoded)
-                with tracer.span("postfilter"):
-                    polydata = postfilter_contour(selection, values, roi=roi)
-                stats = encoded.get("stats")
-            else:
-                source = NDPContourSource(
-                    client, key, array_name, values, mode, encoding, wire_codec
-                )
-                selection = source.output()
-                with tracer.span("postfilter"):
-                    polydata = postfilter_contour(selection, values)
-                stats = source.last_stats
+                if fallback is not None:
+                    fallback.stats.record("integrity_retries")
+                polydata, stats = run_ndp()
         except Exception as exc:
             if fallback is None or not fallback.should_fallback(exc):
                 raise

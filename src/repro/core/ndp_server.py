@@ -34,15 +34,16 @@ import time
 
 import numpy as np
 
-from repro.core.encoding import encode_selection, wire_size
+from repro.core.encoding import attach_checksum, encode_selection, wire_size
 from repro.core.filter_splits import prefilter_slice, prefilter_threshold
 from repro.core.prefilter import prefilter_contour
-from repro.errors import RPCError
+from repro.errors import IntegrityError, RPCError
 from repro.filters.contour import normalize_values
 from repro.grid.bounds import Bounds
 from repro.io.vgf import read_vgf_array, read_vgf_info
 from repro.obs.metrics import Registry
 from repro.obs.trace import NULL_TRACER
+from repro.rpc.admission import AdmissionController, check_deadline
 from repro.rpc.server import RPCServer
 from repro.storage.cache import ArrayCache, SelectionCache
 from repro.storage.s3fs import S3FileSystem
@@ -79,6 +80,16 @@ class NDPServer:
         when omitted.  All request counters, the request-latency
         histograms, and both cache stats surface through its
         ``snapshot()`` (also exposed as the ``stats`` RPC endpoint).
+    max_inflight, max_pending:
+        Admission-control bounds (see
+        :class:`~repro.rpc.admission.AdmissionController`).  ``0``
+        in-flight (default) means unlimited — the controller still
+        counts, so stats report concurrency even without shedding.
+    verify_checksums:
+        When true (default), at-rest VGF block checksums are verified on
+        every read and every pre-filter reply is stamped with a wire
+        checksum (see :func:`~repro.core.encoding.attach_checksum`).
+        ``False`` reproduces pre-integrity behaviour for compat tests.
     """
 
     def __init__(
@@ -89,11 +100,19 @@ class NDPServer:
         selection_cache_bytes: int = 0,
         tracer=None,
         registry: Registry | None = None,
+        max_inflight: int = 0,
+        max_pending: int = 0,
+        verify_checksums: bool = True,
     ):
         self.fs = fs
         self.testbed = testbed
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else Registry()
+        self.verify_checksums = verify_checksums
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, max_pending=max_pending
+        )
+        self._listener = None
         self.array_cache = (
             ArrayCache(cache_bytes, tracer=self.tracer) if cache_bytes > 0 else None
         )
@@ -121,6 +140,10 @@ class NDPServer:
         self._sim_latency = self.registry.histogram(
             "request_sim_seconds",
             help="simulated-clock cost of pre-filter requests")
+        self._integrity_failures = self.registry.counter(
+            "integrity_failures",
+            "checksum mismatches detected on at-rest reads")
+        self.registry.register("admission", self.admission.info)
         if self.array_cache is not None:
             self.registry.register("array_cache", self.array_cache.info)
         if self.selection_cache is not None:
@@ -142,6 +165,7 @@ class NDPServer:
                 "health": self.health,
             },
             tracer=self.tracer,
+            admission=self.admission,
         )
 
     # ------------------------------------------------------------------
@@ -194,11 +218,22 @@ class NDPServer:
         the modelled decompression charge (the *real* decompress wall
         time is folded into the read, where the VGF reader performs it).
         """
+        check_deadline("store read")
         with self.tracer.span("store.read", key=key, array=array):
-            with self.fs.open(key) as fh:
-                info = read_vgf_info(fh)
-                entry = info.array(array)
-                data_array, _ = read_vgf_array(fh, array, info)
+            try:
+                with self.fs.open(key) as fh:
+                    info = read_vgf_info(fh)
+                    entry = info.array(array)
+                    data_array, _ = read_vgf_array(
+                        fh, array, info, verify=self.verify_checksums
+                    )
+            except IntegrityError:
+                # Fail loudly, never serve wrong geometry: the typed error
+                # crosses the wire and the client re-reads / falls back.
+                self._integrity_failures.inc()
+                self.tracer.add_event("integrity.failure", key=key, array=array)
+                raise
+        check_deadline("decompress")
         with self.tracer.span("decompress", codec=entry.codec,
                               raw_bytes=entry.raw_bytes):
             if self.testbed is not None:
@@ -252,6 +287,7 @@ class NDPServer:
 
         def compute() -> dict:
             grid, entry = self._load_array(key, array)
+            check_deadline("pre-filter scan")
             with self.tracer.span("prefilter", kind="contour", key=key,
                                   array=array):
                 if self.testbed is not None:
@@ -270,6 +306,7 @@ class NDPServer:
 
     def _finish(self, selection, entry, encoding: str, wire_codec: str) -> dict:
         """Shared tail: encode, charge wire compression, attach stats."""
+        check_deadline("encode")
         with self.tracer.span("encode", encoding=encoding, wire_codec=wire_codec):
             encoded = encode_selection(
                 selection, method=encoding, payload_codec=wire_codec
@@ -284,6 +321,10 @@ class NDPServer:
             "total_points": int(selection.total_points),
             "wire_bytes": wire_size(encoded),
         }
+        if self.verify_checksums:
+            # Stamp covers everything that crosses the wire (stats too);
+            # the client verifies at decode before trusting a byte.
+            encoded = attach_checksum(encoded)
         return encoded
 
     def _reply(self, request_key: tuple, key: str, compute) -> dict:
@@ -337,10 +378,20 @@ class NDPServer:
         except Exception:
             store_reachable = False
         served = int(self._requests.value)
+        draining = self._listener is not None and self._listener.draining
+        if draining:
+            status = "draining"
+        elif store_reachable:
+            status = "ok"
+        else:
+            status = "degraded"
         return {
-            "status": "ok" if store_reachable else "degraded",
+            "status": status,
             "store_reachable": store_reachable,
+            "draining": draining,
             "requests_served": served,
+            "admission": self.admission.info(),
+            "integrity_failures": int(self._integrity_failures.value),
             "array_cache": self._cache_info(self.array_cache),
             "selection_cache": self._cache_info(self.selection_cache),
         }
@@ -369,6 +420,8 @@ class NDPServer:
         )
         out["array_cache"] = self._cache_info(self.array_cache)
         out["selection_cache"] = self._cache_info(self.selection_cache)
+        out["admission"] = self.admission.info()
+        out["integrity_failures"] = int(self._integrity_failures.value)
         return out
 
     def stats_snapshot(self) -> dict:
@@ -393,6 +446,7 @@ class NDPServer:
 
         def compute() -> dict:
             grid, entry = self._load_array(key, array)
+            check_deadline("pre-filter scan")
             with self.tracer.span("prefilter", kind="threshold", key=key,
                                   array=array):
                 if self.testbed is not None:
@@ -419,6 +473,7 @@ class NDPServer:
 
         def compute() -> dict:
             grid, entry = self._load_array(key, array)
+            check_deadline("pre-filter scan")
             with self.tracer.span("prefilter", kind="slice", key=key,
                                   array=array):
                 if self.testbed is not None:
@@ -596,6 +651,21 @@ class NDPServer:
         """Frame dispatcher, for in-process/simulated transports."""
         return self.rpc.dispatch
 
-    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
-        """Listen on TCP; returns the started listener."""
-        return self.rpc.serve_tcp(host=host, port=port)
+    def serve_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+    ):
+        """Listen on TCP; returns the started listener.
+
+        The listener is remembered so :meth:`health` can report
+        ``draining`` while a graceful ``stop(drain_timeout=...)`` runs.
+        """
+        from repro.rpc.transport import TCPServerTransport
+
+        self._listener = TCPServerTransport(
+            self.rpc.dispatch, host=host, port=port,
+            max_connections=max_connections,
+        ).start()
+        return self._listener

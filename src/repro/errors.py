@@ -14,10 +14,13 @@ __all__ = [
     "FilterError",
     "FormatError",
     "CodecError",
+    "IntegrityError",
     "RPCError",
     "RPCRemoteError",
     "RPCTransportError",
     "RPCTimeoutError",
+    "DeadlineExpiredError",
+    "ServerOverloadedError",
     "CircuitOpenError",
     "StorageError",
     "NoSuchObjectError",
@@ -50,6 +53,17 @@ class FormatError(ReproError):
     """Malformed file or wire payload."""
 
 
+class IntegrityError(FormatError):
+    """A checksum did not match: the bytes were corrupted at rest or in flight.
+
+    Subclasses :class:`FormatError` because corrupted data *is* a malformed
+    payload — existing ``except FormatError`` handlers keep rejecting it —
+    but the distinct type lets recovery code react specifically: the NDP
+    client re-reads once (corruption is often transient) and then degrades
+    to the baseline path instead of ever emitting wrong geometry.
+    """
+
+
 class CodecError(ReproError):
     """Compression or decompression failure."""
 
@@ -78,6 +92,30 @@ class RPCTimeoutError(RPCTransportError):
     failure: existing ``except RPCTransportError`` handlers keep working,
     and the resilient transport treats it as retryable when budget remains.
     """
+
+
+class DeadlineExpiredError(RPCTimeoutError):
+    """The request's propagated deadline expired before the work finished.
+
+    Raised server-side (the request arrived already expired, or its budget
+    ran out between processing phases) and mapped back to this type on the
+    client.  Subclasses :class:`RPCTimeoutError`: to every existing
+    handler a blown deadline is just another timeout.
+    """
+
+
+class ServerOverloadedError(RPCTransportError):
+    """The server shed this request at admission instead of queueing it.
+
+    Subclasses :class:`RPCTransportError` because overload is transient by
+    definition: the resilient transport retries it with backoff (honouring
+    :attr:`retry_after` as a floor) and :class:`FallbackPolicy` may degrade
+    on it — exactly the treatment a flaky link gets.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class CircuitOpenError(RPCError):

@@ -13,9 +13,17 @@ two properties the paper's evaluation depends on:
 """
 
 from repro.io.catalog import CatalogEntry, TimestepCatalog
+from repro.io.checksum import DEFAULT_ALGO, checksum
 from repro.io.ppm import write_ppm
 from repro.io.reader import GridReader
-from repro.io.vgf import VGFInfo, read_vgf, read_vgf_array, read_vgf_info, write_vgf
+from repro.io.vgf import (
+    VGFInfo,
+    read_vgf,
+    read_vgf_array,
+    read_vgf_info,
+    verify_vgf,
+    write_vgf,
+)
 from repro.io.writer import GridWriter
 
 __all__ = [
@@ -23,6 +31,9 @@ __all__ = [
     "read_vgf",
     "read_vgf_info",
     "read_vgf_array",
+    "verify_vgf",
+    "checksum",
+    "DEFAULT_ALGO",
     "VGFInfo",
     "GridReader",
     "GridWriter",

@@ -18,13 +18,27 @@ Header map::
                     "association": "point"|"cell", "codec": str,
                     "offset": int,            # into the data section
                     "stored_bytes": int,      # compressed block size
-                    "raw_bytes": int},        # decompressed payload size
-                   ... ]
+                    "raw_bytes": int,         # decompressed payload size
+                    "crc": int,               # checksum of the stored block
+                    "crc_algo": str},         # engine that produced it
+                   ... ],
+      "header_crc": int                       # self-check, see below
     }
 
 Reading an array needs only the header plus one ranged read of its block —
 which is what makes array selection genuinely cheap through the s3fs
 layer: unselected arrays' bytes never leave the store.
+
+Integrity: each array block carries a checksum over its *stored*
+(compressed) bytes — computed before anything crosses a link, verified on
+every read — and the header protects itself with ``header_crc``, a
+checksum over the canonical MessagePack encoding of the header map minus
+that one key (our encoder is deterministic and round-trips its own
+output byte-for-byte, so the reader re-packs and compares).  A bit-flip
+anywhere in a checksummed file therefore surfaces as
+:class:`~repro.errors.IntegrityError` / :class:`~repro.errors.FormatError`,
+never as silently-wrong geometry.  Both keys are optional: files written
+before checksums existed (or with ``checksums=False``) still load.
 """
 
 from __future__ import annotations
@@ -36,10 +50,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression import get_codec
-from repro.errors import CodecError, FormatError
+from repro.errors import CodecError, FormatError, IntegrityError
 from repro.grid.array import DataArray
 from repro.grid.rectilinear import RectilinearGrid
 from repro.grid.uniform import UniformGrid
+from repro.io.checksum import DEFAULT_ALGO, checksum
+from repro.io.checksum import verify as verify_bytes
 from repro.rpc.msgpack import pack, unpack
 
 __all__ = [
@@ -47,6 +63,7 @@ __all__ = [
     "read_vgf",
     "read_vgf_info",
     "read_vgf_array",
+    "verify_vgf",
     "VGFInfo",
     "ArrayInfo",
 ]
@@ -67,6 +84,8 @@ class ArrayInfo:
     offset: int
     stored_bytes: int
     raw_bytes: int
+    checksum: int | None = None  # over the *stored* (compressed) block
+    checksum_algo: str | None = None
 
 
 @dataclass(frozen=True)
@@ -108,6 +127,7 @@ def write_vgf(
     grid,
     codec: str | dict[str, str] = "raw",
     meta: dict | None = None,
+    checksums: bool = True,
 ) -> bytes:
     """Serialize a grid to VGF bytes.
 
@@ -121,6 +141,10 @@ def write_vgf(
         dict (unlisted arrays fall back to ``"raw"``).
     meta:
         Free-form metadata stored in the header (e.g. timestep number).
+    checksums:
+        Write per-array block checksums plus the header self-check
+        (default).  ``False`` reproduces the pre-checksum format
+        byte-for-byte — kept for wire/file compatibility tests.
     """
 
     def codec_for(name: str) -> str:
@@ -137,18 +161,20 @@ def write_vgf(
             payload = np.ascontiguousarray(arr.values).tobytes()
             stored = get_codec(cname).compress(payload)
             blocks.append(stored)
-            array_entries.append(
-                {
-                    "name": arr.name,
-                    "dtype": arr.values.dtype.str,
-                    "components": arr.components,
-                    "association": association,
-                    "codec": cname,
-                    "offset": offset,
-                    "stored_bytes": len(stored),
-                    "raw_bytes": len(payload),
-                }
-            )
+            entry = {
+                "name": arr.name,
+                "dtype": arr.values.dtype.str,
+                "components": arr.components,
+                "association": association,
+                "codec": cname,
+                "offset": offset,
+                "stored_bytes": len(stored),
+                "raw_bytes": len(payload),
+            }
+            if checksums:
+                entry["crc"] = checksum(stored)
+                entry["crc_algo"] = DEFAULT_ALGO
+            array_entries.append(entry)
             offset += len(stored)
 
     header_map = {
@@ -165,6 +191,12 @@ def write_vgf(
     else:
         header_map["origin"] = list(grid.origin)
         header_map["spacing"] = list(grid.spacing)
+    if checksums:
+        # Self-check over the header minus the "header_crc" key: pack,
+        # digest, append last.  The reader pops that key, re-packs the rest
+        # (our encoder is deterministic) and compares.
+        header_map["header_crc_algo"] = DEFAULT_ALGO
+        header_map["header_crc"] = checksum(pack(header_map))
     header = pack(header_map)
     return _MAGIC + _LEN.pack(len(header)) + header + b"".join(blocks)
 
@@ -192,7 +224,18 @@ def read_vgf_info(source) -> VGFInfo:
     header_bytes = fh.read(hlen)
     if len(header_bytes) != hlen:
         raise FormatError("truncated VGF header")
-    header = unpack(header_bytes)
+    try:
+        header = unpack(header_bytes)
+    except FormatError as exc:
+        raise FormatError(f"undecodable VGF header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FormatError("malformed VGF header: not a map")
+    if "header_crc" in header:
+        # Re-pack everything except the trailing self-check key (dict order
+        # is preserved by unpack, and pack round-trips deterministically).
+        stated = header.pop("header_crc")
+        algo = header.get("header_crc_algo", DEFAULT_ALGO)
+        verify_bytes(pack(header), stated, algo, "VGF header")
     try:
         arrays = tuple(
             ArrayInfo(
@@ -204,6 +247,8 @@ def read_vgf_info(source) -> VGFInfo:
                 offset=int(e["offset"]),
                 stored_bytes=int(e["stored_bytes"]),
                 raw_bytes=int(e["raw_bytes"]),
+                checksum=int(e["crc"]) if "crc" in e else None,
+                checksum_algo=e.get("crc_algo"),
             )
             for e in header["arrays"]
         )
@@ -227,9 +272,15 @@ def read_vgf_info(source) -> VGFInfo:
 
 
 def read_vgf_array(
-    source, name: str, info: VGFInfo | None = None
+    source, name: str, info: VGFInfo | None = None, verify: bool = True
 ) -> tuple[DataArray, ArrayInfo]:
-    """Read one array block (a single ranged read) and decode it."""
+    """Read one array block (a single ranged read) and decode it.
+
+    When the header carries a checksum for the block and ``verify`` is
+    true (default), the stored bytes are verified before decompression;
+    a mismatch raises :class:`~repro.errors.IntegrityError`.  Files
+    written without checksums skip verification.
+    """
     fh = _open(source)
     if info is None:
         info = read_vgf_info(fh)
@@ -238,6 +289,13 @@ def read_vgf_array(
     stored = fh.read(entry.stored_bytes)
     if len(stored) != entry.stored_bytes:
         raise FormatError(f"truncated block for array {name!r}")
+    if verify and entry.checksum is not None:
+        verify_bytes(
+            stored,
+            entry.checksum,
+            entry.checksum_algo or DEFAULT_ALGO,
+            f"array {name!r} block",
+        )
     try:
         payload = get_codec(entry.codec).decompress(stored)
     except CodecError as exc:
@@ -253,7 +311,7 @@ def read_vgf_array(
     return DataArray(entry.name, values, components=entry.components), entry
 
 
-def read_vgf(source, array_names: list[str] | None = None):
+def read_vgf(source, array_names: list[str] | None = None, verify: bool = True):
     """Read a grid, optionally restricted to selected arrays.
 
     ``array_names=None`` loads everything; otherwise only the named arrays
@@ -266,9 +324,37 @@ def read_vgf(source, array_names: list[str] | None = None):
     grid = info.make_grid()
     wanted = info.array_names() if array_names is None else list(array_names)
     for name in wanted:
-        arr, entry = read_vgf_array(fh, name, info)
+        arr, entry = read_vgf_array(fh, name, info, verify=verify)
         if entry.association == "cell":
             grid.cell_data.add(arr)
         else:
             grid.point_data.add(arr)
     return grid
+
+
+def verify_vgf(source) -> list[str]:
+    """Audit a VGF file; return a list of problems (empty ⇒ healthy).
+
+    Checks the magic/header structure, the header self-check, and every
+    array block's checksum.  Arrays stored without checksums are reported
+    as unverifiable rather than passed silently, so ``repro verify`` is
+    honest about coverage.  Never raises for corruption — corruption is
+    the *finding* here, not an error.
+    """
+    problems: list[str] = []
+    try:
+        info = read_vgf_info(source)
+    except FormatError as exc:
+        return [f"header: {exc}"]
+    for entry in info.arrays:
+        if entry.checksum is None:
+            problems.append(
+                f"array {entry.name!r}: no stored checksum (written before "
+                "checksums existed) — unverifiable"
+            )
+            continue
+        try:
+            read_vgf_array(source, entry.name, info)
+        except FormatError as exc:  # IntegrityError included
+            problems.append(str(exc))
+    return problems

@@ -9,9 +9,17 @@ This package provides the same two layers from scratch:
   RPC over pluggable transports (in-process for tests, TCP for real
   two-process runs, simulated for benchmark cost accounting),
 * :mod:`repro.rpc.resilience` — retry/backoff/deadline/circuit-breaker
-  wrapper making the client<->storage hop fault tolerant.
+  wrapper making the client<->storage hop fault tolerant,
+* :mod:`repro.rpc.admission` — server-side admission control / load
+  shedding and the deadline-propagation helpers shared by both sides.
 """
 
+from repro.rpc.admission import (
+    AdmissionController,
+    DeadlineScope,
+    check_deadline,
+    remaining_budget,
+)
 from repro.rpc.client import RPCClient
 from repro.rpc.msgpack import ExtType, Timestamp, pack, unpack
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
@@ -39,4 +47,8 @@ __all__ = [
     "ResilientTransport",
     "RetryPolicy",
     "CircuitBreaker",
+    "AdmissionController",
+    "DeadlineScope",
+    "check_deadline",
+    "remaining_budget",
 ]

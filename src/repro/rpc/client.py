@@ -15,9 +15,16 @@ server, old or new.
 from __future__ import annotations
 
 import itertools
+import re
 from typing import Any
 
-from repro.errors import RPCError, RPCRemoteError
+from repro.errors import (
+    DeadlineExpiredError,
+    IntegrityError,
+    RPCError,
+    RPCRemoteError,
+    ServerOverloadedError,
+)
 from repro.obs.trace import NULL_TRACER
 from repro.rpc.msgpack import pack, unpack
 from repro.rpc.transport import InProcessTransport, TCPTransport, Transport
@@ -27,6 +34,30 @@ __all__ = ["RPCClient"]
 _REQUEST = 0
 _RESPONSE = 1
 _NOTIFY = 2
+
+_RETRY_AFTER_RE = re.compile(r"retry_after=([0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)")
+
+
+def _raise_remote(method: str, error_line: str) -> None:
+    """Map well-known remote error lines back to typed local exceptions.
+
+    The wire carries only ``ExcType: message`` strings; for the error
+    types the resilience layer must *react* to (shed → retry with
+    backoff, expired deadline → timeout semantics, corruption → re-read)
+    the type is reconstructed here.  Everything else stays the generic
+    :class:`RPCRemoteError` it always was.
+    """
+    if error_line.startswith("ServerOverloadedError"):
+        match = _RETRY_AFTER_RE.search(error_line)
+        raise ServerOverloadedError(
+            f"remote call {method!r} shed: {error_line}",
+            retry_after=float(match.group(1)) if match else None,
+        )
+    if error_line.startswith("DeadlineExpiredError"):
+        raise DeadlineExpiredError(f"remote call {method!r}: {error_line}")
+    if error_line.startswith("IntegrityError"):
+        raise IntegrityError(f"remote call {method!r}: {error_line}")
+    raise RPCRemoteError(method, error_line)
 
 
 class RPCClient:
@@ -95,7 +126,7 @@ class RPCClient:
             # The server's span summaries ride back as the 5th element.
             self.tracer.adopt(message[4], anchor=anchor)
         if error is not None:
-            raise RPCRemoteError(method, str(error))
+            _raise_remote(method, str(error))
         return result
 
     def notify(self, method: str, *params: Any) -> None:

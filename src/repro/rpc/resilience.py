@@ -14,7 +14,14 @@ remote-viz systems treat as table stakes:
 * a **circuit breaker** (:class:`CircuitBreaker`) that trips after N
   consecutive failures and rejects requests locally
   (:class:`~repro.errors.CircuitOpenError`) until a reset interval passes,
-  then lets a half-open probe through.
+  then lets a half-open probe through,
+* **overload cooperation** — replies shed by server admission control
+  (:class:`~repro.errors.ServerOverloadedError`) are retried with the
+  server's ``retry_after`` hint as the backoff floor, without tripping
+  the breaker or re-dialling a perfectly healthy connection,
+* **deadline propagation** — each attempt's request frame carries the
+  remaining budget so the server can abandon doomed work
+  (see :mod:`repro.rpc.admission`).
 
 Everything time-related goes through injectable ``clock``/``sleep``
 callables, so the fault-injection tests exercise every branch without a
@@ -29,8 +36,15 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.errors import CircuitOpenError, RPCError, RPCTimeoutError, RPCTransportError
+from repro.errors import (
+    CircuitOpenError,
+    RPCError,
+    RPCTimeoutError,
+    RPCTransportError,
+    ServerOverloadedError,
+)
 from repro.obs.trace import NULL_TRACER
+from repro.rpc.admission import inject_deadline, sniff_overload
 from repro.rpc.transport import Transport
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "ResilientTransport"]
@@ -205,8 +219,8 @@ class ResilientTransport(Transport):
         Optional recorder with a ``record(event, n=1)`` method — in
         practice a :class:`repro.storage.metrics.ResilienceStats`.  Events
         emitted: ``attempts``, ``retries``, ``reconnects``, ``failures``,
-        ``successes``, ``timeouts``, ``breaker_rejections``,
-        ``breaker_trips``.
+        ``successes``, ``timeouts``, ``overloads``,
+        ``breaker_rejections``, ``breaker_trips``.
     retryable:
         Exception classes worth retrying.  Defaults to transport faults
         only: remote handler errors and protocol violations are
@@ -217,6 +231,12 @@ class ResilientTransport(Transport):
         on whatever span is current (normally the client's ``rpc.call``),
         so a trace shows not just that a request was slow but that it
         burned two retries and tripped the breaker on the way.
+    propagate_deadline:
+        When true (default) and the policy has a deadline, each attempt's
+        request frame is rewritten to carry the *remaining* budget in its
+        ctx map, so a deadline-aware server can reject doomed work early.
+        Non-request payloads pass through untouched, and with
+        ``deadline=None`` frames stay byte-identical to the wire.
     """
 
     def __init__(
@@ -230,6 +250,7 @@ class ResilientTransport(Transport):
         stats=None,
         retryable: tuple[type[BaseException], ...] = (RPCTransportError,),
         tracer=None,
+        propagate_deadline: bool = True,
     ):
         self._inner = inner
         self.retry = retry if retry is not None else RetryPolicy()
@@ -240,6 +261,7 @@ class ResilientTransport(Transport):
         self._stats = stats
         self._retryable = retryable
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._propagate_deadline = propagate_deadline
 
     # ------------------------------------------------------------------
     def _record(self, event: str, n: int = 1) -> None:
@@ -296,15 +318,41 @@ class ResilientTransport(Transport):
             if self.breaker is not None and not self.breaker.allow():
                 self._reject_open(last_exc)
             self._record("attempts")
+            wire = payload
+            if self._propagate_deadline and policy.deadline is not None:
+                # Each attempt ships what is *left* of the budget, so the
+                # server stops spending effort exactly when we stop waiting.
+                wire = inject_deadline(
+                    payload, policy.deadline - (self._clock() - start)
+                )
             try:
-                response = self._inner.request(payload)
+                response = self._inner.request(wire)
+                shed = sniff_overload(response)
+                if shed is not None:
+                    # A shed reply is a successful *exchange* but a failed
+                    # *request*: surface it here so the normal retry path
+                    # below handles it (it is an RPCTransportError).
+                    raise shed
             except self._retryable as exc:
                 last_exc = exc
-                self._record("failures")
-                self._breaker_failure()
+                overloaded = isinstance(exc, ServerOverloadedError)
+                if overloaded:
+                    # The server is alive and explicitly asking for backoff:
+                    # don't count it against the breaker like a dead link.
+                    self._record("overloads")
+                    self._tracer.add_event(
+                        "rpc.overloaded",
+                        attempt=attempt + 1,
+                        retry_after=exc.retry_after or 0.0,
+                    )
+                else:
+                    self._record("failures")
+                    self._breaker_failure()
                 if attempt + 1 >= policy.max_attempts:
                     break
                 delay = policy.backoff(attempt, self._rng)
+                if overloaded and exc.retry_after:
+                    delay = max(delay, exc.retry_after)
                 if (
                     policy.deadline is not None
                     and (self._clock() - start) + delay > policy.deadline
@@ -323,7 +371,10 @@ class ResilientTransport(Transport):
                     cause=f"{type(exc).__name__}: {exc}",
                 )
                 self._sleep(delay)
-                self._reconnect_inner()
+                if not overloaded:
+                    # The connection served the shed reply fine; only real
+                    # transport faults warrant a re-dial.
+                    self._reconnect_inner()
             else:
                 elapsed = self._clock() - start
                 if policy.deadline is not None and elapsed > policy.deadline:

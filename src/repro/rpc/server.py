@@ -2,8 +2,9 @@
 
 Wire protocol (the msgpack-rpc convention rpclib implements):
 
-* request:  ``[0, msgid, method, params]``, optionally followed by a
-  trace-context map ``{"trace_id", "span_id"}`` as a fifth element
+* request:  ``[0, msgid, method, params]``, optionally followed by a ctx
+  map as a fifth element carrying trace context (``"trace_id"``,
+  ``"span_id"``) and/or a ``"deadline"`` budget in seconds
 * response: ``[1, msgid, error, result]`` (``error`` is ``None`` on success,
   else a one-line ``ExcType: message`` string); when the request carried
   trace context *and* this server has a tracer, a fifth element lists
@@ -11,7 +12,17 @@ Wire protocol (the msgpack-rpc convention rpclib implements):
 * notify:   ``[2, method, params]`` (exactly 3 elements, **no** response)
 
 Untraced clients send plain 4-element frames and always get 4-element
-responses — the classic protocol is the zero-trace special case.
+responses — the classic protocol is the zero-trace special case.  A ctx
+map carrying only a deadline likewise gets a classic 4-element response.
+
+Survivability: an optional :class:`~repro.rpc.admission.AdmissionController`
+gates REQUEST dispatch — shed requests are answered immediately with a
+``ServerOverloadedError`` line instead of queueing unboundedly — and a
+request whose propagated deadline has already expired is rejected before
+its handler runs (``DeadlineExpiredError``).  While a deadline-carrying
+handler runs, the budget is active as a thread-local
+:class:`~repro.rpc.admission.DeadlineScope`, so long handlers can abandon
+doomed work between phases via ``check_deadline``.
 
 Error contract: handler exceptions cross the wire as the stable
 ``ExcType: message`` line only.  The full server-side traceback never
@@ -22,12 +33,15 @@ leaking internals (paths, line numbers, local state) to remote clients.
 
 from __future__ import annotations
 
+import contextlib
 import logging
+import time
 import traceback
 from typing import Any, Callable
 
-from repro.errors import FormatError, RPCError
+from repro.errors import FormatError, RPCError, ServerOverloadedError
 from repro.obs.trace import NULL_TRACER
+from repro.rpc.admission import AdmissionController, DeadlineScope
 from repro.rpc.msgpack import pack, unpack
 from repro.rpc.transport import TCPServerTransport
 
@@ -62,6 +76,13 @@ class RPCServer:
         carries trace context, dispatch runs inside an ``rpc.dispatch``
         span parented under the remote caller, and every span the handler
         produced is shipped back in the response's fifth element.
+    admission:
+        Optional :class:`~repro.rpc.admission.AdmissionController`
+        bounding concurrent REQUEST dispatch.  Shed and already-expired
+        requests are answered with typed error lines without running the
+        handler.  ``None`` (default) keeps the pre-admission behaviour.
+    clock:
+        Monotonic clock used for deadline scopes (tests inject a fake).
     """
 
     def __init__(
@@ -69,10 +90,14 @@ class RPCServer:
         handlers: dict[str, Callable[..., Any]] | None = None,
         on_error: Callable[[str, BaseException, str], None] | None = None,
         tracer=None,
+        admission: AdmissionController | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self._handlers: dict[str, Callable[..., Any]] = {}
         self._on_error = on_error
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.admission = admission
+        self._clock = clock
         if handlers:
             for name, fn in handlers.items():
                 self.bind(name, fn)
@@ -130,23 +155,75 @@ class RPCServer:
             )
         msgid, method, params = message[1], message[2], message[3]
         ctx = message[4] if len(message) == 5 else None
-        if ctx is None or not self.tracer:
-            # Compat path: no trace context (or no tracer) — classic frames.
-            error, result = self._invoke(method, params)
-            return pack([_RESPONSE, msgid, error, result])
-        with self.tracer.collect() as captured:
-            with self.tracer.activate(
-                ctx, "rpc.dispatch",
-                method=method if isinstance(method, str) else repr(method),
-            ) as dispatch_span:
+        budget = None
+        if isinstance(ctx, dict) and "deadline" in ctx:
+            try:
+                budget = float(ctx["deadline"])
+            except (TypeError, ValueError):
+                budget = None
+
+        if self.admission is None:
+            return self._respond(msgid, method, params, ctx, budget)
+        try:
+            self.admission.acquire()
+        except ServerOverloadedError as exc:
+            # Shed *before* any work: the whole point is answering fast.
+            return pack([_RESPONSE, msgid, f"ServerOverloadedError: {exc}", None])
+        try:
+            return self._respond(msgid, method, params, ctx, budget)
+        finally:
+            self.admission.release()
+
+    def _respond(
+        self, msgid: Any, method: Any, params: Any, ctx: Any, budget: float | None
+    ) -> bytes:
+        """Run one admitted request: deadline scope, trace capture, invoke."""
+        if budget is not None and budget <= 0:
+            self._count_expired()
+            return pack(
+                [_RESPONSE, msgid,
+                 "DeadlineExpiredError: request deadline already expired on "
+                 f"arrival (budget {budget:.3f}s); nothing attempted",
+                 None]
+            )
+        scope = (
+            DeadlineScope(budget, clock=self._clock)
+            if budget is not None
+            else contextlib.nullcontext()
+        )
+        # Trace path whenever a tracer is present and the ctx is not a
+        # plain map lacking trace context: real trace ctx gets a remote
+        # parent, malformed ctx gets a fresh local root (tolerated by
+        # ``activate``), but a deadline-only map stays on the classic
+        # 4-element path — deadline clients aren't opted into spans.
+        traced = bool(self.tracer) and ctx is not None and not (
+            isinstance(ctx, dict) and "trace_id" not in ctx
+        )
+        with scope:
+            if not traced:
                 error, result = self._invoke(method, params)
-                if error is not None:
-                    # _invoke swallows handler exceptions into the error
-                    # string; mirror it onto the span so the trace shows
-                    # the failing dispatch, not a clean one.
-                    dispatch_span.error = str(error)
+                if error is not None and error.startswith("DeadlineExpiredError"):
+                    self._count_expired()
+                return pack([_RESPONSE, msgid, error, result])
+            with self.tracer.collect() as captured:
+                with self.tracer.activate(
+                    ctx, "rpc.dispatch",
+                    method=method if isinstance(method, str) else repr(method),
+                ) as dispatch_span:
+                    error, result = self._invoke(method, params)
+                    if error is not None:
+                        # _invoke swallows handler exceptions into the error
+                        # string; mirror it onto the span so the trace shows
+                        # the failing dispatch, not a clean one.
+                        dispatch_span.error = str(error)
+        if error is not None and error.startswith("DeadlineExpiredError"):
+            self._count_expired()
         spans = [span.to_dict() for span in captured.spans]
         return pack([_RESPONSE, msgid, error, result, spans])
+
+    def _count_expired(self) -> None:
+        if self.admission is not None:
+            self.admission.record_expired()
 
     def _invoke(self, method: Any, params: Any) -> tuple[str | None, Any]:
         if not isinstance(method, str) or method not in self._handlers:

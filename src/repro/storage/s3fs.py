@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import io
 
-from repro.errors import StorageError
+from repro.errors import NoSuchBucketError, NoSuchObjectError, StorageError
 
 __all__ = ["S3FileSystem", "S3File"]
 
@@ -74,10 +74,18 @@ class S3FileSystem:
         return self.store.list_objects(self.bucket, prefix)
 
     def exists(self, key: str) -> bool:
+        """True if the object exists, False if the store says it doesn't.
+
+        Only the store's typed not-found errors mean ``False``; anything
+        else (connection refused, auth failure, a flaky backend) is a
+        *store* failure and propagates — swallowing it here would make an
+        outage indistinguishable from an empty bucket and hide exactly
+        the faults the resilience layer exists to handle.
+        """
         try:
             self.store.head_object(self.bucket, key)
             return True
-        except Exception:
+        except (NoSuchObjectError, NoSuchBucketError):
             return False
 
     def size(self, key: str) -> int:

@@ -187,3 +187,73 @@ class TestMalformed:
         enc["id_first"] = 10**9
         with pytest.raises(FormatError, match="invalid"):
             decode_selection(enc)
+
+
+class TestReplyChecksum:
+    """The pre-filter reply stamp: attach, verify, tamper, compat."""
+
+    def _encoded(self):
+        from repro.core.encoding import attach_checksum
+
+        sel = make_sel([0, 7, 8, 500, 999])
+        return attach_checksum(encode_selection(sel, "ids"))
+
+    def test_stamped_reply_round_trips(self):
+        sel = make_sel([0, 7, 8, 500, 999])
+        from repro.core.encoding import attach_checksum
+
+        assert decode_selection(attach_checksum(encode_selection(sel, "ids"))) == sel
+
+    def test_stamp_fields_present(self):
+        from repro.io.checksum import DEFAULT_ALGO
+
+        encoded = self._encoded()
+        assert isinstance(encoded["crc"], int)
+        assert encoded["crc_algo"] == DEFAULT_ALGO
+
+    def test_tampered_payload_detected(self):
+        from repro.errors import IntegrityError
+
+        encoded = self._encoded()
+        payload = bytearray(encoded["id_deltas"])
+        payload[0] ^= 0x01
+        encoded["id_deltas"] = bytes(payload)
+        with pytest.raises(IntegrityError, match="encoded selection reply"):
+            decode_selection(encoded)
+
+    def test_tampered_metadata_detected(self):
+        from repro.errors import IntegrityError
+
+        encoded = self._encoded()
+        encoded["count"] = encoded["count"] + 1
+        with pytest.raises(IntegrityError):
+            decode_selection(encoded)
+
+    def test_tampered_stamp_itself_detected(self):
+        from repro.errors import IntegrityError
+
+        encoded = self._encoded()
+        encoded["crc"] ^= 0xDEADBEEF
+        with pytest.raises(IntegrityError):
+            decode_selection(encoded)
+
+    def test_unstamped_replies_still_decode(self):
+        """Wire compat: replies from checksum-free servers verify nothing."""
+        sel = make_sel([1, 2, 3])
+        encoded = encode_selection(sel, "ids")
+        assert "crc" not in encoded
+        assert decode_selection(encoded) == sel
+
+    def test_stamp_survives_msgpack_round_trip(self):
+        """The digest is key-order independent: a reply that crossed the
+        wire (dict order potentially changed) must still verify."""
+        encoded = self._encoded()
+        shuffled = dict(sorted(encoded.items(), reverse=True))
+        assert decode_selection(unpack(pack(shuffled))) is not None
+
+    def test_restamping_replaces_the_old_stamp(self):
+        from repro.core.encoding import attach_checksum
+
+        encoded = self._encoded()
+        again = attach_checksum(dict(encoded))
+        assert again["crc"] == encoded["crc"]

@@ -10,8 +10,8 @@ Building blocks
 * :class:`FakeClock` — injectable monotonic clock; ``sleep`` advances it
   and logs the requested duration instead of blocking.
 * Fault actions — :class:`Ok`, :class:`Drop`, :class:`Delay`,
-  :class:`Truncate`, :class:`Corrupt`; data records describing what happens
-  to one request.
+  :class:`Truncate`, :class:`Corrupt`, :class:`BitFlip`; data records
+  describing what happens to one request.
 * :class:`FaultSchedule` — a queue of actions consumed one per request
   (explicit script, ``drops(n)`` for N-consecutive-failure sequences, or
   :meth:`FaultSchedule.random` from a seed).
@@ -38,6 +38,7 @@ __all__ = [
     "Delay",
     "Truncate",
     "Corrupt",
+    "BitFlip",
     "drops",
     "FaultSchedule",
     "FaultyTransport",
@@ -116,6 +117,29 @@ class Corrupt:
 
     offset: int = -1
     mask: int = 0xFF
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Flip exactly one bit at a seeded-random position in the payload.
+
+    The position is drawn deterministically from ``seed`` and the payload
+    length, so a given (seed, object) pair always flips the same bit —
+    which is what lets property tests replay a failing case.  This is the
+    at-rest corruption model: a single silent bit error anywhere in the
+    stored bytes.
+    """
+
+    seed: int = 0
+
+    def apply(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        rng = random.Random(self.seed)
+        bit = rng.randrange(len(data) * 8)
+        mutated = bytearray(data)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mutated)
 
 
 def drops(n: int, message: str = "injected connection drop") -> list:
@@ -220,6 +244,8 @@ class FaultyTransport(Transport):
             mutated = bytearray(response)
             mutated[action.offset] ^= action.mask
             return bytes(mutated)
+        if isinstance(action, BitFlip):
+            return action.apply(response)
         assert isinstance(action, Ok), f"unknown fault action {action!r}"
         return response
 
@@ -260,6 +286,8 @@ class FaultyBackend:
             mutated = bytearray(data)
             mutated[action.offset] ^= action.mask
             return bytes(mutated)
+        if isinstance(action, BitFlip):
+            return action.apply(data)
         assert isinstance(action, Ok), f"unknown fault action {action!r}"
         return data
 

@@ -152,3 +152,31 @@ class TestLinkCharging:
         fs = S3FileSystem(store, "b", link=link)
         fs.write_object("k", b"y" * 1000)
         assert link.total_bytes == 1000
+
+
+class TestExistsErrorDiscrimination:
+    """``exists`` may only answer False for typed not-found errors.
+
+    A store outage (connection refused, auth failure, flaky disk) must
+    propagate: swallowing it would make an outage indistinguishable from
+    an empty bucket and silently route callers down the wrong path.
+    """
+
+    class _BrokenStore:
+        def head_object(self, bucket, key):
+            raise StorageError("injected: store unreachable")
+
+    def test_not_found_is_false(self):
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("b")
+        fs = S3FileSystem(store, "b")
+        assert fs.exists("nope") is False
+
+    def test_missing_bucket_is_false(self):
+        fs = S3FileSystem(ObjectStore(MemoryBackend()), "no-such-bucket")
+        assert fs.exists("anything") is False
+
+    def test_store_failure_propagates(self):
+        fs = S3FileSystem(self._BrokenStore(), "b")
+        with pytest.raises(StorageError, match="unreachable"):
+            fs.exists("key")

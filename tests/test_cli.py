@@ -284,3 +284,56 @@ class TestInfoStats:
         assert rc == 0
         out = capsys.readouterr().out
         assert ".sel/" not in out
+
+
+class TestVerifySubcommand:
+    def test_clean_store_verifies(self, store, capsys):
+        rc = main(["verify", "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+        assert "0 corrupt" in out
+
+    def test_corrupt_object_detected(self, store, tmp_path, capsys):
+        import glob
+
+        victim = sorted(glob.glob(store + "/sim/asteroid/*.vgf"))[0]
+        blob = bytearray(open(victim, "rb").read())
+        blob[-10] ^= 0xFF
+        open(victim, "wb").write(bytes(blob))
+        rc = main(["verify", "--store", store])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "CORRUPT" in out
+        assert "mismatch" in out
+
+    def test_empty_store_is_an_error(self, tmp_path, capsys):
+        rc = main(["generate", "asteroid", "--store", str(tmp_path / "s"),
+                   "--dim", "16", "--arrays", "v02"])
+        assert rc == 0
+        rc = main(["verify", "--store", str(tmp_path / "s"),
+                   "--prefix", "no/such/prefix"])
+        assert rc == 1
+        assert "no .vgf objects" in capsys.readouterr().out
+
+
+class TestServeRobustnessFlags:
+    def test_serve_accepts_admission_and_drain_flags(self, store, capsys):
+        done = []
+
+        def run():
+            done.append(main([
+                "serve", "--store", store, "--port", "0", "--timeout", "0.3",
+                "--max-inflight", "4", "--max-pending", "2",
+                "--drain-timeout", "1.0", "--verify-checksums", "on",
+                "--max-connections", "8",
+            ]))
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=15)
+        assert not t.is_alive()
+        assert done == [0]
+        out = capsys.readouterr().out
+        assert "max_inflight=4" in out
+        assert "stopped (clean" in out

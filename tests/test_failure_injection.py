@@ -16,6 +16,7 @@ import pytest
 from repro.core import NDPServer, ndp_contour
 from repro.errors import (
     FormatError,
+    IntegrityError,
     ReproError,
     RPCError,
     RPCRemoteError,
@@ -168,19 +169,36 @@ class TestFaultyBackendStorageLayer:
         with pytest.raises(RPCRemoteError):
             ndp_contour(client, "g.vgf", "r", [3.0])
 
-    def test_backend_corruption_is_remote_format_error(self):
+    def test_backend_corruption_detected_and_recovered(self):
+        """Transient corruption: detected by checksum, healed by re-read.
+
+        The first backend read is corrupted; the at-rest CRC catches it
+        (``IntegrityError``), ``ndp_contour`` re-reads once, and the
+        second — clean — read serves correct geometry.  The failure is
+        still visible in the server's integrity counter.
+        """
         client = self._faulty_env(FaultSchedule([Corrupt(offset=-10)]))
-        with pytest.raises(RPCRemoteError, match="FormatError"):
-            ndp_contour(client, "g.vgf", "r", [3.0])
+        pd, stats = ndp_contour(client, "g.vgf", "r", [3.0])
+        assert pd.num_points > 0
+        assert client.call("health")["integrity_failures"] >= 1
+
+    def test_backend_corruption_is_typed_integrity_error(self):
+        """Without the convenience retry, corruption is a typed loud error."""
+        client = self._faulty_env(FaultSchedule([Corrupt(offset=-10)]))
+        with pytest.raises(IntegrityError, match="mismatch"):
+            client.call("prefilter_contour", "g.vgf", "r", [3.0])
 
 
 class TestCorruptStore:
-    def test_corrupt_block_is_remote_format_error(self, env):
+    def test_corrupt_block_is_typed_integrity_error(self, env):
+        """Persistent at-rest corruption: re-read hits the same bytes, so
+        the typed error propagates (IntegrityError ⊂ FormatError — the old
+        contract still holds, the type just got more specific)."""
         store, fs, server, client = env
         blob = bytearray(store.get_object("sim", "g.vgf"))
         blob[-10] ^= 0xFF  # flip a byte inside the gzip block
         store.put_object("sim", "g.vgf", bytes(blob))
-        with pytest.raises(RPCRemoteError, match="FormatError"):
+        with pytest.raises(FormatError, match="mismatch"):
             ndp_contour(client, "g.vgf", "r", [3.0])
 
     def test_truncated_object_is_remote_error(self, env):
