@@ -34,6 +34,25 @@ BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "64"))
 _registry = Registry(namespace="bench")
 _results: list[dict] = []
 _env: BenchEnv | None = None
+#: Per-test extra fields (keyed by nodeid) merged into the JSON record.
+_extras: dict[str, dict] = {}
+
+
+@pytest.fixture
+def bench_record(request):
+    """Attach structured numbers to this benchmark's JSON record.
+
+    ``bench_record(shards={1: ..., 8: ...}, speedup=3.9)`` lands the
+    keyword arguments in the test's entry in ``BENCH_results.json``, so
+    scaling curves survive into the CI artifact instead of living only
+    in the printed table.
+    """
+    extras = _extras.setdefault(request.node.nodeid, {})
+
+    def record(**fields):
+        extras.update(fields)
+
+    return record
 
 
 @pytest.fixture(scope="session")
@@ -63,6 +82,7 @@ def pytest_runtest_call(item):
     # only a before/after pair measures a meaningful delta.
     if _env is not None and sim_before is not None:
         record["sim_s"] = _env.testbed.clock.now - sim_before
+    record.update(_extras.pop(item.nodeid, {}))
     _results.append(record)
     _registry.counter("benchmarks_run").inc()
     _registry.histogram("benchmark_wall_seconds").observe(wall)

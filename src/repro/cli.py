@@ -221,6 +221,73 @@ def cmd_verify(args) -> int:
     return 1 if corrupt else 0
 
 
+def cmd_shard(args) -> int:
+    """Partition a stored VGF into block objects + a signed manifest."""
+    from repro.cluster import shard_object
+
+    try:
+        blocks = tuple(int(b) for b in args.blocks.lower().split("x"))
+        if len(blocks) != 3 or any(b < 1 for b in blocks):
+            raise ValueError(blocks)
+    except ValueError:
+        print(f"error: --blocks must be AxBxC (e.g. 2x2x2), "
+              f"got {args.blocks!r}", file=sys.stderr)
+        return 2
+    fs = _open_fs(args.store, args.bucket)
+    manifest = shard_object(
+        fs, args.key, blocks=blocks,
+        shards=args.shards if args.shards > 0 else None,
+        codec=args.codec,
+        sign_key=args.sign_key.encode() if args.sign_key else None,
+    )
+    for bo in manifest.block_objects:
+        print(f"wrote {bo.key} (block {bo.spec.index} "
+              f"{bo.spec.lo}..{bo.spec.hi} -> shard {bo.shard})")
+    print(f"wrote {manifest.manifest_key} "
+          f"({len(manifest.block_objects)} blocks, {manifest.shards} shards)")
+    return 0
+
+
+def cmd_serve_cluster(args) -> int:
+    """Run one NDP server per shard of a manifest, all over one store."""
+    import threading
+
+    from repro.cluster import load_manifest
+
+    fs = _open_fs(args.store, args.bucket)
+    manifest = load_manifest(
+        fs, args.manifest,
+        sign_key=args.sign_key.encode() if args.sign_key else None,
+    )
+    servers = [NDPServer(fs) for _ in range(manifest.shards)]
+    listeners = [s.serve_tcp(host=args.host) for s in servers]
+    endpoints = [f"{ln.host}:{ln.port}" for ln in listeners]
+    for shard, (ln, addr) in enumerate(zip(listeners, endpoints)):
+        blocks = len(manifest.blocks_for_shard(shard))
+        print(f"shard {shard}: {addr} ({blocks} block(s))")
+    if args.endpoints_out:
+        with open(args.endpoints_out, "w") as fh:
+            fh.write("\n".join(endpoints) + "\n")
+        print(f"wrote {args.endpoints_out}")
+    print(f"cluster of {manifest.shards} shard(s) for {args.manifest} "
+          f"(connect with: repro contour --cluster {args.manifest} "
+          f"--connect {','.join(endpoints)})")
+    stop = threading.Event()
+    try:
+        stop.wait(args.timeout if args.timeout > 0 else None)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # Materialize first: short-circuiting would leave later
+        # listeners running after one reports a forced stop.
+        clean = all([
+            ln.stop(drain_timeout=args.drain_timeout) for ln in listeners
+        ])
+        print(f"stopped {len(listeners)} shard(s) "
+              f"({'clean' if clean else 'forced'})")
+    return 0 if clean else 1
+
+
 def _resilience_from_args(args) -> tuple[RetryPolicy, CircuitBreaker | None, ResilienceStats]:
     retry = RetryPolicy(
         max_attempts=max(1, args.retries),
@@ -245,8 +312,14 @@ def cmd_contour(args) -> int:
         print(f"error: --values must be comma-separated numbers, "
               f"got {args.values!r}", file=sys.stderr)
         return 2
+    if bool(args.cluster) == bool(args.key):
+        print("error: provide exactly one of --key (monolithic) or "
+              "--cluster MANIFEST_KEY (sharded)", file=sys.stderr)
+        return 2
     retry, breaker, rstats = _resilience_from_args(args)
     tracer = Tracer(process="client") if args.trace_out else None
+    if args.cluster:
+        return _cluster_contour(args, values, retry, breaker, rstats, tracer)
     fallback = None
     if args.fallback:
         if not args.store:
@@ -314,12 +387,72 @@ def cmd_contour(args) -> int:
     return rc
 
 
+def _cluster_contour(args, values, retry, breaker, rstats, tracer) -> int:
+    """Scatter–gather contour against the shards of a manifest."""
+    from repro.cluster import ClusterClient, load_manifest
+    from repro.rpc.pool import EndpointPool
+
+    if not args.store:
+        print("error: --cluster needs --store DIR (to read the manifest"
+              + (")" if args.connect else " and run in-process shards)"),
+              file=sys.stderr)
+        return 2
+    fs = _open_fs(args.store, args.bucket)
+    manifest = load_manifest(fs, args.cluster)
+    breaker_factory = (
+        (lambda: CircuitBreaker(breaker.failure_threshold,
+                                breaker.reset_timeout))
+        if breaker is not None else None
+    )
+    if args.connect:
+        addresses = [a for a in args.connect.split(",") if a]
+        if len(addresses) != manifest.shards:
+            print(f"error: manifest names {manifest.shards} shard(s) but "
+                  f"--connect lists {len(addresses)} address(es)",
+                  file=sys.stderr)
+            return 2
+        pool = EndpointPool.connect_tcp(
+            addresses, retry=retry, breaker_factory=breaker_factory,
+            stats=rstats, tracer=tracer,
+        )
+    else:
+        from repro.rpc.transport import InProcessTransport
+
+        servers = [NDPServer(fs) for _ in range(manifest.shards)]
+        pool = EndpointPool(
+            [InProcessTransport(s.rpc.dispatch) for s in servers],
+            retry=retry, breaker_factory=breaker_factory,
+            stats=rstats, tracer=tracer,
+        )
+    with pool:
+        cluster = ClusterClient(
+            pool, manifest, fallback_fs=fs if args.fallback else None,
+            tracer=tracer,
+        )
+        polydata, stats = cluster.contour(args.array, values)
+    rc = _report_contour(args, polydata, stats, rstats)
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    return rc
+
+
 def _report_contour(args, polydata, stats, rstats: ResilienceStats) -> int:
     print(
         f"contour: {polydata.triangles().shape[0]} triangles, "
         f"{polydata.num_points} points"
     )
-    if stats and stats.get("path") == "fallback":
+    if stats and stats.get("path") == "cluster":
+        line = (
+            f"cluster: {stats['shards_queried']}/{stats['shards']} shards, "
+            f"{stats['blocks']} block(s); transferred "
+            f"{stats['wire_bytes'] / 1e3:.1f} kB "
+            f"({stats['selected_points']} of {stats['total_points']} points)"
+        )
+        if stats.get("fallback_blocks"):
+            line += (f"; {stats['fallback_blocks']} block(s) via baseline "
+                     f"fallback ({stats.get('last_fallback_reason')})")
+        print(line)
+    elif stats and stats.get("path") == "fallback":
         print(
             f"path: baseline fallback ({stats.get('fallback_reason')}); "
             f"read {stats['stored_bytes'] / 1e3:.1f} kB stored"
@@ -586,12 +719,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefix", default="")
     p.set_defaults(func=cmd_verify)
 
+    p = sub.add_parser("shard", help="split a stored VGF into a block-"
+                                     "partitioned cluster layout")
+    p.add_argument("key", help="source VGF object key")
+    p.add_argument("--store", required=True)
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--blocks", required=True, metavar="AxBxC",
+                   help="block layout per axis, e.g. 2x2x2")
+    p.add_argument("--shards", type=int, default=0,
+                   help="shard (server) count; blocks are assigned "
+                        "round-robin (default: one shard per block)")
+    p.add_argument("--codec", default="lz4", help="storage codec per block")
+    p.add_argument("--sign-key", default="",
+                   help="HMAC key for the manifest signature (default: "
+                        "unkeyed SHA-256 content digest)")
+    p.set_defaults(func=cmd_shard)
+
+    p = sub.add_parser("serve-cluster", help="run one NDP server per shard "
+                                             "of a manifest")
+    p.add_argument("--store", required=True)
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--manifest", required=True, metavar="KEY",
+                   help="shard manifest object key (see `repro shard`)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--timeout", type=float, default=0,
+                   help="exit after N seconds (0 = run forever)")
+    p.add_argument("--drain-timeout", type=float, default=5.0)
+    p.add_argument("--endpoints-out", default="", metavar="FILE",
+                   help="write the shard host:port list here, one per line")
+    p.add_argument("--sign-key", default="",
+                   help="HMAC key the manifest was signed with")
+    p.set_defaults(func=cmd_serve_cluster)
+
     p = sub.add_parser("contour", help="offloaded contour of a stored array")
     p.add_argument("--connect", default="", metavar="HOST:PORT",
-                   help="NDP server address (omit for in-process over --store)")
+                   help="NDP server address (omit for in-process over "
+                        "--store); with --cluster, a comma-separated "
+                        "address per shard")
     p.add_argument("--store", default="")
     p.add_argument("--bucket", default=DEFAULT_BUCKET)
-    p.add_argument("--key", required=True)
+    p.add_argument("--key", default="",
+                   help="VGF object key (monolithic path)")
+    p.add_argument("--cluster", default="", metavar="MANIFEST_KEY",
+                   help="contour a sharded dataset via its manifest "
+                        "(scatter-gather across shards)")
     p.add_argument("--array", required=True)
     p.add_argument("--values", required=True, help="comma-separated isovalues")
     p.add_argument("--render", default="", help="write a PPM frame here")

@@ -1,0 +1,55 @@
+"""Sharded NDP cluster: block partitioning, manifests, scatter–gather.
+
+The paper's single NDP server becomes N independent ones: a grid is cut
+into axis-aligned blocks sharing a one-cell ghost layer
+(:mod:`repro.cluster.partition`), each block is stored as its own VGF
+object under a signed shard manifest (:mod:`repro.cluster.manifest`),
+and :class:`~repro.cluster.shard_client.ClusterClient` fans the
+pre-filter out to every shard intersecting the request's ROI, stitching
+the gathered selections back into one — bit-identical to the monolithic
+pipeline (:mod:`repro.cluster.stitch` carries the argument why).
+"""
+
+from repro.cluster.manifest import (
+    BlockObject,
+    ShardManifest,
+    load_manifest,
+    manifest_key_for,
+    shard_object,
+    sign_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.cluster.partition import (
+    BlockSpec,
+    axis_cuts,
+    block_bounds,
+    extract_block,
+    partition_grid,
+)
+from repro.cluster.shard_client import ClusterClient
+from repro.cluster.stitch import (
+    empty_selection,
+    rebase_block_selection,
+    stitch_selections,
+)
+
+__all__ = [
+    "BlockSpec",
+    "axis_cuts",
+    "partition_grid",
+    "extract_block",
+    "block_bounds",
+    "BlockObject",
+    "ShardManifest",
+    "shard_object",
+    "write_manifest",
+    "load_manifest",
+    "manifest_key_for",
+    "sign_manifest",
+    "verify_manifest",
+    "rebase_block_selection",
+    "stitch_selections",
+    "empty_selection",
+    "ClusterClient",
+]

@@ -1,0 +1,260 @@
+"""Scatter–gather contouring against a sharded NDP cluster.
+
+:class:`ClusterClient` is the cluster-side twin of
+:func:`repro.core.ndp_client.ndp_contour`: it fans the storage-side
+pre-filter out to every shard owning a block that intersects the contour
+ROI (in parallel, one worker per shard so each endpoint sees its blocks
+in order), gathers the per-block sparse selections, stitches them into
+one global-structure selection (:mod:`repro.cluster.stitch` — the
+bit-identity argument lives there), and runs the stock post-filter once.
+
+Failure handling composes with the existing resilience stack.  Each
+endpoint sits behind its own :class:`~repro.rpc.resilience.ResilientTransport`
+(via :class:`~repro.rpc.pool.EndpointPool`), so retries, deadlines, and
+overload sheds are handled per shard before the cluster layer ever sees
+an error.  When a shard is exhausted — transport dead, circuit open, or
+a reply that fails its checksum twice — and a ``fallback_fs`` is
+configured, only **that shard's** blocks degrade to baseline: the client
+reads the block objects itself and runs the pre-filter locally, which
+yields the exact selection the shard would have returned, so the final
+geometry is unchanged.  Without a fallback filesystem the error
+propagates.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cluster.manifest import ShardManifest
+from repro.cluster.stitch import stitch_selections
+from repro.core.encoding import decode_selection
+from repro.core.prefilter import prefilter_contour
+from repro.core.postfilter import postfilter_contour
+from repro.errors import (
+    CircuitOpenError,
+    IntegrityError,
+    ReproError,
+    RPCTransportError,
+)
+from repro.filters.contour import normalize_values
+from repro.grid.bounds import Bounds
+from repro.io.vgf import read_vgf
+from repro.obs.trace import NULL_TRACER
+
+__all__ = ["ClusterClient"]
+
+#: Errors that exhaust a shard and trigger per-shard baseline fallback.
+FALLBACK_TRIGGERS = (RPCTransportError, CircuitOpenError, IntegrityError)
+
+
+class ClusterClient:
+    """Fan contour pre-filters out to N shards; stitch the gather.
+
+    Parameters
+    ----------
+    pool:
+        :class:`~repro.rpc.pool.EndpointPool` with exactly
+        ``manifest.shards`` endpoints (endpoint ``i`` serves shard ``i``).
+    manifest:
+        The :class:`~repro.cluster.manifest.ShardManifest` naming every
+        block, its extents, and its owning shard.
+    fallback_fs:
+        Optional filesystem that can read the block objects directly;
+        enables per-shard baseline fallback when a shard is down.
+    """
+
+    def __init__(self, pool, manifest: ShardManifest, fallback_fs=None, *,
+                 mode: str = "cell-closure", encoding: str = "auto",
+                 wire_codec: str = "lz4", tracer=None, max_workers=None):
+        if len(pool) != manifest.shards:
+            raise ReproError(
+                f"pool has {len(pool)} endpoints but manifest names "
+                f"{manifest.shards} shards"
+            )
+        self.pool = pool
+        self.manifest = manifest
+        self.fallback_fs = fallback_fs
+        self.mode = mode
+        self.encoding = encoding
+        self.wire_codec = wire_codec
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def _block_prefilter_local(self, bo, array_name, values, roi):
+        """Baseline path for one block: read it and pre-filter locally.
+
+        This computes exactly what the shard's pre-filter would have
+        returned for this block — same grid slice, same corner values,
+        same world-coordinate ROI — so selection-level stitching stays
+        bit-identical even on the degraded path.
+        """
+        with self.fallback_fs.open(bo.key) as fh:
+            grid = read_vgf(fh)
+        size = self.fallback_fs.size(bo.key)
+        selection = prefilter_contour(
+            grid, array_name, values, mode=self.mode, roi=roi
+        )
+        return selection, {"fallback_bytes": size}
+
+    def _shard_worker(self, shard, block_objects, array_name, values, roi,
+                      opener):
+        """Pre-filter every block owned by one shard; one result per block.
+
+        Returns ``(results, stats)`` where ``results`` is a list of
+        ``(spec, PointSelection)`` and ``stats`` aggregates the shard's
+        wire accounting.  Raises only when the shard is exhausted *and*
+        no fallback filesystem exists.
+        """
+        client = self.pool.client(shard)
+        roi_wire = list(roi.as_tuple()) if roi is not None else None
+        results = []
+        stats = {
+            "wire_bytes": 0, "stored_bytes": 0, "raw_bytes": 0,
+            "fallback_blocks": 0, "fallback_bytes": 0, "integrity_retries": 0,
+        }
+        with opener(shard=shard, blocks=len(block_objects)):
+            failed = None
+            for bo in block_objects:
+                if failed is None:
+                    try:
+                        selection, st = self._block_prefilter_rpc(
+                            client, bo, array_name, values, roi_wire, stats
+                        )
+                        for k in ("wire_bytes", "stored_bytes", "raw_bytes"):
+                            stats[k] += int(st.get(k, 0) or 0)
+                        results.append((bo.spec, selection))
+                        continue
+                    except FALLBACK_TRIGGERS as exc:
+                        if self.fallback_fs is None:
+                            raise
+                        failed = exc
+                        self.tracer.add_event(
+                            "shard.fallback", shard=shard,
+                            reason=type(exc).__name__,
+                        )
+                # Shard is exhausted: degrade the rest of its blocks to
+                # baseline reads rather than re-running the retry dance
+                # per block against a known-dead endpoint.
+                selection, st = self._block_prefilter_local(
+                    bo, array_name, values, roi
+                )
+                stats["fallback_blocks"] += 1
+                stats["fallback_bytes"] += st["fallback_bytes"]
+                results.append((bo.spec, selection))
+            if failed is not None:
+                stats["fallback_reason"] = (
+                    f"{type(failed).__name__}: {failed}"
+                )
+        return results, stats
+
+    def _block_prefilter_rpc(self, client, bo, array_name, values, roi_wire,
+                             stats):
+        """One block's pre-filter over RPC, with one integrity re-read."""
+        try:
+            encoded = client.call(
+                "prefilter_contour", bo.key, array_name, list(values),
+                self.mode, self.encoding, self.wire_codec, roi_wire,
+            )
+            selection = decode_selection(encoded)
+        except IntegrityError:
+            # One immediate re-read: a flipped bit on the wire is
+            # transient; a second failure means the shard (or its copy
+            # of the block) is bad and the fallback policy takes over.
+            stats["integrity_retries"] += 1
+            self.tracer.add_event("integrity.retry", key=bo.key)
+            encoded = client.call(
+                "prefilter_contour", bo.key, array_name, list(values),
+                self.mode, self.encoding, self.wire_codec, roi_wire,
+            )
+            selection = decode_selection(encoded)
+        st = encoded.get("stats") or {}
+        return selection, {
+            "wire_bytes": st.get("wire_bytes", 0),
+            "stored_bytes": st.get("stored_bytes", 0),
+            "raw_bytes": st.get("raw_bytes", 0),
+        }
+
+    # ------------------------------------------------------------------
+    def contour(self, array_name: str, values, roi: Bounds | None = None):
+        """Scatter–gather contour: returns ``(polydata, stats)``.
+
+        Bit-identical to the monolithic paths for any shard layout: same
+        points, same polys, same point-data bytes as both a single-server
+        :func:`~repro.core.ndp_client.ndp_contour` and a baseline
+        full-read :func:`~repro.filters.contour.contour_grid`.
+        """
+        values = normalize_values(values)
+        m = self.manifest
+        array_name = str(array_name)
+        value_dtype = m.array_dtype(array_name)
+        wanted = m.intersecting(roi)
+        by_shard = {}
+        for bo in wanted:
+            by_shard.setdefault(bo.shard, []).append(bo)
+        with self.tracer.span(
+            "cluster.contour", array=array_name, shards=m.shards,
+            shards_queried=len(by_shard), blocks=len(wanted),
+        ):
+            gathered = []
+            stats = {
+                "path": "cluster",
+                "shards": m.shards,
+                "shards_queried": len(by_shard),
+                "blocks": len(wanted),
+                "fallback_blocks": 0,
+                "fallback_bytes": 0,
+                "integrity_retries": 0,
+                "wire_bytes": 0,
+                "stored_bytes": 0,
+                "raw_bytes": 0,
+            }
+            if by_shard:
+                # Span stacks are thread-local: capture the fan-out
+                # context on this thread so worker spans join the trace.
+                opener = self.tracer.fork("cluster.shard")
+                ordered = sorted(by_shard.items())
+                with ThreadPoolExecutor(
+                    max_workers=self.max_workers or len(ordered)
+                ) as pool:
+                    futures = [
+                        pool.submit(
+                            self._shard_worker, shard, blocks, array_name,
+                            values, roi, opener,
+                        )
+                        for shard, blocks in ordered
+                    ]
+                    for future in futures:
+                        results, shard_stats = future.result()
+                        gathered.extend(results)
+                        for k in (
+                            "wire_bytes", "stored_bytes", "raw_bytes",
+                            "fallback_blocks", "fallback_bytes",
+                            "integrity_retries",
+                        ):
+                            stats[k] += shard_stats[k]
+                        if "fallback_reason" in shard_stats:
+                            stats["last_fallback_reason"] = (
+                                shard_stats["fallback_reason"]
+                            )
+            with self.tracer.span("cluster.stitch", blocks=len(gathered)):
+                stitched = stitch_selections(
+                    gathered, m.dims, m.origin, m.spacing, array_name,
+                    value_dtype, axes=m.axes,
+                )
+            stats["selected_points"] = stitched.count
+            stats["total_points"] = stitched.total_points
+            with self.tracer.span("postfilter", points=stitched.count):
+                polydata = postfilter_contour(stitched, values, roi=roi)
+        return polydata, stats
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

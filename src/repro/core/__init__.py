@@ -34,6 +34,7 @@ from repro.core.ndp_client import (
     FallbackPolicy,
     NDPContourSource,
     ndp_batch,
+    ndp_cluster_contour,
     ndp_contour,
     ndp_slice,
     ndp_threshold,
@@ -66,6 +67,7 @@ __all__ = [
     "ndp_threshold",
     "ndp_slice",
     "ndp_batch",
+    "ndp_cluster_contour",
     "prefilter_threshold",
     "postfilter_threshold",
     "prefilter_slice",

@@ -48,12 +48,31 @@ __all__ = [
     "decode_selection",
     "attach_checksum",
     "wire_size",
+    "ids_wire_bytes_per_point",
     "ENCODINGS",
 ]
 
 ENCODINGS = ("auto", "ids", "bitmap")
 
 _WIDTH_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def ids_wire_bytes_per_point(value_dtype="<f4", id_delta_width: int = 4) -> float:
+    """Wire bytes per selected point under the ``ids`` encoding.
+
+    One selected point costs its value (``value_dtype`` itemsize) plus
+    one delta-coded id at ``id_delta_width`` bytes.  The defaults —
+    float32 values, the conservative 4-byte delta width — reproduce the
+    cost-model constant the planner historically hard-coded (8.0), but
+    now anchored to this module's actual layout: change the wire format
+    and the planner's estimate moves with it.
+    """
+    if id_delta_width not in _WIDTH_DTYPES:
+        raise SelectionError(
+            f"id delta width must be one of {sorted(_WIDTH_DTYPES)}, "
+            f"got {id_delta_width}"
+        )
+    return float(np.dtype(value_dtype).itemsize + id_delta_width)
 
 
 def _pack_ids(ids: np.ndarray) -> tuple[bytes, int, int]:

@@ -44,6 +44,7 @@ __all__ = [
     "ndp_threshold",
     "ndp_slice",
     "ndp_batch",
+    "ndp_cluster_contour",
 ]
 
 
@@ -385,3 +386,17 @@ def ndp_contour(
         if fallback is not None:
             fallback.record_ndp_success()
         return polydata, stats
+
+
+def ndp_cluster_contour(cluster, array_name: str, values, roi=None):
+    """Contour against a sharded NDP cluster (scatter–gather path).
+
+    ``cluster`` is a :class:`~repro.cluster.shard_client.ClusterClient`;
+    this thin wrapper exists so call sites can treat monolithic
+    (:func:`ndp_contour`) and sharded contouring uniformly: both return
+    ``(polydata, stats)`` and both are bit-identical to the baseline
+    full-read pipeline.  Per-shard resilience and fallback live inside
+    the cluster client itself (one failure domain per shard), not in a
+    wrapping :class:`FallbackPolicy`.
+    """
+    return cluster.contour(array_name, values, roi=roi)

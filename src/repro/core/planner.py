@@ -16,14 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.encoding import ids_wire_bytes_per_point
 from repro.errors import ReproError
 from repro.storage.netsim import Testbed
 
 __all__ = ["OffloadPlanner", "OffloadDecision"]
-
-#: Wire bytes per selected point under the ids encoding: value (4 for
-#: float32) + delta (<= 4 in practice); a deliberately pessimistic 8.
-_BYTES_PER_SELECTED_POINT = 8.0
 
 
 @dataclass(frozen=True)
@@ -42,10 +39,37 @@ class OffloadDecision:
 
 
 class OffloadPlanner:
-    """Estimates and compares baseline vs NDP load times."""
+    """Estimates and compares baseline vs NDP load times.
 
-    def __init__(self, testbed: Testbed | None = None):
+    Parameters
+    ----------
+    testbed:
+        Device constants (SSD/network/scan rates); a default
+        :class:`Testbed` mirrors the paper's hardware.
+    bytes_per_selected_point:
+        Wire cost per selected point.  Defaults to the ``ids`` encoding's
+        actual layout (:func:`~repro.core.encoding.ids_wire_bytes_per_point`:
+        float32 value + conservative 4-byte id delta = 8.0); override for
+        other value dtypes or measured wire costs.
+    """
+
+    def __init__(self, testbed: Testbed | None = None,
+                 bytes_per_selected_point: float | None = None):
         self.testbed = testbed if testbed is not None else Testbed()
+        if bytes_per_selected_point is None:
+            bytes_per_selected_point = ids_wire_bytes_per_point()
+        if bytes_per_selected_point <= 0:
+            raise ReproError(
+                f"bytes_per_selected_point must be > 0, "
+                f"got {bytes_per_selected_point}"
+            )
+        self.bytes_per_selected_point = float(bytes_per_selected_point)
+
+    @staticmethod
+    def _check_shards(shards: int) -> int:
+        if shards < 1:
+            raise ReproError(f"shard count must be >= 1, got {shards}")
+        return int(shards)
 
     # ------------------------------------------------------------------
     def estimate_baseline(self, stored_bytes: int, raw_bytes: int, codec: str) -> float:
@@ -58,29 +82,42 @@ class OffloadPlanner:
         return seconds
 
     def estimate_ndp(
-        self, stored_bytes: int, raw_bytes: int, codec: str, selectivity: float
+        self, stored_bytes: int, raw_bytes: int, codec: str, selectivity: float,
+        shards: int = 1,
     ) -> float:
-        """Seconds for the offloaded pre-filter path."""
+        """Seconds for the offloaded pre-filter path across ``shards``.
+
+        Storage-side work (SSD read, decompression, scan) runs on all
+        shards concurrently, so with an even block split the gather
+        completes when the slowest — here ``1/shards`` of the data —
+        does.  The selection wire cost does **not** divide: all shards'
+        replies funnel through the one client link.
+        """
         if not 0.0 <= selectivity <= 1.0:
             raise ReproError(f"selectivity must be in [0, 1], got {selectivity}")
+        shards = self._check_shards(shards)
         tb = self.testbed
         seconds = stored_bytes / tb.ssd_bps
         decomp = tb.codec_timing(codec).decompress_bps
         if decomp != float("inf"):
             seconds += raw_bytes / decomp
         seconds += raw_bytes / tb.prefilter_bps
-        # Selection wire cost: points * pessimistic per-point bytes.
+        seconds /= shards
+        # Selection wire cost: points * per-point wire bytes.
         points = raw_bytes / 4.0  # float32 arrays; upper-bounds others
-        wire = selectivity * points * _BYTES_PER_SELECTED_POINT
+        wire = selectivity * points * self.bytes_per_selected_point
         seconds += wire / tb.net_bps
         return seconds
 
     def decide(
-        self, stored_bytes: int, raw_bytes: int, codec: str, selectivity: float
+        self, stored_bytes: int, raw_bytes: int, codec: str, selectivity: float,
+        shards: int = 1,
     ) -> OffloadDecision:
         """Compare both paths and return the decision."""
         baseline = self.estimate_baseline(stored_bytes, raw_bytes, codec)
-        ndp = self.estimate_ndp(stored_bytes, raw_bytes, codec, selectivity)
+        ndp = self.estimate_ndp(
+            stored_bytes, raw_bytes, codec, selectivity, shards=shards
+        )
         return OffloadDecision(ndp < baseline, baseline, ndp)
 
 

@@ -71,6 +71,9 @@ class NDPPrefetcher:
         self._client = client
         self._requests = list(requests)
         self._depth = depth
+        # Live iterations' (pool, in_flight) state, so close() can reap
+        # futures the consumer abandoned (early break, loop-body raise).
+        self._active: list[tuple[ThreadPoolExecutor, list]] = []
 
     # ------------------------------------------------------------------
     def _issue(self, req: dict):
@@ -107,11 +110,20 @@ class NDPPrefetcher:
         return postfilter_slice(selection, int(req["axis"]), float(req["coordinate"]))
 
     def __iter__(self) -> Iterator[tuple[str, PolyData, dict | None]]:
-        """Yield ``(key, polydata, stats)`` in request order."""
+        """Yield ``(key, polydata, stats)`` in request order.
+
+        Abandoning the iterator early — ``break``, an exception in the
+        consumer's loop body, or dropping the generator — does not leak
+        the lookahead: pending futures are cancelled and the worker is
+        shut down without waiting on requests nobody will consume.
+        """
         if not self._requests:
             return
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            in_flight: list[tuple[dict, Future]] = []
+        pool = ThreadPoolExecutor(max_workers=1)
+        in_flight: list[tuple[dict, Future]] = []
+        state = (pool, in_flight)
+        self._active.append(state)
+        try:
             pending = iter(self._requests)
             # Prime the window.
             for req in self._requests[: self._depth]:
@@ -129,3 +141,30 @@ class NDPPrefetcher:
                 if nxt is not None:
                     in_flight.append((nxt, pool.submit(self._issue, nxt)))
                 yield req["key"], self._finish(req, encoded), encoded.get("stats")
+        finally:
+            self._reap(state)
+
+    # ------------------------------------------------------------------
+    def _reap(self, state) -> None:
+        pool, in_flight = state
+        for _req, future in in_flight:
+            future.cancel()
+        in_flight.clear()
+        # cancel_futures also drops anything queued but not yet running;
+        # wait=False so an in-progress RPC cannot block the consumer's
+        # exception from propagating.
+        pool.shutdown(wait=False, cancel_futures=True)
+        if state in self._active:
+            self._active.remove(state)
+
+    def close(self) -> None:
+        """Cancel and reap any in-flight lookahead from live iterations."""
+        for state in list(self._active):
+            self._reap(state)
+
+    def __enter__(self) -> "NDPPrefetcher":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -61,6 +61,33 @@ class Bounds:
             and self.zmin <= z <= self.zmax
         )
 
+    def intersects(self, other: "Bounds") -> bool:
+        """True when the closed boxes overlap (touching faces count).
+
+        Closed-interval semantics match the pre-filter's ROI test
+        (:func:`~repro.core.interesting.roi_cell_mask` keeps points with
+        coordinates in ``[lo, hi]``), so a block whose bounds merely touch
+        an ROI can still own ROI-complete cells and must not be pruned.
+        """
+        return (
+            self.xmin <= other.xmax and other.xmin <= self.xmax
+            and self.ymin <= other.ymax and other.ymin <= self.ymax
+            and self.zmin <= other.zmax and other.zmin <= self.zmax
+        )
+
+    def intersection(self, other: "Bounds") -> "Bounds | None":
+        """The overlapping box, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Bounds(
+            max(self.xmin, other.xmin),
+            min(self.xmax, other.xmax),
+            max(self.ymin, other.ymin),
+            min(self.ymax, other.ymax),
+            max(self.zmin, other.zmin),
+            min(self.zmax, other.zmax),
+        )
+
     def union(self, other: "Bounds") -> "Bounds":
         return Bounds(
             min(self.xmin, other.xmin),

@@ -179,6 +179,58 @@ class PointSelection:
             return all(np.array_equal(a, b) for a, b in zip(self.axes, other.axes))
         return True
 
+    def rebase(self, dims, offset, origin=None, spacing=None,
+               axes=None) -> "PointSelection":
+        """Re-index a block-local selection into an enclosing grid.
+
+        ``dims`` is the enclosing lattice; ``offset`` is the per-axis
+        point index of this selection's ``(0, 0, 0)`` point within it
+        (a block's ``lo`` corner).  Ids are translated; values are kept
+        byte-for-byte.  For a uniform enclosing grid, ``origin`` and
+        ``spacing`` default to the values implied by shifting this
+        selection's origin back by ``offset`` — passing ``axes`` instead
+        marks the enclosing grid rectilinear (origin/spacing take the
+        conventional ``(0,0,0)``/``(1,1,1)``).
+
+        Because flat ids are x-fastest lexicographic in ``(k, j, i)`` and
+        translation preserves that order, the result stays sorted —
+        selections from disjoint-cell blocks can be :meth:`union`-ed
+        directly (the seam ghost layer deduplicates there).
+        """
+        from repro.grid.cells import point_id_to_ijk, point_ijk_to_id
+
+        dims = tuple(int(d) for d in dims)
+        offset = tuple(int(o) for o in offset)
+        if len(dims) != 3 or len(offset) != 3:
+            raise SelectionError("dims and offset must each have 3 entries")
+        for o, local_d, d in zip(offset, self.dims, dims):
+            if o < 0 or o + local_d > d:
+                raise SelectionError(
+                    f"block of dims {self.dims} at offset {offset} exceeds "
+                    f"enclosing dims {dims}"
+                )
+        if axes is not None:
+            origin, spacing = (0.0, 0.0, 0.0), (1.0, 1.0, 1.0)
+        else:
+            if origin is None:
+                origin = tuple(
+                    go - o * s
+                    for go, o, s in zip(self.origin, offset, self.spacing)
+                )
+            if spacing is None:
+                spacing = self.spacing
+        if self.ids.size:
+            ijk = np.atleast_2d(point_id_to_ijk(self.ids, self.dims))
+            ijk = ijk + np.asarray(offset, dtype=np.int64)
+            ids = np.atleast_1d(
+                np.asarray(point_ijk_to_id(ijk, dims), dtype=np.int64)
+            )
+        else:
+            ids = self.ids
+        return PointSelection(
+            dims, origin, spacing, self.array_name, ids, self.values, axes=axes
+        )
+
     def union(self, other: "PointSelection") -> "PointSelection":
         """Merge two selections over the same grid/array."""
         if not self._same_structure(other) or self.array_name != other.array_name:

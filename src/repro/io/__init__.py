@@ -12,7 +12,7 @@ two properties the paper's evaluation depends on:
   support (paper Sec. IV).
 """
 
-from repro.io.catalog import CatalogEntry, TimestepCatalog
+from repro.io.catalog import CatalogEntry, ClusterCatalog, TimestepCatalog
 from repro.io.checksum import DEFAULT_ALGO, checksum
 from repro.io.ppm import write_ppm
 from repro.io.reader import GridReader
@@ -40,4 +40,5 @@ __all__ = [
     "write_ppm",
     "TimestepCatalog",
     "CatalogEntry",
+    "ClusterCatalog",
 ]

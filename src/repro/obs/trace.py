@@ -176,6 +176,9 @@ class NullTracer:
     def inject(self) -> None:
         return None
 
+    def fork(self, name: str, **attrs):
+        return lambda **_extra: _NULL_SPAN
+
     def adopt(self, span_dicts, anchor=None) -> None:
         pass
 
@@ -281,6 +284,19 @@ class Tracer:
             trace_id, parent_id = new_id(), None
         span = Span(trace_id, new_id(), parent_id, name, attrs, self.process)
         return _SpanContext(self, span)
+
+    def fork(self, name: str, **attrs):
+        """Capture the current span context for use on another thread.
+
+        Span stacks are thread-local, so a worker thread spawned inside a
+        span would otherwise start a fresh root and its spans would fall
+        out of the trace.  ``fork`` snapshots :meth:`inject` **on the
+        calling thread** and returns a zero-arg opener; the worker calls
+        it (``with opener(): ...``) and gets a span parented under the
+        caller's current span, with the worker's own thread id.
+        """
+        ctx = self.inject()
+        return lambda **extra: self.activate(ctx, name, **{**attrs, **extra})
 
     def current_span(self) -> Span | _NullSpan:
         stack = self._stack()

@@ -22,6 +22,7 @@ from repro.rpc.admission import (
 )
 from repro.rpc.client import RPCClient
 from repro.rpc.msgpack import ExtType, Timestamp, pack, unpack
+from repro.rpc.pool import EndpointPool
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
 from repro.rpc.server import RPCServer
 from repro.rpc.transport import (
@@ -45,6 +46,7 @@ __all__ = [
     "TCPServerTransport",
     "SimulatedTransport",
     "ResilientTransport",
+    "EndpointPool",
     "RetryPolicy",
     "CircuitBreaker",
     "AdmissionController",

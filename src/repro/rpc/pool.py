@@ -1,0 +1,114 @@
+"""A small pool of independent RPC endpoints for scatter–gather fan-out.
+
+Each shard of an NDP cluster is its own :class:`~repro.rpc.server.RPCServer`
+with its own failure domain, so the pool wraps each endpoint transport in
+its own :class:`~repro.rpc.resilience.ResilientTransport`: retries and
+deadlines are shared policy (stateless), but circuit breakers are strictly
+per endpoint — one flapping shard must not open the breaker for its
+healthy peers.  Resilience stats aggregate across the pool by default so
+the client reports one retry/fallback picture per request.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ReproError
+from repro.rpc.client import RPCClient
+from repro.rpc.resilience import ResilientTransport, RetryPolicy
+from repro.rpc.transport import TCPTransport
+from repro.storage.metrics import ResilienceStats
+
+__all__ = ["EndpointPool"]
+
+
+class EndpointPool:
+    """N independent RPC endpoints, one resilient client each.
+
+    Parameters
+    ----------
+    transports:
+        One raw transport per endpoint (ordering defines endpoint ids).
+    retry:
+        Shared :class:`RetryPolicy` (stateless, so sharing is safe);
+        defaults to the resilience layer's default policy.
+    breaker_factory:
+        Zero-arg callable producing a fresh circuit breaker **per
+        endpoint**; ``None`` disables breakers.
+    stats:
+        Shared :class:`ResilienceStats`; a fresh one is created when
+        omitted so callers can always read pool-wide counters.
+    resilient:
+        Set ``False`` to skip the resilience wrapper entirely (tests that
+        inject their own wrapped transports).
+    """
+
+    def __init__(self, transports, retry: RetryPolicy | None = None,
+                 breaker_factory=None, stats: ResilienceStats | None = None,
+                 tracer=None, clock=time.monotonic, sleep=time.sleep,
+                 resilient: bool = True):
+        transports = list(transports)
+        if not transports:
+            raise ReproError("endpoint pool needs at least one transport")
+        self.stats = stats if stats is not None else ResilienceStats()
+        self._transports = []
+        self._clients = []
+        for transport in transports:
+            if resilient:
+                transport = ResilientTransport(
+                    transport,
+                    retry=retry,
+                    breaker=breaker_factory() if breaker_factory else None,
+                    clock=clock,
+                    sleep=sleep,
+                    stats=self.stats,
+                    tracer=tracer,
+                )
+            self._transports.append(transport)
+            self._clients.append(RPCClient(transport, tracer=tracer))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect_tcp(cls, addresses, timeout: float = 30.0, **kwargs):
+        """Build a pool from ``host:port`` strings or ``(host, port)`` pairs.
+
+        Endpoints dial lazily (on first use): a shard that is down when
+        the pool is built must degrade per the caller's fallback policy,
+        not abort construction and take its healthy peers with it.
+        """
+        transports = []
+        for addr in addresses:
+            if isinstance(addr, str):
+                host, _, port = addr.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ReproError(
+                        f"bad endpoint address {addr!r} (want host:port)"
+                    )
+                addr = (host, int(port))
+            transports.append(
+                TCPTransport(addr[0], addr[1], timeout=timeout, lazy=True)
+            )
+        return cls(transports, **kwargs)
+
+    def client(self, i: int) -> RPCClient:
+        return self._clients[i]
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def __iter__(self):
+        return iter(self._clients)
+
+    def close(self) -> None:
+        for transport in self._transports:
+            try:
+                transport.close()
+            except Exception:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -142,12 +142,17 @@ class TCPTransport(Transport):
     connection (matching rpclib's default synchronous client behaviour).
     """
 
-    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0,
+                 lazy: bool = False):
         self._host = host
         self._port = port
         self._timeout = timeout
         self._lock = threading.Lock()
-        self._sock = self._dial()
+        # lazy=True defers the dial to the first frame, so a currently-down
+        # endpoint surfaces as a retryable per-call RPCTransportError (which
+        # resilient wrappers and the cluster fallback can absorb) instead of
+        # failing construction of the whole client/pool.
+        self._sock = None if lazy else self._dial()
 
     def _dial(self) -> socket.socket:
         try:
@@ -175,14 +180,17 @@ class TCPTransport(Transport):
         calls this between attempts when the wrapped transport offers it.
         """
         with self._lock:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
             self._sock = self._dial()
 
     def request(self, payload: bytes) -> bytes:
         with self._lock:
+            if self._sock is None:
+                self._sock = self._dial()
             try:
                 write_frame(self._sock, payload)
                 return read_frame(self._sock)
@@ -198,6 +206,8 @@ class TCPTransport(Transport):
         here would either hang or steal the next call's response.
         """
         with self._lock:
+            if self._sock is None:
+                self._sock = self._dial()
             try:
                 write_frame(self._sock, payload)
             except socket.timeout as exc:
@@ -206,6 +216,8 @@ class TCPTransport(Transport):
                 raise RPCTransportError(f"socket error: {exc}") from exc
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:

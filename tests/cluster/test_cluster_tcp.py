@@ -1,0 +1,104 @@
+"""Scatter–gather over real TCP: 3 shard servers, one cluster client.
+
+This is the integration shape the CI ``cluster`` job runs: every shard
+is a real :meth:`NDPServer.serve_tcp` listener on its own port, the pool
+dials them all, and the gathered contour must be byte-equal to the
+baseline.
+"""
+
+import pytest
+
+from repro.cluster import ClusterClient, load_manifest, shard_object
+from repro.core.ndp_server import NDPServer
+from repro.filters import contour_grid
+from repro.rpc.pool import EndpointPool
+from repro.io import write_vgf
+from repro.storage.object_store import MemoryBackend, ObjectStore
+from repro.storage.s3fs import S3FileSystem
+
+from tests.cluster.test_stitch import assert_poly_bytes_equal
+from tests.conftest import make_wave_grid
+
+SHARDS = 3
+
+
+@pytest.fixture
+def tcp_cluster():
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    grid = make_wave_grid(16)
+    fs.write_object("w.vgf", write_vgf(grid, codec="lz4"))
+    shard_object(fs, "w.vgf", blocks=(1, 3, 1), shards=SHARDS)
+    servers = [NDPServer(fs) for _ in range(SHARDS)]
+    listeners = [s.serve_tcp() for s in servers]
+    try:
+        yield fs, grid, listeners
+    finally:
+        for listener in listeners:
+            listener.stop()
+
+
+def test_tcp_scatter_gather_matches_baseline(tcp_cluster):
+    fs, grid, listeners = tcp_cluster
+    manifest = load_manifest(fs, "w.manifest.json")
+    pool = EndpointPool.connect_tcp(
+        [f"{ln.host}:{ln.port}" for ln in listeners]
+    )
+    with ClusterClient(pool, manifest, fallback_fs=fs) as cluster:
+        result, stats = cluster.contour("f", [0.2])
+    reference = contour_grid(grid, "f", [0.2])
+    assert_poly_bytes_equal(result, reference)
+    assert stats["shards_queried"] == SHARDS
+    assert stats["fallback_blocks"] == 0
+    assert stats["wire_bytes"] > 0
+
+
+def test_tcp_repeated_requests_reuse_connections(tcp_cluster):
+    fs, grid, listeners = tcp_cluster
+    manifest = load_manifest(fs, "w.manifest.json")
+    pool = EndpointPool.connect_tcp(
+        [(ln.host, ln.port) for ln in listeners]
+    )
+    with ClusterClient(pool, manifest) as cluster:
+        first, _ = cluster.contour("f", [0.2])
+        second, _ = cluster.contour("f", [0.2])
+    assert_poly_bytes_equal(first, second)
+
+
+def test_tcp_one_listener_stopped_degrades_gracefully(tcp_cluster):
+    fs, grid, listeners = tcp_cluster
+    manifest = load_manifest(fs, "w.manifest.json")
+    pool = EndpointPool.connect_tcp(
+        [f"{ln.host}:{ln.port}" for ln in listeners]
+    )
+    listeners[1].stop()
+    with ClusterClient(pool, manifest, fallback_fs=fs) as cluster:
+        result, stats = cluster.contour("f", [0.2])
+    assert_poly_bytes_equal(result, contour_grid(grid, "f", [0.2]))
+    assert stats["fallback_blocks"] == 1
+
+
+def test_tcp_shard_dead_at_connect_time_degrades(tcp_cluster):
+    """A shard that is down when the pool is BUILT must also degrade.
+
+    ``connect_tcp`` dials lazily, so the dead endpoint surfaces as a
+    retryable per-call error absorbed by the fallback — not as a
+    constructor failure that takes the healthy shards with it.
+    """
+    import socket
+
+    fs, grid, listeners = tcp_cluster
+    manifest = load_manifest(fs, "w.manifest.json")
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    addresses = [f"{ln.host}:{ln.port}" for ln in listeners]
+    addresses[2] = f"127.0.0.1:{dead_port}"
+    pool = EndpointPool.connect_tcp(addresses)  # must not raise
+    with ClusterClient(pool, manifest, fallback_fs=fs) as cluster:
+        result, stats = cluster.contour("f", [0.2])
+    assert_poly_bytes_equal(result, contour_grid(grid, "f", [0.2]))
+    assert stats["fallback_blocks"] == 1
+    assert "cannot connect" in stats["last_fallback_reason"]

@@ -1,0 +1,157 @@
+"""Block partitioning: layout math, ghost layer, block extraction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BlockSpec,
+    axis_cuts,
+    block_bounds,
+    extract_block,
+    partition_grid,
+)
+from repro.errors import GridError
+from repro.grid import DataArray, UniformGrid
+from repro.grid.bounds import Bounds
+from repro.grid.rectilinear import RectilinearGrid
+
+from tests.conftest import make_sphere_grid
+
+
+class TestAxisCuts:
+    def test_even_split(self):
+        assert axis_cuts(9, 2) == [0, 4, 8]
+        assert axis_cuts(9, 4) == [0, 2, 4, 6, 8]
+
+    def test_uneven_split_spreads_cells(self):
+        cuts = axis_cuts(10, 4)  # 9 cells over 4 blocks
+        assert cuts[0] == 0 and cuts[-1] == 9
+        sizes = np.diff(cuts)
+        assert sizes.min() >= 2 and sizes.max() <= 3
+
+    def test_single_block(self):
+        assert axis_cuts(7, 1) == [0, 6]
+
+    def test_degenerate_axis(self):
+        assert axis_cuts(1, 1) == [0, 0]
+        with pytest.raises(GridError):
+            axis_cuts(1, 2)
+
+    def test_too_many_blocks(self):
+        with pytest.raises(GridError):
+            axis_cuts(4, 4)  # 3 cells cannot feed 4 blocks
+        with pytest.raises(GridError):
+            axis_cuts(5, 0)
+
+
+class TestPartitionGrid:
+    def test_cells_partition_and_points_cover(self):
+        dims = (9, 7, 5)
+        specs = partition_grid(dims, (3, 2, 2))
+        assert len(specs) == 12
+        assert [s.index for s in specs] == list(range(12))
+        # Every cell belongs to exactly one block.
+        cell_owner = np.full((dims[2] - 1, dims[1] - 1, dims[0] - 1), -1)
+        for s in specs:
+            sl = tuple(
+                slice(s.lo[a], s.hi[a]) for a in (2, 1, 0)
+            )
+            assert (cell_owner[sl] == -1).all()
+            cell_owner[sl] = s.index
+        assert (cell_owner >= 0).all()
+
+    def test_ghost_layer_shares_one_plane(self):
+        specs = partition_grid((9, 9, 9), (2, 1, 1))
+        left, right = specs
+        assert left.hi[0] == right.lo[0]  # shared seam plane
+        assert left.dims == (5, 9, 9) and right.dims == (5, 9, 9)
+
+    def test_spec_roundtrip(self):
+        spec = partition_grid((8, 8, 8), (2, 2, 2))[5]
+        assert BlockSpec.from_dict(spec.to_dict()) == spec
+
+    def test_2d_grid(self):
+        specs = partition_grid((9, 9, 1), (2, 2, 1))
+        assert len(specs) == 4
+        assert all(s.dims[2] == 1 for s in specs)
+
+    def test_bad_layout(self):
+        with pytest.raises(GridError):
+            partition_grid((8, 8), (2, 2, 2))
+        with pytest.raises(GridError):
+            partition_grid((8, 8, 8), (2, 2))
+
+
+class TestExtractBlock:
+    def test_uniform_block_keeps_world_placement(self):
+        grid = make_sphere_grid(10)
+        spec = partition_grid(grid.dims, (2, 1, 1))[1]
+        sub = extract_block(grid, spec)
+        assert sub.dims == spec.dims
+        # World coordinate of the block's first point matches the parent's.
+        assert sub.origin[0] == grid.origin[0] + spec.lo[0] * grid.spacing[0]
+        # Values match the sliced parent field.
+        parent = grid.point_data.get("r").values.reshape(10, 10, 10)
+        child = sub.point_data.get("r").values.reshape(
+            spec.dims[2], spec.dims[1], spec.dims[0]
+        )
+        np.testing.assert_array_equal(
+            parent[:, :, spec.lo[0]: spec.hi[0] + 1], child
+        )
+
+    def test_rectilinear_block_slices_axes(self):
+        rng = np.random.default_rng(0)
+        axes = tuple(np.sort(rng.uniform(0, 10, n)) for n in (8, 6, 5))
+        grid = RectilinearGrid(*axes)
+        grid.point_data.add(
+            DataArray("v", rng.standard_normal(8 * 6 * 5).astype(np.float32))
+        )
+        spec = partition_grid(grid.dims, (2, 2, 1))[3]
+        sub = extract_block(grid, spec)
+        for a in range(3):
+            np.testing.assert_array_equal(
+                sub.axes[a], axes[a][spec.lo[a]: spec.hi[a] + 1]
+            )
+
+    def test_out_of_range_spec_rejected(self):
+        grid = make_sphere_grid(6)
+        bad = BlockSpec(0, (0, 0, 0), (0, 0, 0), (9, 5, 5))
+        with pytest.raises(GridError):
+            extract_block(grid, bad)
+
+    def test_multicomponent_array_sliced(self):
+        grid = UniformGrid((4, 4, 4))
+        vec = np.arange(4 * 4 * 4 * 3, dtype=np.float32).reshape(-1, 3)
+        grid.point_data.add(DataArray("vec", vec, components=3))
+        spec = partition_grid(grid.dims, (2, 1, 1))[0]
+        sub = extract_block(grid, spec)
+        arr = sub.point_data.get("vec")
+        assert arr.components == 3
+        parent = vec.reshape(4, 4, 4, 3)
+        np.testing.assert_array_equal(
+            parent[:, :, :3, :].reshape(-1, 3),
+            arr.values.reshape(-1, 3),
+        )
+
+
+class TestBlockBounds:
+    def test_uniform_bounds(self):
+        spec = BlockSpec(0, (0, 0, 0), (2, 0, 1), (5, 3, 4))
+        b = block_bounds(spec, (1.0, 2.0, 3.0), (0.5, 1.0, 2.0))
+        assert b == Bounds(2.0, 3.5, 2.0, 5.0, 5.0, 11.0)
+
+    def test_rectilinear_bounds(self):
+        axes = (np.array([0.0, 1.0, 4.0]), np.array([0.0, 2.0]),
+                np.array([1.0, 3.0]))
+        spec = BlockSpec(0, (0, 0, 0), (1, 0, 0), (2, 1, 1))
+        b = block_bounds(spec, (0, 0, 0), (1, 1, 1), axes=axes)
+        assert b == Bounds(1.0, 4.0, 0.0, 2.0, 1.0, 3.0)
+
+    def test_touching_bounds_intersect(self):
+        a = Bounds(0, 1, 0, 1, 0, 1)
+        b = Bounds(1, 2, 0, 1, 0, 1)
+        assert a.intersects(b) and b.intersects(a)
+        assert a.intersection(b) == Bounds(1, 1, 0, 1, 0, 1)
+        far = Bounds(1.5, 2, 0, 1, 0, 1)
+        assert not a.intersects(far)
+        assert a.intersection(far) is None

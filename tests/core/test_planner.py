@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import OffloadPlanner
-from repro.errors import ReproError
+from repro.core.encoding import ids_wire_bytes_per_point
+from repro.errors import ReproError, SelectionError
 from repro.storage.netsim import MB, Testbed
 
 
@@ -61,3 +62,77 @@ class TestDecision:
         assert decision.predicted_speedup == pytest.approx(
             decision.baseline_seconds / decision.ndp_seconds
         )
+
+
+class TestWireCostModel:
+    def test_default_matches_ids_encoding_layout(self):
+        # float32 value (4 B) + conservative 4-byte id delta = 8 B/point.
+        assert OffloadPlanner().bytes_per_selected_point == 8.0
+        assert ids_wire_bytes_per_point() == 8.0
+
+    def test_derived_from_dtype_and_delta_width(self):
+        assert ids_wire_bytes_per_point("<f8", 2) == 10.0
+        assert ids_wire_bytes_per_point("<f4", 8) == 12.0
+
+    def test_invalid_delta_width_rejected(self):
+        with pytest.raises(SelectionError):
+            ids_wire_bytes_per_point("<f4", 3)
+
+    def test_knob_changes_the_decision(self):
+        # A fat wire format makes the selection reply as costly as the
+        # full transfer, so offload stops paying at modest selectivity.
+        thin = OffloadPlanner()
+        fat = OffloadPlanner(bytes_per_selected_point=64.0)
+        assert thin.decide(500 * MB, 500 * MB, "raw", 0.1).use_ndp
+        assert not fat.decide(500 * MB, 500 * MB, "raw", 0.1).use_ndp
+
+    def test_invalid_knob_rejected(self):
+        with pytest.raises(ReproError):
+            OffloadPlanner(bytes_per_selected_point=0.0)
+        with pytest.raises(ReproError):
+            OffloadPlanner(bytes_per_selected_point=-1.0)
+
+
+class TestShardScaling:
+    def test_shards_divide_storage_side_work_only(self):
+        planner = OffloadPlanner()
+        tb = planner.testbed
+        one = planner.estimate_ndp(100 * MB, 100 * MB, "raw", 0.01, shards=1)
+        four = planner.estimate_ndp(100 * MB, 100 * MB, "raw", 0.01, shards=4)
+        wire = 0.01 * (100 * MB / 4.0) * planner.bytes_per_selected_point
+        wire_s = wire / tb.net_bps
+        # Storage-side terms divide by K; the gather link does not.
+        assert four == pytest.approx((one - wire_s) / 4 + wire_s)
+
+    def test_more_shards_never_slower(self):
+        planner = OffloadPlanner()
+        estimates = [
+            planner.estimate_ndp(500 * MB, 500 * MB, "gzip", 0.02, shards=k)
+            for k in (1, 2, 4, 8)
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_wire_cost_bounds_the_speedup(self):
+        # With enough shards the storage side vanishes and the estimate
+        # converges to the (undivided) selection transfer time.
+        planner = OffloadPlanner()
+        tb = planner.testbed
+        est = planner.estimate_ndp(500 * MB, 500 * MB, "raw", 0.1,
+                                   shards=10**6)
+        wire = 0.1 * (500 * MB / 4.0) * planner.bytes_per_selected_point
+        assert est == pytest.approx(wire / tb.net_bps, rel=1e-3)
+
+    def test_shards_can_flip_a_decision(self):
+        planner = OffloadPlanner()
+        # Moderately dense selection: single-server NDP loses, but
+        # spreading the scan across 8 shards wins it back.
+        args = (500 * MB, 500 * MB, "raw", 0.6)
+        assert not planner.decide(*args).use_ndp
+        assert planner.decide(*args, shards=8).use_ndp
+
+    def test_invalid_shards_rejected(self):
+        planner = OffloadPlanner()
+        with pytest.raises(ReproError):
+            planner.estimate_ndp(1, 1, "raw", 0.5, shards=0)
+        with pytest.raises(ReproError):
+            planner.decide(1, 1, "raw", 0.5, shards=-2)

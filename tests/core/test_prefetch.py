@@ -1,5 +1,7 @@
 """Unit tests for the NDP prefetcher."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -121,3 +123,82 @@ class TestPrefetcher:
             client.close()
         finally:
             listener.stop()
+
+
+class CountingClient:
+    """Counts calls; calls after the first block until ``release`` is set.
+
+    Lets a test park the prefetcher's worker thread on a known request so
+    an early ``close()`` provably cancels the queued lookahead instead of
+    racing it to completion.
+    """
+
+    def __init__(self, inner, release):
+        self._inner = inner
+        self._release = release
+        self.calls = 0
+
+    def call(self, method, *params):
+        self.calls += 1
+        if self.calls > 1:
+            self._release.wait(timeout=10.0)
+        return self._inner.call(method, *params)
+
+
+class TestLifecycle:
+    def _requests(self, grids):
+        return [
+            {"key": key, "kind": "contour", "array": "r", "values": [3.0]}
+            for key in sorted(grids)
+        ] + [
+            {"key": sorted(grids)[0], "kind": "contour", "array": "r",
+             "values": [2.5]}
+        ]
+
+    def test_early_close_cancels_pending_lookahead(self, setup):
+        grids, inner = setup
+        release = threading.Event()
+        client = CountingClient(inner, release)
+        # depth 3 on 4 requests: after one yield, one call is parked on
+        # the event and two more futures sit queued behind it.
+        pf = NDPPrefetcher(client, self._requests(grids), depth=3)
+        it = iter(pf)
+        key, pd, _ = next(it)
+        assert key == sorted(grids)[0] and pd.num_points > 0
+        pf.close()
+        release.set()
+        # The queued futures were cancelled: only the yielded request and
+        # the one already running ever reached the client.
+        assert client.calls == 2
+        assert pf._active == []
+        with pytest.raises(StopIteration):
+            next(it)
+
+    def test_generator_abandonment_reaps_on_gc(self, setup):
+        grids, inner = setup
+        release = threading.Event()
+        release.set()
+        client = CountingClient(inner, release)
+        pf = NDPPrefetcher(client, self._requests(grids), depth=2)
+        it = iter(pf)
+        next(it)
+        assert len(pf._active) == 1
+        it.close()  # what del/GC does: GeneratorExit runs the finally
+        assert pf._active == []
+
+    def test_full_drain_leaves_no_active_state(self, setup):
+        grids, client = setup
+        pf = NDPPrefetcher(client, self._requests(grids))
+        assert len(list(pf)) == 4
+        assert pf._active == []
+        pf.close()  # idempotent after a clean drain
+
+    def test_context_manager_closes(self, setup):
+        grids, inner = setup
+        release = threading.Event()
+        client = CountingClient(inner, release)
+        with NDPPrefetcher(client, self._requests(grids), depth=3) as pf:
+            next(iter(pf))
+        release.set()
+        assert pf._active == []
+        assert client.calls == 2

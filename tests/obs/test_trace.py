@@ -256,3 +256,58 @@ class TestNullTracer:
     def test_real_tracer_is_truthy(self):
         assert Tracer()
         assert isinstance(Tracer().span("x").__enter__(), Span)
+
+
+class TestFork:
+    def test_forked_spans_join_the_callers_trace(self):
+        tracer = Tracer()
+        results = []
+
+        def worker(opener, shard):
+            with opener(shard=shard) as span:
+                results.append(span)
+
+        with tracer.span("scatter") as root:
+            opener = tracer.fork("shard.work", stage="prefilter")
+            threads = [
+                threading.Thread(target=worker, args=(opener, i))
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert len(results) == 3
+        for span in results:
+            assert span.trace_id == root.trace_id
+            assert span.parent_id == root.span_id
+            assert span.name == "shard.work"
+            assert span.attrs["stage"] == "prefilter"
+        # Per-call extras are merged in, and distinct per invocation.
+        assert sorted(s.attrs["shard"] for s in results) == [0, 1, 2]
+        # Worker spans record the worker's thread, not the forker's.
+        assert all(s.thread_id != root.thread_id for s in results)
+
+    def test_fork_outside_any_span_starts_fresh_roots(self):
+        tracer = Tracer()
+        opener = tracer.fork("loose")
+        with opener() as span:
+            pass
+        assert span.parent_id is None
+        assert span.trace_id
+
+    def test_fork_snapshot_survives_caller_span_exit(self):
+        tracer = Tracer()
+        with tracer.span("short-lived") as root:
+            opener = tracer.fork("late")
+        with opener() as span:
+            pass
+        assert span.trace_id == root.trace_id
+        assert span.parent_id == root.span_id
+
+    def test_null_tracer_fork_is_inert(self):
+        opener = NULL_TRACER.fork("x", a=1)
+        with opener(b=2) as span:
+            span.add_event("e")
+        assert NULL_TRACER.finished() == []
