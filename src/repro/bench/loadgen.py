@@ -1,0 +1,292 @@
+"""Open-loop load generator for the RPC serving cores.
+
+Closed-loop benchmarks (issue, wait, issue again) hide overload: a slow
+server simply slows the generator down, so measured latency stays flat
+while real-world clients — who do *not* politely wait for each other —
+would be piling up.  This generator is **open-loop**: request arrival
+times are drawn up front from a Poisson process at the target rate, and
+each request's latency is measured from its *scheduled* arrival, so time
+spent queued behind a saturated server or a blocking socket counts
+against the server (no coordinated omission).
+
+Two client cores are driven through the same codepath:
+
+* ``core="mux"`` — one :class:`~repro.rpc.mux.MuxTransport` per
+  connection, requests pipelined via ``submit`` with done-callbacks; an
+  arbitrary number of requests ride each socket concurrently.
+* ``core="legacy"`` — one blocking :class:`~repro.rpc.transport.TCPTransport`
+  per connection; each connection serves its arrivals one at a time,
+  which is exactly what the thread-per-connection server assumes.
+
+The report carries p50/p90/p99/p999, an error/shed breakdown, and a
+coarse log-scale histogram suitable for shipping into
+``BENCH_results.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+
+from repro.errors import RPCError, ServerOverloadedError
+from repro.rpc.msgpack import pack, unpack
+
+__all__ = ["LoadReport", "run_load"]
+
+_REQUEST = 0
+_RESPONSE = 1
+
+# Histogram bucket upper bounds in seconds (log-spaced, last is +inf).
+_BUCKETS = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+            0.1, 0.2, 0.5, 1.0, 2.0, 5.0]
+
+
+def _percentile(sorted_vals: list, q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, math.ceil(q * len(sorted_vals)) - 1))
+    return sorted_vals[idx]
+
+
+class LoadReport:
+    """Aggregated outcome of one load-generation run."""
+
+    def __init__(self, core: str, connections: int, rate: float,
+                 duration: float, latencies: list, ok: int, shed: int,
+                 errors: int, wall: float):
+        self.core = core
+        self.connections = connections
+        self.rate = rate
+        self.duration = duration
+        self.ok = ok
+        self.shed = shed
+        self.errors = errors
+        self.wall = wall
+        self.sent = ok + shed + errors
+        lat = sorted(latencies)
+        self.mean = sum(lat) / len(lat) if lat else 0.0
+        self.p50 = _percentile(lat, 0.50)
+        self.p90 = _percentile(lat, 0.90)
+        self.p99 = _percentile(lat, 0.99)
+        self.p999 = _percentile(lat, 0.999)
+        self.max = lat[-1] if lat else 0.0
+        self.histogram = self._histogram(lat)
+        self.throughput = self.ok / wall if wall > 0 else 0.0
+
+    @staticmethod
+    def _histogram(sorted_lat: list) -> list:
+        counts = [0] * (len(_BUCKETS) + 1)
+        for v in sorted_lat:
+            for i, bound in enumerate(_BUCKETS):
+                if v <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return [
+            {"le": _BUCKETS[i] if i < len(_BUCKETS) else "inf", "count": c}
+            for i, c in enumerate(counts)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "core": self.core,
+            "connections": self.connections,
+            "rate_hz": self.rate,
+            "duration_s": self.duration,
+            "wall_s": self.wall,
+            "sent": self.sent,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "throughput_hz": self.throughput,
+            "latency_s": {
+                "mean": self.mean, "p50": self.p50, "p90": self.p90,
+                "p99": self.p99, "p999": self.p999, "max": self.max,
+            },
+            "histogram": self.histogram,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.core}: {self.connections} conns @ {self.rate:.0f} Hz "
+            f"— {self.ok} ok / {self.shed} shed / {self.errors} err, "
+            f"p50 {self.p50 * 1e3:.1f} ms, p99 {self.p99 * 1e3:.1f} ms, "
+            f"p999 {self.p999 * 1e3:.1f} ms"
+        )
+
+
+def _classify(raw: bytes) -> str:
+    """ok / shed / error for one raw response payload."""
+    try:
+        message = unpack(raw)
+    except Exception:
+        return "error"
+    if not isinstance(message, list) or len(message) < 4 or message[0] != _RESPONSE:
+        return "error"
+    error = message[2]
+    if error is None:
+        return "ok"
+    if isinstance(error, str) and error.startswith("ServerOverloadedError"):
+        return "shed"
+    return "error"
+
+
+def _arrivals(rate: float, duration: float, rng: random.Random) -> list:
+    """Poisson arrival offsets (seconds from start) for one connection."""
+    out, t = [], 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            return out
+        out.append(t)
+
+
+def run_load(
+    host: str,
+    port: int,
+    connections: int = 4,
+    rate: float = 50.0,
+    duration: float = 2.0,
+    method: str = "health",
+    params: tuple = (),
+    core: str = "mux",
+    tenant: str | None = None,
+    timeout: float = 30.0,
+    seed: int = 1234,
+) -> LoadReport:
+    """Drive ``connections`` open-loop Poisson streams at ``rate`` req/s each.
+
+    Latency is measured from each request's scheduled arrival, so a
+    server (or a blocked socket) that falls behind accumulates queueing
+    delay in the numbers instead of silently slowing the generator.
+    """
+    if core not in ("mux", "legacy"):
+        raise RPCError(f"unknown loadgen core {core!r} (want mux|legacy)")
+    rng = random.Random(seed)
+    plans = [_arrivals(rate, duration, rng) for _ in range(connections)]
+
+    lock = threading.Lock()
+    latencies: list = []
+    counts = {"ok": 0, "shed": 0, "errors": 0}
+
+    def record(kind: str, latency: float) -> None:
+        with lock:
+            counts[kind] += 1
+            latencies.append(latency)
+
+    start_barrier = threading.Barrier(connections + 1)
+    clock = time.monotonic
+
+    def frame(msgid: int) -> bytes:
+        msg = [_REQUEST, msgid, method, list(params)]
+        if tenant:
+            msg.append({"tenant": tenant})
+        return pack(msg)
+
+    def run_mux(plan: list) -> None:
+        from repro.rpc.mux import MuxTransport
+
+        # Lazy dial: construction cannot fail, so the start barrier is
+        # always reached and dial errors surface per-request instead.
+        transport = MuxTransport(host, port, timeout=timeout, lazy=True)
+        inflight = []
+        try:
+            start_barrier.wait()
+            t0 = clock()
+            for i, offset in enumerate(plan):
+                delay = t0 + offset - clock()
+                if delay > 0:
+                    time.sleep(delay)
+                scheduled = t0 + offset
+
+                def done(fut, scheduled=scheduled):
+                    latency = clock() - scheduled
+                    exc = fut.exception()
+                    if exc is not None:
+                        kind = ("shed" if isinstance(exc, ServerOverloadedError)
+                                else "errors")
+                        record(kind, latency)
+                        return
+                    kind = _classify(fut.result())
+                    record("errors" if kind == "error" else
+                           ("shed" if kind == "shed" else "ok"), latency)
+
+                try:
+                    fut = transport.submit(frame(i + 1))
+                except Exception:
+                    record("errors", clock() - scheduled)
+                    continue
+                fut.add_done_callback(done)
+                inflight.append(fut)
+            deadline = clock() + timeout
+            for fut in inflight:
+                left = max(0.0, deadline - clock())
+                try:
+                    fut.exception(timeout=left)
+                except Exception:
+                    # Timed-out futures were never recorded by the
+                    # callback; count them so sent == len(plan).
+                    record("errors", clock() - t0)
+        finally:
+            transport.close()
+
+    def run_legacy(plan: list) -> None:
+        from repro.rpc.transport import TCPTransport
+
+        transport = TCPTransport(host, port, timeout=timeout, lazy=True)
+        try:
+            start_barrier.wait()
+            t0 = clock()
+            for i, offset in enumerate(plan):
+                delay = t0 + offset - clock()
+                if delay > 0:
+                    time.sleep(delay)
+                scheduled = t0 + offset
+                try:
+                    raw = transport.request(frame(i + 1))
+                except ServerOverloadedError:
+                    record("shed", clock() - scheduled)
+                    continue
+                except Exception:
+                    # Dial refused / reset mid-call: error this request
+                    # and re-dial for the next one — a refused connection
+                    # must show up as failed arrivals, not a silent stop.
+                    record("errors", clock() - scheduled)
+                    try:
+                        transport.reconnect()
+                    except Exception:
+                        pass
+                    continue
+                kind = _classify(raw)
+                record("errors" if kind == "error" else
+                       ("shed" if kind == "shed" else "ok"),
+                       clock() - scheduled)
+        finally:
+            try:
+                transport.close()
+            except Exception:
+                pass
+
+    runner = run_mux if core == "mux" else run_legacy
+    threads = [
+        threading.Thread(target=runner, args=(plan,), daemon=True,
+                         name=f"loadgen-{i}")
+        for i, plan in enumerate(plans)
+    ]
+    for t in threads:
+        t.start()
+    start_barrier.wait()
+    wall0 = clock()
+    for t in threads:
+        t.join(timeout=duration + timeout + 10.0)
+    wall = clock() - wall0
+
+    shed = counts["shed"]
+    return LoadReport(
+        core=core, connections=connections, rate=rate, duration=duration,
+        latencies=latencies, ok=counts["ok"], shed=shed,
+        errors=counts["errors"], wall=wall,
+    )

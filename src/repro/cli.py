@@ -138,10 +138,19 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         verify_checksums=args.verify_checksums == "on",
     )
-    listener = server.serve_tcp(
-        host=args.host, port=args.port,
-        max_connections=args.max_connections if args.max_connections > 0 else None,
-    )
+    max_conns = args.max_connections if args.max_connections > 0 else None
+    if args.serving_core == "async":
+        weights = _parse_tenant_weights(args.tenant_weights)
+        listener = server.serve_async_tcp(
+            host=args.host, port=args.port, max_connections=max_conns,
+            workers=args.workers, tenant_weights=weights,
+            tenant_inflight=args.tenant_inflight,
+            tenant_pending=args.tenant_pending,
+        )
+    else:
+        listener = server.serve_tcp(
+            host=args.host, port=args.port, max_connections=max_conns,
+        )
     caches = (
         f"array_cache={args.cache_bytes // 2**20} MiB"
         if args.cache_bytes > 0 else "array_cache=off",
@@ -152,8 +161,12 @@ def cmd_serve(args) -> int:
         f"max_inflight={args.max_inflight}" if args.max_inflight > 0
         else "admission=unlimited"
     )
+    core = (
+        f"core=async workers={args.workers}" if args.serving_core == "async"
+        else "core=threaded"
+    )
     print(f"NDP server on {listener.host}:{listener.port} "
-          f"(store={args.store}, bucket={args.bucket}, "
+          f"(store={args.store}, bucket={args.bucket}, {core}, "
           f"{caches[0]}, {caches[1]}, {admission}, "
           f"checksums={args.verify_checksums}"
           f"{', tracing on' if tracer else ''})")
@@ -184,6 +197,62 @@ def cmd_serve(args) -> int:
         if tracer is not None:
             _write_trace(tracer, args.trace_out)
     return 0 if clean else 1
+
+
+def _parse_tenant_weights(spec: str) -> dict | None:
+    """Parse ``"gold=3,batch=1"`` into ``{"gold": 3.0, "batch": 1.0}``."""
+    if not spec:
+        return None
+    weights = {}
+    for part in spec.split(","):
+        name, sep, value = part.partition("=")
+        if not sep or not name.strip():
+            raise SystemExit(
+                f"error: bad --tenant-weights entry {part!r} (want name=weight)"
+            )
+        try:
+            weights[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --tenant-weights value {value!r} (want a number)"
+            ) from None
+    return weights
+
+
+def cmd_loadgen(args) -> int:
+    """Open-loop load generator against a running server."""
+    import json
+
+    from repro.bench.loadgen import run_load
+
+    host, _, port = args.connect.rpartition(":")
+    if not port.isdigit():
+        print(f"error: bad --connect address {args.connect!r} "
+              f"(want host:port)", file=sys.stderr)
+        return 2
+    params = ()
+    if args.params:
+        try:
+            params = tuple(json.loads(args.params))
+        except (ValueError, TypeError):
+            print(f"error: --params must be a JSON array, got {args.params!r}",
+                  file=sys.stderr)
+            return 2
+    report = run_load(
+        host or "127.0.0.1", int(port),
+        connections=args.connections, rate=args.rate,
+        duration=args.duration, method=args.method, params=params,
+        core=args.core, tenant=args.tenant or None,
+        timeout=args.call_timeout, seed=args.seed,
+    )
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    # Exit status mirrors the run's health: errors are failures, sheds
+    # are backpressure working as designed.
+    return 0 if report.errors == 0 else 1
 
 
 def cmd_verify(args) -> int:
@@ -709,7 +778,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default="", metavar="FILE",
                    help="record server-side spans and write them on exit "
                         "(.jsonl = span log, else Chrome trace JSON)")
+    p.add_argument("--serving-core", choices=["threaded", "async"],
+                   default="threaded",
+                   help="threaded = one thread per connection, one request "
+                        "at a time per socket; async = event-loop core: "
+                        "requests pipeline per connection and dispatch runs "
+                        "on a fair-queued worker pool (default threaded)")
+    p.add_argument("--workers", type=int, default=8,
+                   help="dispatch worker threads for --serving-core async "
+                        "(default 8)")
+    p.add_argument("--tenant-weights", default="", metavar="NAME=W,...",
+                   help="async core: fair-share weights per tenant, e.g. "
+                        "'interactive=3,batch=1' (unlisted tenants get "
+                        "weight 1)")
+    p.add_argument("--tenant-inflight", type=int, default=0,
+                   help="async core: max requests one tenant may have "
+                        "executing at once (0 = unlimited)")
+    p.add_argument("--tenant-pending", type=int, default=0,
+                   help="async core: max requests one tenant may queue "
+                        "before its excess is shed with retry_after "
+                        "(0 = unlimited)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load generator against a running server",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--connections", type=int, default=4,
+                   help="concurrent client connections (default 4)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="target arrivals per second per connection "
+                        "(default 50)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of load to generate (default 2)")
+    p.add_argument("--method", default="health",
+                   help="RPC method to call (default health)")
+    p.add_argument("--params", default="", metavar="JSON",
+                   help="method params as a JSON array, e.g. "
+                        "'[\"key\", \"rho\"]'")
+    p.add_argument("--core", choices=["mux", "legacy"], default="mux",
+                   help="mux = pipelined multiplexed client; legacy = "
+                        "blocking one-request-at-a-time client "
+                        "(default mux)")
+    p.add_argument("--tenant", default="",
+                   help="tenant name stamped into each request's ctx map "
+                        "(drives the async core's fair queue)")
+    p.add_argument("--call-timeout", type=float, default=30.0,
+                   help="per-request timeout in seconds (default 30)")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="RNG seed for the Poisson arrival plan")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the full report (percentiles + histogram) "
+                        "as JSON")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "verify", help="verify stored VGF checksums (detect at-rest corruption)"

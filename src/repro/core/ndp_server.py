@@ -113,6 +113,7 @@ class NDPServer:
             max_inflight=max_inflight, max_pending=max_pending
         )
         self._listener = None
+        self._fair_queue = None
         self.array_cache = (
             ArrayCache(cache_bytes, tracer=self.tracer) if cache_bytes > 0 else None
         )
@@ -385,7 +386,7 @@ class NDPServer:
             status = "ok"
         else:
             status = "degraded"
-        return {
+        out = {
             "status": status,
             "store_reachable": store_reachable,
             "draining": draining,
@@ -395,6 +396,10 @@ class NDPServer:
             "array_cache": self._cache_info(self.array_cache),
             "selection_cache": self._cache_info(self.selection_cache),
         }
+        if self._fair_queue is not None:
+            out["serving_core"] = "async"
+            out["fair_queue"] = self._fair_queue.info()
+        return out
 
     @staticmethod
     def _cache_info(cache) -> dict:
@@ -421,6 +426,8 @@ class NDPServer:
         out["array_cache"] = self._cache_info(self.array_cache)
         out["selection_cache"] = self._cache_info(self.selection_cache)
         out["admission"] = self.admission.info()
+        if self._fair_queue is not None:
+            out["fair_queue"] = self._fair_queue.info()
         out["integrity_failures"] = int(self._integrity_failures.value)
         return out
 
@@ -667,5 +674,44 @@ class NDPServer:
         self._listener = TCPServerTransport(
             self.rpc.dispatch, host=host, port=port,
             max_connections=max_connections,
+        ).start()
+        return self._listener
+
+    def serve_async_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+        workers: int = 8,
+        tenant_weights: dict[str, float] | None = None,
+        tenant_inflight: int = 0,
+        tenant_pending: int = 0,
+    ):
+        """Listen with the event-loop serving core (pipelined, multiplexed).
+
+        One I/O thread multiplexes every connection and ``workers``
+        threads run dispatch through a
+        :class:`~repro.rpc.fairshare.FairScheduler`, so requests from a
+        flooding tenant queue behind their fair share instead of starving
+        everyone else.  Per-tenant sheds are recorded on this server's
+        :class:`~repro.rpc.admission.AdmissionController` — ``health`` and
+        ``stats`` keep one overload ledger either way.  Same wire
+        protocol and drain contract as :meth:`serve_tcp`.
+        """
+        from repro.rpc.fairshare import FairScheduler
+        from repro.rpc.mux import AsyncServerTransport
+
+        self._fair_queue = FairScheduler(
+            self.rpc.dispatch,
+            workers=workers,
+            weights=tenant_weights,
+            max_tenant_inflight=tenant_inflight,
+            max_tenant_pending=tenant_pending,
+            admission=self.admission,
+        )
+        self.registry.register("fair_queue", self._fair_queue.info)
+        self._listener = AsyncServerTransport(
+            self.rpc.dispatch, host=host, port=port,
+            max_connections=max_connections, scheduler=self._fair_queue,
         ).start()
         return self._listener

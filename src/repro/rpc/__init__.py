@@ -20,12 +20,15 @@ from repro.rpc.admission import (
     check_deadline,
     remaining_budget,
 )
-from repro.rpc.client import RPCClient
+from repro.rpc.client import PendingCall, RPCClient
+from repro.rpc.fairshare import FairScheduler, inject_tenant
 from repro.rpc.msgpack import ExtType, Timestamp, pack, unpack
+from repro.rpc.mux import AsyncServerTransport, MuxTransport
 from repro.rpc.pool import EndpointPool
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
 from repro.rpc.server import RPCServer
 from repro.rpc.transport import (
+    FrameBuffer,
     InProcessTransport,
     SimulatedTransport,
     TCPServerTransport,
@@ -40,10 +43,16 @@ __all__ = [
     "Timestamp",
     "RPCServer",
     "RPCClient",
+    "PendingCall",
     "Transport",
     "InProcessTransport",
     "TCPTransport",
     "TCPServerTransport",
+    "MuxTransport",
+    "AsyncServerTransport",
+    "FairScheduler",
+    "FrameBuffer",
+    "inject_tenant",
     "SimulatedTransport",
     "ResilientTransport",
     "EndpointPool",

@@ -173,6 +173,16 @@ class AdmissionController:
         with self._cond:
             self._expired += 1
 
+    def record_shed(self) -> None:
+        """Count a shed decided by an outer layer (the fair queue).
+
+        The fair scheduler sheds per-tenant *before* requests reach this
+        gate; recording here keeps ``health``/``stats`` reporting one
+        overload ledger for the whole server.
+        """
+        with self._cond:
+            self._shed += 1
+
     @property
     def inflight(self) -> int:
         with self._cond:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import itertools
 import re
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any
 
 from repro.errors import (
@@ -23,13 +25,14 @@ from repro.errors import (
     IntegrityError,
     RPCError,
     RPCRemoteError,
+    RPCTimeoutError,
     ServerOverloadedError,
 )
 from repro.obs.trace import NULL_TRACER
 from repro.rpc.msgpack import pack, unpack
 from repro.rpc.transport import InProcessTransport, TCPTransport, Transport
 
-__all__ = ["RPCClient"]
+__all__ = ["RPCClient", "PendingCall"]
 
 _REQUEST = 0
 _RESPONSE = 1
@@ -69,10 +72,14 @@ class RPCClient:
     call and propagate trace context to the server.
     """
 
-    def __init__(self, transport: Transport, tracer=None):
+    def __init__(self, transport: Transport, tracer=None, tenant: str | None = None):
         self._transport = transport
         self._msgid = itertools.count(1)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional fair-queue identity stamped into every request's ctx
+        #: map (see :mod:`repro.rpc.fairshare`); ``None`` keeps frames
+        #: byte-identical to the classic protocol.
+        self.tenant = tenant
 
     @classmethod
     def connect_tcp(cls, host: str, port: int, timeout: float | None = 30.0,
@@ -80,11 +87,28 @@ class RPCClient:
         return cls(TCPTransport(host, port, timeout=timeout), tracer=tracer)
 
     @classmethod
+    def connect_mux(cls, host: str, port: int, timeout: float | None = 30.0,
+                    tracer=None, tenant: str | None = None) -> "RPCClient":
+        """Client over one multiplexed connection: calls may pipeline.
+
+        Use :meth:`call` as usual (also from many threads at once — each
+        caller waits only on its own reply) or :meth:`call_async` to
+        pipeline from a single thread.
+        """
+        from repro.rpc.mux import MuxTransport
+
+        return cls(MuxTransport(host, port, timeout=timeout), tracer=tracer,
+                   tenant=tenant)
+
+    @classmethod
     def in_process(cls, server, tracer=None) -> "RPCClient":
         """Client wired straight to an :class:`~repro.rpc.server.RPCServer`."""
         return cls(InProcessTransport(server.dispatch), tracer=tracer)
 
     # ------------------------------------------------------------------
+    def _base_ctx(self) -> dict | None:
+        return {"tenant": self.tenant} if self.tenant else None
+
     def call(self, method: str, *params: Any) -> Any:
         """Invoke a remote method and return its result.
 
@@ -97,13 +121,46 @@ class RPCClient:
             On protocol violations (bad frame shape, msgid mismatch).
         """
         if not self.tracer:
-            return self._roundtrip(next(self._msgid), method, list(params))
+            return self._roundtrip(
+                next(self._msgid), method, list(params), ctx=self._base_ctx()
+            )
         with self.tracer.span("rpc.call", method=method) as span:
-            ctx = self.tracer.inject()
+            ctx = dict(self.tracer.inject() or {})
+            if self.tenant:
+                ctx["tenant"] = self.tenant
             result = self._roundtrip(
-                next(self._msgid), method, list(params), ctx=ctx, anchor=span
+                next(self._msgid), method, list(params), ctx=ctx or None,
+                anchor=span,
             )
         return result
+
+    def call_async(self, method: str, *params: Any) -> "PendingCall":
+        """Pipeline a call: returns a :class:`PendingCall` immediately.
+
+        Over a multiplexing transport (one with ``submit``) the request
+        is written and the caller is free to issue more before collecting
+        any result — responses are rehydrated by correlation id whatever
+        order the server returns them in.  Over a plain blocking
+        transport the call degrades gracefully: it completes synchronously
+        and the :class:`PendingCall` is born resolved, so calling code
+        does not need to know which transport it got.
+        """
+        msgid = next(self._msgid)
+        frame = [_REQUEST, msgid, method, list(params)]
+        ctx = self._base_ctx()
+        if ctx is not None:
+            frame.append(ctx)
+        payload = pack(frame)
+        submit = getattr(self._transport, "submit", None)
+        if submit is not None:
+            future = submit(payload)
+        else:
+            future = Future()
+            try:
+                future.set_result(self._transport.request(payload))
+            except Exception as exc:
+                future.set_exception(exc)
+        return PendingCall(self, msgid, method, future)
 
     def _roundtrip(self, msgid: int, method: str, params: list,
                    ctx: dict | None = None, anchor=None) -> Any:
@@ -112,6 +169,9 @@ class RPCClient:
             frame.append(ctx)
         payload = pack(frame)
         raw = self._transport.request(payload)
+        return self._decode(raw, msgid, method, anchor=anchor)
+
+    def _decode(self, raw: bytes, msgid: int, method: str, anchor=None) -> Any:
         message = unpack(raw)
         if (
             not isinstance(message, list)
@@ -129,6 +189,16 @@ class RPCClient:
             _raise_remote(method, str(error))
         return result
 
+    def pipeline(self, calls: list) -> list:
+        """Issue ``[(method, *params), ...]`` back-to-back, gather in order.
+
+        All requests go out before any result is awaited, so over a
+        multiplexed transport N calls cost roughly one round trip plus
+        server time instead of N round trips.
+        """
+        pending = [self.call_async(call[0], *call[1:]) for call in calls]
+        return [p.result() for p in pending]
+
     def notify(self, method: str, *params: Any) -> None:
         """Fire-and-forget call: per msgpack-rpc, no response frame exists."""
         payload = pack([_NOTIFY, method, list(params)])
@@ -142,3 +212,34 @@ class RPCClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class PendingCall:
+    """A pipelined call in flight; :meth:`result` blocks for *this* reply.
+
+    Results are rehydrated by correlation id, so pending calls may be
+    collected in any order regardless of the order responses arrived.
+    """
+
+    __slots__ = ("_client", "msgid", "method", "_future")
+
+    def __init__(self, client: RPCClient, msgid: int, method: str, future: Future):
+        self._client = client
+        self.msgid = msgid
+        self.method = method
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Decoded result of this call; raises what :meth:`RPCClient.call`
+        would have raised for the same reply."""
+        try:
+            raw = self._future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise RPCTimeoutError(
+                f"no response for pipelined call {self.method!r} "
+                f"(msgid {self.msgid}) within {timeout}s"
+            ) from None
+        return self._client._decode(raw, self.msgid, self.method)

@@ -1,0 +1,357 @@
+"""Per-tenant weighted fair queuing for the multiplexed serving core.
+
+A single flooding tenant must not starve everyone else out of the
+storage-side server.  :class:`FairScheduler` sits between the event-loop
+listener (:class:`~repro.rpc.mux.AsyncServerTransport`) and
+:meth:`~repro.rpc.server.RPCServer.dispatch`:
+
+* every request is classified by the ``"tenant"`` key its ctx map carries
+  (the optional 5th frame element — absent means the ``"default"``
+  tenant, so classic clients keep working byte-identically),
+* each tenant gets its own FIFO queue; workers dequeue by **weighted
+  virtual time** (start-time fair queuing: pick the eligible tenant with
+  the smallest ``served / weight``), so a tenant with weight 3 gets 3x
+  the service of a weight-1 tenant under contention, and *every* backlogged
+  tenant advances — no starvation by construction,
+* per-tenant ``max_tenant_pending`` / ``max_tenant_inflight`` caps bound
+  one tenant's footprint; beyond its pending cap a tenant's requests are
+  shed **immediately** with a ``ServerOverloadedError`` reply carrying a
+  ``retry_after`` hint, without ever touching a worker — the flooding
+  tenant pays for its own flood while the trickle tenant's queue stays
+  empty and unshed.
+
+The scheduler *layers on* the existing
+:class:`~repro.rpc.admission.AdmissionController` rather than replacing
+it: global inflight bounds still apply inside dispatch, sheds are
+recorded on the controller so ``health``/``stats`` report one overload
+picture, and the controller's ``retry_after`` hint is reused.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Callable, NamedTuple
+
+from repro.errors import FormatError
+from repro.rpc.msgpack import pack, unpack
+
+__all__ = ["FairScheduler", "sniff_request", "inject_tenant", "DEFAULT_TENANT"]
+
+_REQUEST = 0
+_RESPONSE = 1
+_NOTIFY = 2
+
+DEFAULT_TENANT = "default"
+
+
+class RequestInfo(NamedTuple):
+    mtype: int | None
+    msgid: int | None
+    tenant: str
+
+
+def sniff_request(payload: bytes) -> RequestInfo:
+    """Classify one frame: type, msgid, and the tenant its ctx names.
+
+    Tolerant by design — malformed bytes, notifications, and foreign
+    frames classify as the default tenant with ``mtype``/``msgid`` of
+    ``None``/``None``; they flow through dispatch, which owns the error
+    contract.
+    """
+    try:
+        message = unpack(payload)
+    except FormatError:
+        return RequestInfo(None, None, DEFAULT_TENANT)
+    if not isinstance(message, list) or not message:
+        return RequestInfo(None, None, DEFAULT_TENANT)
+    if message[0] == _NOTIFY:
+        return RequestInfo(_NOTIFY, None, DEFAULT_TENANT)
+    if message[0] != _REQUEST or len(message) not in (4, 5):
+        return RequestInfo(None, None, DEFAULT_TENANT)
+    msgid = message[1] if isinstance(message[1], int) else None
+    tenant = DEFAULT_TENANT
+    if len(message) == 5 and isinstance(message[4], dict):
+        t = message[4].get("tenant")
+        if isinstance(t, str) and t:
+            tenant = t
+    return RequestInfo(_REQUEST, msgid, tenant)
+
+
+def inject_tenant(payload: bytes, tenant: str) -> bytes:
+    """Splice a tenant id into a packed request frame's ctx map.
+
+    Mirrors :func:`~repro.rpc.admission.inject_deadline`: best-effort
+    sugar for load generators and proxies — non-request frames pass
+    through untouched.
+    """
+    try:
+        message = unpack(payload)
+    except FormatError:
+        return payload
+    if (
+        not isinstance(message, list)
+        or len(message) not in (4, 5)
+        or message[0] != _REQUEST
+    ):
+        return payload
+    ctx = message[4] if len(message) == 5 else {}
+    if not isinstance(ctx, dict):
+        return payload
+    merged = dict(ctx)
+    merged["tenant"] = tenant
+    return pack([message[0], message[1], message[2], message[3], merged])
+
+
+class _Tenant:
+    __slots__ = ("name", "weight", "queue", "inflight", "vtime",
+                 "served", "shed", "enqueued")
+
+    def __init__(self, name: str, weight: float, vtime: float):
+        self.name = name
+        self.weight = weight
+        self.queue: collections.deque = collections.deque()
+        self.inflight = 0
+        self.vtime = vtime
+        self.served = 0
+        self.shed = 0
+        self.enqueued = 0
+
+
+class FairScheduler:
+    """Weighted fair queue + worker pool feeding a frame dispatcher.
+
+    Parameters
+    ----------
+    dispatcher:
+        ``bytes -> bytes | None`` (normally ``RPCServer.dispatch``).
+    workers:
+        Worker-thread count — the global dispatch concurrency.
+    weights:
+        ``{tenant: weight}``; unnamed tenants get ``default_weight``.
+        Weights are relative service shares under contention.
+    max_tenant_inflight:
+        Per-tenant cap on concurrently *dispatching* requests; ``0``
+        means no cap.  A tenant at its cap is simply skipped by the
+        pickers until a slot frees — queued, not shed.
+    max_tenant_pending:
+        Per-tenant cap on *queued* requests; beyond it new arrivals are
+        shed immediately with a ``retry_after`` reply.  ``0`` = unbounded.
+    admission:
+        Optional :class:`~repro.rpc.admission.AdmissionController`;
+        fair-queue sheds are recorded on it (one overload ledger) and its
+        ``retry_after`` is used for shed replies unless overridden.
+    retry_after:
+        Hint (seconds) carried by shed replies; defaults to the
+        controller's hint, else 50 ms.
+    """
+
+    def __init__(
+        self,
+        dispatcher: Callable[[bytes], bytes | None],
+        workers: int = 8,
+        weights: dict[str, float] | None = None,
+        default_weight: float = 1.0,
+        max_tenant_inflight: int = 0,
+        max_tenant_pending: int = 0,
+        admission=None,
+        retry_after: float | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._dispatcher = dispatcher
+        self.workers = int(workers)
+        self._weights = dict(weights or {})
+        self._default_weight = float(default_weight)
+        self.max_tenant_inflight = int(max_tenant_inflight)
+        self.max_tenant_pending = int(max_tenant_pending)
+        self.admission = admission
+        if retry_after is not None:
+            self.retry_after = float(retry_after)
+        elif admission is not None:
+            self.retry_after = float(admission.retry_after)
+        else:
+            self.retry_after = 0.05
+        self._cond = threading.Condition()
+        self._tenants: dict[str, _Tenant] = {}
+        self._vclock = 0.0
+        self._total_pending = 0
+        self._total_inflight = 0
+        self._sheds = 0
+        self._served = 0
+        self._stopping = False
+        self._finish_queue = True
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "FairScheduler":
+        with self._cond:
+            if self._threads:
+                return self
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker, daemon=True, name=f"fair-worker-{i}"
+                )
+                for i in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0, finish: bool = True) -> bool:
+        """Stop workers; ``finish=True`` drains queued work first."""
+        with self._cond:
+            self._stopping = True
+            self._finish_queue = finish
+            self._cond.notify_all()
+            threads = list(self._threads)
+        deadline = time.monotonic() + timeout
+        clean = True
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            clean = clean and not thread.is_alive()
+        with self._cond:
+            self._threads = []
+        return clean
+
+    def quiescent(self) -> bool:
+        """True when nothing is queued or dispatching (drain condition)."""
+        with self._cond:
+            return self._total_pending == 0 and self._total_inflight == 0
+
+    # -- intake ----------------------------------------------------------
+    def submit(self, payload: bytes, respond: Callable[[bytes | None], None]) -> None:
+        """Queue one frame; ``respond`` is called exactly once with the
+        response payload (or ``None`` for notifications), possibly on a
+        worker thread, possibly immediately for shed requests."""
+        info = sniff_request(payload)
+        shed_reply = None
+        with self._cond:
+            tenant = self._tenant_locked(info.tenant)
+            if (
+                info.mtype == _REQUEST
+                and info.msgid is not None
+                and self.max_tenant_pending > 0
+                and len(tenant.queue) >= self.max_tenant_pending
+            ):
+                tenant.shed += 1
+                self._sheds += 1
+                if self.admission is not None:
+                    self.admission.record_shed()
+                shed_reply = pack([
+                    _RESPONSE, info.msgid,
+                    f"ServerOverloadedError: tenant {tenant.name!r} over "
+                    f"fair-share capacity (pending="
+                    f"{len(tenant.queue)}/{self.max_tenant_pending}); "
+                    f"retry_after={self.retry_after}",
+                    None,
+                ])
+            else:
+                tenant.queue.append((payload, respond))
+                tenant.enqueued += 1
+                self._total_pending += 1
+                self._cond.notify()
+        if shed_reply is not None:
+            respond(shed_reply)
+
+    def _tenant_locked(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            # Joining tenants start at the current virtual clock so a
+            # newcomer competes fairly instead of replaying history.
+            tenant = _Tenant(
+                name, float(self._weights.get(name, self._default_weight)),
+                self._vclock,
+            )
+            self._tenants[name] = tenant
+        return tenant
+
+    # -- service ---------------------------------------------------------
+    def _pick_locked(self) -> _Tenant | None:
+        best = None
+        for tenant in self._tenants.values():
+            if not tenant.queue:
+                continue
+            if (
+                self.max_tenant_inflight > 0
+                and tenant.inflight >= self.max_tenant_inflight
+            ):
+                continue
+            if best is None or tenant.vtime < best.vtime:
+                best = tenant
+        return best
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                tenant = self._pick_locked()
+                while tenant is None:
+                    if self._stopping:
+                        return
+                    self._cond.wait(timeout=0.2)
+                    tenant = self._pick_locked()
+                if self._stopping and not self._finish_queue:
+                    return
+                payload, respond = tenant.queue.popleft()
+                self._total_pending -= 1
+                tenant.inflight += 1
+                self._total_inflight += 1
+                start = max(tenant.vtime, self._vclock)
+                self._vclock = start
+                tenant.vtime = start + 1.0 / tenant.weight
+            try:
+                response = self._dispatcher(payload)
+            except Exception as exc:  # dispatch's contract is "never raise"
+                info = sniff_request(payload)
+                response = (
+                    pack([_RESPONSE, info.msgid,
+                          f"{type(exc).__name__}: {exc}", None])
+                    if info.msgid is not None else None
+                )
+            finally:
+                with self._cond:
+                    tenant.inflight -= 1
+                    self._total_inflight -= 1
+                    tenant.served += 1
+                    self._served += 1
+                    self._cond.notify()
+            try:
+                respond(response)
+            except Exception:
+                pass  # a dead connection must not take down the worker
+
+    # -- stats -----------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return self._total_pending
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._total_inflight
+
+    def info(self) -> dict:
+        """Snapshot for the registry / ``health`` / ``server_stats``."""
+        with self._cond:
+            return {
+                "workers": self.workers,
+                "pending": self._total_pending,
+                "inflight": self._total_inflight,
+                "served": self._served,
+                "shed": self._sheds,
+                "max_tenant_inflight": self.max_tenant_inflight,
+                "max_tenant_pending": self.max_tenant_pending,
+                "tenants": {
+                    name: {
+                        "weight": t.weight,
+                        "pending": len(t.queue),
+                        "inflight": t.inflight,
+                        "served": t.served,
+                        "shed": t.shed,
+                    }
+                    for name, t in self._tenants.items()
+                },
+            }

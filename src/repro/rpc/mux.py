@@ -1,0 +1,687 @@
+"""Multiplexed serving core: pipelined client transport + event-loop server.
+
+The threaded :class:`~repro.rpc.transport.TCPServerTransport` is
+thread-per-connection with one request in flight per socket — fine for a
+handful of viz clients, a bottleneck for the million-user front door the
+ROADMAP aims at.  This module replaces both ends:
+
+* :class:`MuxTransport` — a client transport that pipelines many requests
+  over **one** TCP connection.  The correlation id is the msgpack-rpc
+  ``msgid`` already inside every request frame, so the wire format is
+  unchanged: a classic client's 4/5-element frames work byte-identically
+  against the new server, and responses may return **out of order** — the
+  transport rehydrates them by id.
+* :class:`AsyncServerTransport` — a ``selectors``-based event-loop server:
+  one I/O thread owns every socket (non-blocking reads, incremental frame
+  parsing, non-blocking writes), while dispatch runs on a scheduler's
+  worker pool (by default a :class:`~repro.rpc.fairshare.FairScheduler`,
+  which adds per-tenant weighted fair queuing).  Responses are written
+  back as each dispatch completes, so one slow request never blocks the
+  pipeline behind it.
+
+Retry isolation: a multiplexed connection is *shared*.  A resilient
+wrapper retrying one failed request must not re-dial the socket out from
+under every other in-flight request, so :class:`MuxTransport` exposes
+:meth:`MuxTransport.reconnect_if_broken` instead of the unconditional
+``reconnect()`` contract — it re-dials only when the connection is
+actually dead (at which point every pending future has already failed).
+
+Lifecycle mirrors the threaded listener exactly (``host``/``port``/
+``draining``/``refused``/``stop(drain_timeout)``), so ``repro serve`` and
+:meth:`~repro.core.ndp_server.NDPServer.health` treat both cores alike.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.errors import FormatError, RPCError, RPCTimeoutError, RPCTransportError
+from repro.rpc.transport import MAX_FRAME, FrameBuffer, Transport, write_frame
+
+__all__ = ["peek_frame", "MuxTransport", "AsyncServerTransport"]
+
+_LEN = struct.Struct(">I")
+_REQUEST = 0
+_RESPONSE = 1
+_NOTIFY = 2
+
+
+def peek_frame(payload: bytes) -> tuple[int, int | None]:
+    """Read ``(type, msgid)`` from a packed rpc frame without decoding it.
+
+    Parses only the msgpack array header and the first one/two integer
+    elements — O(1) regardless of payload size, which is what lets the
+    demultiplexer route multi-megabyte ``read_array`` responses without
+    decoding them on the reader thread.  NOTIFY frames have no msgid and
+    return ``(2, None)``.  Raises :class:`~repro.errors.FormatError` for
+    anything that is not a well-formed rpc frame prefix.
+    """
+    try:
+        b0 = payload[0]
+        if 0x90 <= b0 <= 0x9F:
+            offset = 1
+        elif b0 == 0xDC:  # array16: legal even for small frames
+            offset = 3
+        else:
+            raise FormatError(f"not an rpc frame (first byte 0x{b0:02x})")
+        mtype = payload[offset]
+        if mtype not in (_REQUEST, _RESPONSE, _NOTIFY):
+            raise FormatError(f"unknown rpc frame type {mtype}")
+        offset += 1
+        if mtype == _NOTIFY:
+            return (_NOTIFY, None)
+        b = payload[offset]
+        offset += 1
+        if b <= 0x7F:
+            return (mtype, b)
+        widths = {0xCC: 1, 0xCD: 2, 0xCE: 4, 0xCF: 8}
+        if b not in widths:
+            raise FormatError(f"msgid is not an unsigned int (0x{b:02x})")
+        n = widths[b]
+        return (mtype, int.from_bytes(payload[offset : offset + n], "big"))
+    except IndexError as exc:
+        raise FormatError("truncated rpc frame prefix") from exc
+
+
+class MuxTransport(Transport):
+    """Pipelined client transport: many requests in flight on one socket.
+
+    :meth:`submit` writes the frame and returns a
+    :class:`~concurrent.futures.Future` resolving to the raw response
+    payload; a background reader thread demultiplexes responses by msgid,
+    so callers — many threads sharing one transport, or one thread
+    pipelining via :meth:`~repro.rpc.client.RPCClient.call_async` — wait
+    only on their own reply.  :meth:`request` keeps the blocking
+    :class:`~repro.rpc.transport.Transport` contract (submit + wait), so
+    every existing wrapper (resilient, simulated, pooled) composes.
+
+    Connection death fails **all** pending futures with
+    :class:`~repro.errors.RPCTransportError`; the next :meth:`submit`
+    auto-redials (each dial bumps :attr:`generation`, which the retry
+    isolation test pins down).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0,
+                 lazy: bool = False):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._lock = threading.Lock()      # connection + pending-map state
+        self._wlock = threading.Lock()     # serializes frame writes
+        self._pending: dict[int, tuple[int, Future]] = {}
+        self._sock: socket.socket | None = None
+        self._reader: threading.Thread | None = None
+        self._dead = False
+        self._closing = False
+        #: dial count; a stable value across a retry proves no re-dial
+        self.generation = 0
+        if not lazy:
+            with self._lock:
+                self._redial_locked()
+
+    # -- connection management -----------------------------------------
+    def _redial_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except socket.timeout as exc:
+            raise RPCTimeoutError(
+                f"connect to {self._host}:{self._port} timed out "
+                f"after {self._timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise RPCTransportError(
+                f"cannot connect to {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The reader blocks in recv indefinitely; request timeouts are
+        # enforced on the waiting future, and close() unblocks the read.
+        sock.settimeout(None)
+        self._sock = sock
+        self._dead = False
+        self.generation += 1
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(sock, self.generation), daemon=True,
+            name=f"mux-reader-{self._host}:{self._port}",
+        )
+        self._reader.start()
+
+    def _ensure_connected_locked(self) -> tuple[socket.socket, int]:
+        if self._sock is None or self._dead:
+            self._redial_locked()
+        return self._sock, self.generation
+
+    def _read_loop(self, sock: socket.socket, generation: int) -> None:
+        try:
+            while True:
+                frame = _read_frame_blocking(sock)
+                try:
+                    mtype, msgid = peek_frame(frame)
+                except FormatError:
+                    raise RPCTransportError(
+                        "undecodable response frame on multiplexed connection"
+                    )
+                if mtype != _RESPONSE or msgid is None:
+                    continue  # server never sends these; tolerate garbage
+                with self._lock:
+                    entry = self._pending.pop(msgid, None)
+                    if entry is not None and entry[0] != generation:
+                        # A request from a different dial: not ours to answer.
+                        self._pending[msgid] = entry
+                        entry = None
+                if entry is not None:
+                    entry[1].set_result(frame)
+        except (RPCTransportError, OSError) as exc:
+            self._connection_died(sock, generation, exc)
+
+    def _connection_died(self, sock, generation: int, exc: Exception) -> None:
+        with self._lock:
+            if self._sock is sock:
+                self._dead = True
+            closing = self._closing
+            doomed = [
+                (msgid, fut) for msgid, (gen, fut) in self._pending.items()
+                if gen == generation
+            ]
+            for msgid, _ in doomed:
+                del self._pending[msgid]
+        message = (
+            "multiplexed transport closed" if closing
+            else f"multiplexed connection lost: {exc}"
+        )
+        for _, fut in doomed:
+            fut.set_exception(RPCTransportError(message))
+
+    # -- request paths ---------------------------------------------------
+    def submit(self, payload: bytes) -> Future:
+        """Pipeline one request; resolves to the raw response payload."""
+        _, fut = self._submit(payload)
+        return fut
+
+    def _submit(self, payload: bytes) -> tuple[int, Future]:
+        try:
+            mtype, msgid = peek_frame(payload)
+        except FormatError as exc:
+            raise RPCError(f"cannot multiplex frame: {exc}") from exc
+        if mtype != _REQUEST or msgid is None:
+            raise RPCError(
+                "only REQUEST frames can be multiplexed (use send() for NOTIFY)"
+            )
+        with self._lock:
+            if self._closing:
+                raise RPCTransportError("multiplexed transport is closed")
+            sock, generation = self._ensure_connected_locked()
+            if msgid in self._pending:
+                raise RPCError(
+                    f"msgid {msgid} already in flight on this connection"
+                )
+            fut: Future = Future()
+            self._pending[msgid] = (generation, fut)
+        try:
+            with self._wlock:
+                write_frame(sock, payload)
+        except (OSError, RPCTransportError) as exc:
+            with self._lock:
+                self._pending.pop(msgid, None)
+                if self._sock is sock:
+                    self._dead = True
+            raise RPCTransportError(f"socket error: {exc}") from exc
+        return msgid, fut
+
+    def request(self, payload: bytes) -> bytes:
+        msgid, fut = self._submit(payload)
+        try:
+            return fut.result(timeout=self._timeout)
+        except FutureTimeoutError:
+            # Abandon the slot: a late response finds no future and is
+            # discarded, it cannot be delivered to the wrong caller.
+            with self._lock:
+                self._pending.pop(msgid, None)
+            raise RPCTimeoutError(
+                f"no response for msgid {msgid} within {self._timeout}s"
+            ) from None
+
+    def send(self, payload: bytes) -> None:
+        """One-way NOTIFY write: no future, no response expected."""
+        with self._lock:
+            if self._closing:
+                raise RPCTransportError("multiplexed transport is closed")
+            sock, _ = self._ensure_connected_locked()
+        try:
+            with self._wlock:
+                write_frame(sock, payload)
+        except (OSError, RPCTransportError) as exc:
+            with self._lock:
+                if self._sock is sock:
+                    self._dead = True
+            raise RPCTransportError(f"socket error: {exc}") from exc
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests currently awaiting a response (leak-test surface)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def broken(self) -> bool:
+        with self._lock:
+            return self._sock is None or self._dead
+
+    def reconnect_if_broken(self) -> bool:
+        """Re-dial **only** when the shared connection is actually dead.
+
+        This is the multiplexed replacement for ``reconnect()``: an
+        unconditional re-dial between retry attempts would sever every
+        other caller's in-flight request over a perfectly healthy socket.
+        When the socket *is* dead, all pending futures have already
+        failed, so re-dialling harms no one.  Returns whether a re-dial
+        happened.
+        """
+        with self._lock:
+            if self._closing:
+                raise RPCTransportError("multiplexed transport is closed")
+            if self._sock is not None and not self._dead:
+                return False
+            self._redial_locked()
+            return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            sock, reader = self._sock, self._reader
+            self._sock = None
+            self._dead = True
+        if sock is not None:
+            try:
+                sock.close()  # unblocks the reader, which fails the pending
+            except OSError:
+                pass
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=2.0)
+        # A reader that never started (lazy, never dialed) leaves pending
+        # empty; a closed one has already drained it via _connection_died.
+        with self._lock:
+            doomed = [fut for _, fut in self._pending.values()]
+            self._pending.clear()
+        for fut in doomed:
+            if not fut.done():
+                fut.set_exception(RPCTransportError("multiplexed transport closed"))
+
+
+def _read_frame_blocking(sock: socket.socket) -> bytes:
+    """``read_frame`` twin that tolerates chunked arrivals on a blocking socket."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length >= MAX_FRAME:
+        raise RPCTransportError(f"frame length {length} exceeds MAX_FRAME")
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise RPCTransportError(
+                f"connection closed mid-frame ({remaining} of {n} bytes missing)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Event-loop server
+# ---------------------------------------------------------------------------
+
+
+class _Conn:
+    """Per-connection state owned jointly by the loop and worker threads."""
+
+    __slots__ = ("sock", "frames", "out", "inflight", "lock",
+                 "closed", "peer_closed")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.frames = FrameBuffer()
+        self.out: collections.deque = collections.deque()  # (memoryview, offset)
+        self.inflight = 0          # frames submitted, response not yet queued
+        self.lock = threading.Lock()
+        self.closed = False
+        self.peer_closed = False
+
+    def idle(self) -> bool:
+        with self.lock:
+            return self.inflight == 0 and not self.out
+
+
+class AsyncServerTransport:
+    """Event-loop TCP listener: one I/O thread, scheduler-pooled dispatch.
+
+    Drop-in lifecycle twin of the threaded
+    :class:`~repro.rpc.transport.TCPServerTransport` (``start``/``stop``/
+    ``draining``/``refused``/``max_connections``), but a single
+    ``selectors`` loop multiplexes *all* connections: requests pipeline
+    per connection, dispatch fans out to the scheduler's workers, and
+    each response is written back the moment it is ready — out of order
+    when that is faster.  The msgid inside each frame is the correlation
+    id, so classic one-at-a-time clients work unchanged.
+
+    Parameters
+    ----------
+    dispatcher:
+        ``bytes -> bytes | None``, normally
+        :meth:`repro.rpc.server.RPCServer.dispatch`.  Used only when no
+        ``scheduler`` is given.
+    scheduler:
+        An object with ``submit(payload, respond)``, ``start()``,
+        ``stop(timeout, finish)``, and ``info()`` — in practice a
+        :class:`~repro.rpc.fairshare.FairScheduler`.  When omitted, a
+        plain FIFO scheduler with ``workers`` threads is built.
+    workers:
+        Worker-thread count for the default scheduler (ignored when a
+        scheduler is passed).
+    max_connections:
+        Accept-time cap; excess connections are closed immediately
+        (clients see a retryable transport error), counted in
+        :attr:`refused`.
+    """
+
+    def __init__(
+        self,
+        dispatcher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+        scheduler=None,
+        workers: int = 8,
+    ):
+        if scheduler is None:
+            from repro.rpc.fairshare import FairScheduler
+
+            scheduler = FairScheduler(dispatcher, workers=workers)
+        self.scheduler = scheduler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self._listener.setblocking(False)
+        self.host, self.port = self._listener.getsockname()
+        self.max_connections = max_connections
+        self.refused = 0
+        self._sel = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._conns: set[_Conn] = set()
+        self._dirty: set[_Conn] = set()
+        self._dirty_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._shutdown = threading.Event()
+        self._loop_thread: threading.Thread | None = None
+
+    # -- public surface ---------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def connections(self) -> int:
+        return len(self._conns)
+
+    def start(self) -> "AsyncServerTransport":
+        self.scheduler.start()
+        self._sel.register(self._listener, selectors.EVENT_READ, "accept")
+        self._sel.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._loop_thread = threading.Thread(
+            target=self._loop, daemon=True, name=f"mux-loop-:{self.port}"
+        )
+        self._loop_thread.start()
+        return self
+
+    def stop(self, drain_timeout: float | None = None) -> bool:
+        """Stop serving; mirrors the threaded listener's drain contract.
+
+        ``None`` force-closes immediately.  A float drains: the listener
+        closes first (new connections refused), buffered and in-flight
+        requests get up to the timeout to finish and flush, then whatever
+        is left is force-closed.  Returns True when the drain completed
+        (or nothing was in flight).
+        """
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._draining.set()
+        self._wakeup()
+        clean = True
+        if drain_timeout is not None:
+            clean = self._drained.wait(timeout=drain_timeout)
+        self._shutdown.set()
+        self._wakeup()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=2.0)
+            clean = clean and not self._loop_thread.is_alive()
+        clean = self.scheduler.stop(timeout=2.0, finish=False) and clean
+        for conn in list(self._conns):
+            self._force_close(conn)
+        try:
+            self._sel.close()
+        except Exception:
+            pass
+        for s in (self._wake_r, self._wake_w):
+            try:
+                s.close()
+            except OSError:
+                pass
+        self._draining.clear()
+        return clean
+
+    def __enter__(self) -> "AsyncServerTransport":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- event loop -------------------------------------------------------
+    def _wakeup(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except (OSError, BlockingIOError):
+            pass
+
+    def _loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                events = self._sel.select(timeout=0.2)
+            except OSError:
+                break
+            for key, mask in events:
+                if key.data == "accept":
+                    self._accept()
+                elif key.data == "wake":
+                    self._on_wake()
+                else:
+                    conn = key.data
+                    if mask & selectors.EVENT_WRITE:
+                        self._on_writable(conn)
+                    if mask & selectors.EVENT_READ and not conn.closed:
+                        self._on_readable(conn)
+            if self._draining.is_set():
+                self._check_drained()
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            if self._draining.is_set() or (
+                self.max_connections is not None
+                and len(self._conns) >= self.max_connections
+            ):
+                self.refused += 1
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Conn(sock)
+            self._conns.add(conn)
+            self._sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(1 << 18)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._force_close(conn)
+            return
+        if not data:
+            conn.peer_closed = True
+            if conn.idle():
+                self._force_close(conn)
+            else:
+                # Keep writing queued responses; just stop reading.
+                self._set_interest(conn, selectors.EVENT_WRITE)
+            return
+        try:
+            conn.frames.feed(data)
+            frames = list(conn.frames.drain())
+        except RPCTransportError:
+            self._force_close(conn)  # garbage length prefix: protocol broken
+            return
+        for payload in frames:
+            with conn.lock:
+                conn.inflight += 1
+            self.scheduler.submit(payload, self._responder(conn))
+
+    def _responder(self, conn: _Conn):
+        def respond(response: bytes | None) -> None:
+            # Worker thread: queue the framed bytes, let the loop write.
+            with conn.lock:
+                conn.inflight -= 1
+                if response is not None and not conn.closed:
+                    if len(response) >= MAX_FRAME:
+                        response = None  # cannot frame; drop like a NOTIFY
+                    else:
+                        conn.out.append(
+                            [memoryview(_LEN.pack(len(response)) + response), 0]
+                        )
+            with self._dirty_lock:
+                self._dirty.add(conn)
+            self._wakeup()
+
+        return respond
+
+    def _on_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+        with self._dirty_lock:
+            dirty, self._dirty = self._dirty, set()
+        for conn in dirty:
+            if conn.closed:
+                continue
+            with conn.lock:
+                has_out = bool(conn.out)
+            if has_out:
+                events = selectors.EVENT_WRITE
+                if not conn.peer_closed and not self._draining.is_set():
+                    events |= selectors.EVENT_READ
+                self._set_interest(conn, events)
+            elif conn.idle() and (conn.peer_closed or self._draining.is_set()):
+                self._force_close(conn)
+
+    def _on_writable(self, conn: _Conn) -> None:
+        while True:
+            with conn.lock:
+                if not conn.out:
+                    break
+                chunk = conn.out[0]
+            view, offset = chunk
+            try:
+                sent = conn.sock.send(view[offset:])
+            except BlockingIOError:
+                return
+            except OSError:
+                self._force_close(conn)
+                return
+            chunk[1] = offset + sent
+            if chunk[1] >= len(view):
+                with conn.lock:
+                    conn.out.popleft()
+            else:
+                return  # kernel buffer full; wait for the next WRITE event
+        # Out queue flushed.
+        if conn.idle() and (conn.peer_closed or self._draining.is_set()):
+            self._force_close(conn)
+        elif not conn.peer_closed and not self._draining.is_set():
+            self._set_interest(conn, selectors.EVENT_READ)
+        else:
+            self._set_interest(conn, 0)
+
+    def _set_interest(self, conn: _Conn, events: int) -> None:
+        try:
+            if events:
+                self._sel.modify(conn.sock, events, conn)
+            else:
+                self._sel.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            if events:
+                try:
+                    self._sel.register(conn.sock, events, conn)
+                except (KeyError, ValueError, OSError):
+                    pass
+
+    def _force_close(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._conns.discard(conn)
+
+    def _check_drained(self) -> None:
+        # During drain: stop reading everywhere, close idle connections,
+        # and report drained once nothing is in flight anywhere.
+        for conn in list(self._conns):
+            if conn.idle():
+                self._force_close(conn)
+            else:
+                with conn.lock:
+                    has_out = bool(conn.out)
+                self._set_interest(
+                    conn, selectors.EVENT_WRITE if has_out else 0
+                )
+        if not self._conns and self.scheduler.quiescent():
+            self._drained.set()

@@ -69,13 +69,22 @@ class EndpointPool:
 
     # ------------------------------------------------------------------
     @classmethod
-    def connect_tcp(cls, addresses, timeout: float = 30.0, **kwargs):
+    def connect_tcp(cls, addresses, timeout: float = 30.0, mux: bool = False,
+                    **kwargs):
         """Build a pool from ``host:port`` strings or ``(host, port)`` pairs.
 
         Endpoints dial lazily (on first use): a shard that is down when
         the pool is built must degrade per the caller's fallback policy,
         not abort construction and take its healthy peers with it.
+
+        ``mux=True`` dials each shard over a multiplexed
+        :class:`~repro.rpc.mux.MuxTransport` instead of a blocking
+        :class:`TCPTransport`: scatter threads share one pipelined socket
+        per shard, and the resilience wrapper's reconnects become
+        dead-socket-only (see ``MuxTransport.reconnect_if_broken``).
         """
+        from repro.rpc.mux import MuxTransport
+
         transports = []
         for addr in addresses:
             if isinstance(addr, str):
@@ -85,8 +94,9 @@ class EndpointPool:
                         f"bad endpoint address {addr!r} (want host:port)"
                     )
                 addr = (host, int(port))
+            factory = MuxTransport if mux else TCPTransport
             transports.append(
-                TCPTransport(addr[0], addr[1], timeout=timeout, lazy=True)
+                factory(addr[0], addr[1], timeout=timeout, lazy=True)
             )
         return cls(transports, **kwargs)
 

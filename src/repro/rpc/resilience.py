@@ -288,7 +288,24 @@ class ResilientTransport(Transport):
         (:class:`~repro.rpc.transport.TCPTransport` does); failures here
         are swallowed — the next attempt will surface them as its own
         transport error and keep the retry accounting in one place.
+
+        Shared multiplexed transports instead expose
+        ``reconnect_if_broken()``, preferred when present: a retry of
+        *one* pipelined request must never re-dial the socket out from
+        under every other in-flight request, so the transport itself
+        decides whether the connection is actually dead (re-dial, all
+        pending already failed) or healthy (no-op — the failure was
+        request-level, not connection-level).
         """
+        guarded = getattr(self._inner, "reconnect_if_broken", None)
+        if guarded is not None:
+            try:
+                if guarded():
+                    self._record("reconnects")
+                    self._tracer.add_event("rpc.reconnect")
+            except RPCTransportError:
+                pass
+            return
         reconnect = getattr(self._inner, "reconnect", None)
         if reconnect is None:
             return

@@ -250,3 +250,21 @@ class RPCServer:
     def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> TCPServerTransport:
         """Start a TCP listener feeding :meth:`dispatch`; returns it started."""
         return TCPServerTransport(self.dispatch, host=host, port=port).start()
+
+    def serve_async_tcp(self, host: str = "127.0.0.1", port: int = 0,
+                        workers: int = 8, scheduler=None,
+                        max_connections: int | None = None):
+        """Event-loop variant of :meth:`serve_tcp`: pipelined, multiplexed.
+
+        One I/O thread owns every connection and ``workers`` threads run
+        dispatch (or pass a configured
+        :class:`~repro.rpc.fairshare.FairScheduler` for per-tenant fair
+        queuing).  Same wire protocol, same handlers — a classic client
+        cannot tell the difference except that pipelined requests overlap.
+        """
+        from repro.rpc.mux import AsyncServerTransport
+
+        return AsyncServerTransport(
+            self.dispatch, host=host, port=port, workers=workers,
+            scheduler=scheduler, max_connections=max_connections,
+        ).start()

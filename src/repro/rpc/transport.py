@@ -34,6 +34,7 @@ __all__ = [
     "TCPTransport",
     "TCPServerTransport",
     "SimulatedTransport",
+    "FrameBuffer",
     "read_frame",
     "write_frame",
 ]
@@ -71,6 +72,47 @@ def read_frame(sock: socket.socket) -> bytes:
     if length >= MAX_FRAME:
         raise RPCTransportError(f"frame length {length} exceeds MAX_FRAME")
     return _recv_exact(sock, length)
+
+
+class FrameBuffer:
+    """Incremental parser for the ``uint32 BE length | payload`` framing.
+
+    The event-loop server reads whatever the kernel has and feeds it
+    here; :meth:`drain` yields every frame that is complete so far and
+    keeps the partial tail for the next :meth:`feed`.  A length prefix at
+    or beyond :data:`MAX_FRAME` raises
+    :class:`~repro.errors.RPCTransportError` — the stream is garbage and
+    the connection must be dropped.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def drain(self):
+        """Yield complete frame payloads accumulated so far."""
+        offset = 0
+        buf = self._buf
+        while len(buf) - offset >= _LEN.size:
+            (length,) = _LEN.unpack_from(buf, offset)
+            if length >= MAX_FRAME:
+                raise RPCTransportError(
+                    f"frame length {length} exceeds MAX_FRAME"
+                )
+            if len(buf) - offset - _LEN.size < length:
+                break
+            start = offset + _LEN.size
+            yield bytes(buf[start : start + length])
+            offset = start + length
+        if offset:
+            del buf[:offset]
 
 
 class Transport(ABC):
