@@ -33,14 +33,31 @@ class GzipCodec(Codec):
         self.level = level
 
     def compress(self, data: bytes) -> bytes:
+        # zlib consumes any contiguous buffer: no bytes() copy needed.
         co = zlib.compressobj(self.level, zlib.DEFLATED, _GZIP_WBITS)
-        return co.compress(bytes(data)) + co.flush()
+        return co.compress(data) + co.flush()
 
     def decompress(self, data: bytes) -> bytes:
         try:
-            return zlib.decompress(bytes(data), wbits=_GZIP_WBITS)
+            return zlib.decompress(data, wbits=_GZIP_WBITS)
         except zlib.error as exc:
             raise CodecError(f"gzip decompression failed: {exc}") from exc
+
+    def iter_decompress(self, data, chunk_bytes: int = 1 << 22):
+        """True streaming decode: at most ``chunk_bytes`` decoded at once."""
+        do = zlib.decompressobj(wbits=_GZIP_WBITS)
+        tail = bytes(data)
+        try:
+            while tail:
+                out = do.decompress(tail, chunk_bytes)
+                tail = do.unconsumed_tail
+                if out:
+                    yield out
+            out = do.flush()
+        except zlib.error as exc:
+            raise CodecError(f"gzip decompression failed: {exc}") from exc
+        if out:
+            yield out
 
 
 register_codec(GzipCodec())

@@ -13,10 +13,16 @@ class NullCodec(Codec):
     name = "raw"
 
     def compress(self, data: bytes) -> bytes:
+        # bytes(b) returns b itself for bytes input: no copy on the
+        # already-materialized path, one copy to freeze mutable buffers.
         return bytes(data)
 
     def decompress(self, data: bytes) -> bytes:
         return bytes(data)
+
+    def iter_decompress(self, data, chunk_bytes: int = 1 << 22):
+        """Identity streaming is fully zero-copy: yield the input itself."""
+        yield data
 
 
 register_codec(NullCodec())

@@ -75,11 +75,29 @@ def ids_wire_bytes_per_point(value_dtype="<f4", id_delta_width: int = 4) -> floa
     return float(np.dtype(value_dtype).itemsize + id_delta_width)
 
 
-def _pack_ids(ids: np.ndarray) -> tuple[bytes, int, int]:
-    """Delta-encode sorted ids; returns (payload, width, first_id)."""
+def _wire_view(arr: np.ndarray) -> memoryview:
+    """Zero-copy bytes-like view of a contiguous array.
+
+    The view keeps the array alive, so the payload rides through the
+    msgpack encoder (which appends buffers directly) without ever
+    materializing an intermediate ``bytes`` copy.
+    """
+    return memoryview(np.ascontiguousarray(arr)).cast("B")
+
+
+def _pack_ids(ids: np.ndarray) -> tuple:
+    """Delta-encode sorted ids; returns (payload view, width, first_id)."""
     if ids.size == 0:
         return b"", 1, 0
     deltas = np.diff(ids)
+    # Unsorted or duplicated ids would wrap negative deltas on the
+    # unsigned astype below and come out as a *plausible* corrupt
+    # encoding — refuse loudly instead.
+    if deltas.size and int(deltas.min()) <= 0:
+        raise SelectionError(
+            "ids must be strictly increasing to delta-encode; "
+            "got a non-positive delta"
+        )
     first = int(ids[0])
     peak = int(deltas.max()) if deltas.size else 0
     width = 8
@@ -87,15 +105,24 @@ def _pack_ids(ids: np.ndarray) -> tuple[bytes, int, int]:
         if peak < (1 << (8 * w)):
             width = w
             break
-    return deltas.astype(_WIDTH_DTYPES[width]).tobytes(), width, first
+    return _wire_view(deltas.astype(_WIDTH_DTYPES[width])), width, first
 
 
-def _unpack_ids(payload: bytes, width: int, first: int, count: int) -> np.ndarray:
+def _unpack_ids(payload, width: int, first: int, count: int) -> np.ndarray:
     if count == 0:
         return np.zeros(0, dtype=np.int64)
     if width not in _WIDTH_DTYPES:
         raise FormatError(f"bad id delta width {width}")
-    deltas = np.frombuffer(payload, dtype=_WIDTH_DTYPES[width])
+    try:
+        deltas = np.frombuffer(payload, dtype=_WIDTH_DTYPES[width])
+    except ValueError as exc:
+        # e.g. "buffer size must be a multiple of element size": a
+        # misaligned payload is a wire-format violation, and the RPC
+        # error contract promises FormatError for those.
+        raise FormatError(
+            f"id payload of {len(payload)} bytes is not a whole number of "
+            f"{width}-byte deltas: {exc}"
+        ) from exc
     if deltas.size != count - 1:
         raise FormatError(
             f"id payload holds {deltas.size} deltas; expected {count - 1}"
@@ -139,11 +166,14 @@ def encode_selection(
         "array": sel.array_name,
         "dtype": sel.values.dtype.str,
         "count": int(sel.count),
-        "values": np.ascontiguousarray(sel.values).tobytes(),
+        # Zero-copy: payload fields are buffer views of the selection's
+        # arrays (the msgpack encoder appends them without intermediate
+        # bytes objects), so treat the selection as frozen once encoded.
+        "values": _wire_view(sel.values),
     }
     if sel.axes is not None:
         # Rectilinear structure: three small float64 coordinate arrays.
-        base["axes"] = [np.ascontiguousarray(a).tobytes() for a in sel.axes]
+        base["axes"] = [_wire_view(a) for a in sel.axes]
 
     id_payload, width, first = _pack_ids(sel.ids)
     ids_enc = dict(base, method="ids", id_deltas=id_payload, id_width=width, id_first=first)
@@ -153,8 +183,7 @@ def encode_selection(
 
     mask = np.zeros(sel.total_points, dtype=bool)
     mask[sel.ids] = True
-    bitmap = np.packbits(mask).tobytes()
-    bitmap_enc = dict(base, method="bitmap", bitmap=bitmap)
+    bitmap_enc = dict(base, method="bitmap", bitmap=_wire_view(np.packbits(mask)))
 
     if method == "bitmap":
         return _compress_payload(bitmap_enc, payload_codec)
@@ -235,9 +264,24 @@ def decode_selection(encoded: dict) -> PointSelection:
         )
     elif method == "bitmap":
         total = dims[0] * dims[1] * dims[2]
-        bits = np.unpackbits(
-            np.frombuffer(encoded["bitmap"], dtype=np.uint8), count=total
-        )
+        packed = np.frombuffer(encoded["bitmap"], dtype=np.uint8)
+        expected = (total + 7) // 8
+        # np.unpackbits(..., count=total) would zero-pad a truncated
+        # bitmap and silently ignore bits past ``total`` in an oversized
+        # one — exactly the shapes a corrupted unstamped reply takes.
+        # Validate the byte length and the padding bits explicitly.
+        if packed.size != expected:
+            raise FormatError(
+                f"bitmap holds {packed.size} bytes; {expected} required "
+                f"for {total} grid points"
+            )
+        if total % 8 and packed.size:
+            pad = np.unpackbits(packed[-1:])[total % 8 :]
+            if pad.any():
+                raise FormatError(
+                    "bitmap has set bits past the grid's last point"
+                )
+        bits = np.unpackbits(packed, count=total)
         ids = np.nonzero(bits)[0].astype(np.int64)
         if ids.size != count:
             raise FormatError(
@@ -253,20 +297,29 @@ def decode_selection(encoded: dict) -> PointSelection:
             )
         except (TypeError, ValueError) as exc:
             raise FormatError(f"malformed axes payload: {exc}") from exc
+    if payload_codec == "raw":
+        # The values view aliases the caller's reply buffer: copy so the
+        # selection does not pin a whole RPC frame.  Decompressed payloads
+        # are already exclusively ours — np.frombuffer above was the only
+        # copy-free step left, so no second copy happens.
+        values = values.copy()
     try:
-        return PointSelection(dims, origin, spacing, array, ids, values.copy(),
+        return PointSelection(dims, origin, spacing, array, ids, values,
                               axes=axes)
     except SelectionError as exc:
         raise FormatError(f"decoded selection is invalid: {exc}") from exc
+
+
+_BUFFER_TYPES = (bytes, bytearray, memoryview)
 
 
 def wire_size(encoded: dict) -> int:
     """Bytes this encoding puts on the wire (payload fields + small header)."""
     size = 0
     for key, value in encoded.items():
-        if isinstance(value, (bytes, bytearray)):
+        if isinstance(value, _BUFFER_TYPES):
             size += len(value)
-        elif isinstance(value, list) and value and isinstance(value[0], (bytes, bytearray)):
+        elif isinstance(value, list) and value and isinstance(value[0], _BUFFER_TYPES):
             size += sum(len(v) for v in value)
         else:
             size += 16  # header-ish field: generous flat estimate

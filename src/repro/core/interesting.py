@@ -43,12 +43,64 @@ def _as_field(field: np.ndarray) -> np.ndarray:
         raise FilterError(f"field must be 3-D (nz, ny, nx); got shape {f.shape}")
     if f.size == 0:
         raise FilterError("field is empty")
-    # Classify in float64, exactly like the marching kernels do: comparing
-    # a float32 array against a Python float would cast the *value* down
-    # to float32 (NEP 50), silently flipping classifications for values
-    # outside float32's range — and a selection that disagrees with the
-    # kernel's classification breaks the reconstruction invariant.
-    return f.astype(np.float64, copy=False)
+    return f
+
+
+def _interval_index(f: np.ndarray, vals) -> np.ndarray:
+    """Classification id per point: how many contour values lie at or below it.
+
+    The per-value classification ``f >= v`` is monotone in ``v`` for the
+    sorted, unique ``vals`` that :func:`normalize_values` produces, so the
+    whole vector of booleans collapses to one integer — the count of
+    values ``v <= f``.  Two neighbouring points straddle *some* contour
+    value exactly when their counts differ, which turns the per-value
+    edge scan into a single neighbour-diff pass regardless of
+    ``len(vals)``.
+
+    Comparisons use :func:`_native_thresholds`, which preserves exact
+    float64 classification semantics (what the marching kernels compute)
+    without float64 conversion buffers on float32 fields.  NaN compares
+    False against every threshold, so NaN points land in class 0 — the
+    same class the per-value booleans gave them.
+    """
+    ts = _native_thresholds(f.dtype, vals)
+    if len(ts) == 1:
+        # A 2-interval classification is just the inside/outside boolean.
+        return f >= ts[0]
+    # Strictly below the dtype max: the top code point stays free as the
+    # NaN sentinel for :func:`active_cell_mask`'s class-space fold.
+    count_dtype = np.uint8 if len(ts) < 255 else np.uint16
+    c = (f >= ts[0]).astype(count_dtype)
+    for t in ts[1:]:
+        c += f >= t
+    return c
+
+
+def _native_thresholds(dtype, vals) -> tuple:
+    """Exact per-dtype comparison thresholds for ``f >= v``.
+
+    Naively comparing a float32 array against a plain Python float casts
+    the *value* down to float32 (NEP 50), silently flipping
+    classifications for values outside float32's range; comparing
+    against an ``np.float64`` scalar is exact but streams the whole
+    array through float64 conversion buffers.  For float32 fields the
+    float64 comparison ``f >= v`` is *exactly* the native comparison
+    ``f >= ceil32(v)`` — no float32 lies strictly between ``v`` and the
+    smallest float32 at or above it — so the scan runs at native width
+    with float64 semantics.  Other dtypes compare against float64
+    scalars (exact for float64 fields and for every integer the
+    supported dtypes can hold).
+    """
+    if np.dtype(dtype) == np.float32:
+        out = []
+        with np.errstate(over="ignore"):  # values beyond f32 range → ±inf
+            for v in vals:
+                t = np.float32(v)  # round-to-nearest; may land below v
+                if float(t) < float(v):
+                    t = np.nextafter(t, np.float32(np.inf))
+                out.append(t)
+        return tuple(out)
+    return tuple(np.float64(v) for v in vals)
 
 
 def interesting_point_mask(field: np.ndarray, values) -> np.ndarray:
@@ -68,24 +120,20 @@ def interesting_point_mask(field: np.ndarray, values) -> np.ndarray:
     """
     f = _as_field(field)
     vals = normalize_values(values)
+    cls = _interval_index(f, vals)
     mask = np.zeros(f.shape, dtype=bool)
-    for v in vals:
-        inside = f >= v
-        # x edges: neighbours along the last axis
-        if f.shape[2] > 1:
-            cross = inside[:, :, :-1] != inside[:, :, 1:]
-            mask[:, :, :-1] |= cross
-            mask[:, :, 1:] |= cross
-        # y edges
-        if f.shape[1] > 1:
-            cross = inside[:, :-1, :] != inside[:, 1:, :]
-            mask[:, :-1, :] |= cross
-            mask[:, 1:, :] |= cross
-        # z edges
-        if f.shape[0] > 1:
-            cross = inside[:-1, :, :] != inside[1:, :, :]
-            mask[:-1, :, :] |= cross
-            mask[1:, :, :] |= cross
+    # One neighbour-diff pass per axis, however many contour values: an
+    # edge is interesting iff its endpoints land in different value
+    # intervals.
+    for axis in range(3):
+        if f.shape[axis] > 1:
+            a = [slice(None)] * 3
+            b = [slice(None)] * 3
+            a[axis] = slice(None, -1)
+            b[axis] = slice(1, None)
+            cross = cls[tuple(a)] != cls[tuple(b)]
+            mask[tuple(a)] |= cross
+            mask[tuple(b)] |= cross
     return mask
 
 
@@ -98,9 +146,29 @@ def active_cell_mask(field: np.ndarray, values) -> np.ndarray:
     """
     f = _as_field(field)
     vals = normalize_values(values)
-    # Per-cell corner min/max by pairwise folding along each axis.
-    lo = f
-    hi = f
+    # A cell is active iff some value lands in (corner-min, corner-max],
+    # i.e. the corner extremes classify into different value intervals.
+    # Classification is monotone, so it commutes with min/max — classify
+    # each point ONCE, then fold the per-cell extremes in class space,
+    # where the elements are one or two bytes instead of the field's
+    # four or eight.  The fold touches ~6x the array in memory traffic,
+    # so running it narrow is most of this function's speed.
+    c = _interval_index(f, vals)
+    if c.dtype == bool:
+        c = c.view(np.uint8)
+    if f.dtype.kind == "f":
+        # In the field-space fold a NaN corner propagates to both
+        # extremes and classifies as interval 0 twice — the cell is
+        # inactive.  Class space loses that poisoning (max ignores the
+        # NaN's class 0), so NaN points take the dtype's top code point,
+        # which _interval_index never assigns: any NaN corner drives the
+        # max-fold to the sentinel, and the final test drops such cells.
+        sentinel = np.iinfo(c.dtype).max
+        c[np.isnan(f)] = sentinel
+    else:
+        sentinel = None
+    lo = c
+    hi = c
     for axis in range(3):
         if f.shape[axis] > 1:
             a = [slice(None)] * 3
@@ -109,10 +177,9 @@ def active_cell_mask(field: np.ndarray, values) -> np.ndarray:
             b[axis] = slice(1, None)
             lo = np.minimum(lo[tuple(a)], lo[tuple(b)])
             hi = np.maximum(hi[tuple(a)], hi[tuple(b)])
-    active = np.zeros(lo.shape, dtype=bool)
-    for v in vals:
-        # Mixed classification: some corner >= v and some corner < v.
-        active |= (hi >= v) & (lo < v)
+    active = lo != hi
+    if sentinel is not None:
+        active &= hi != sentinel
     return active
 
 

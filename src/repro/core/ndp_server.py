@@ -34,13 +34,14 @@ import time
 
 import numpy as np
 
+from repro.compression import get_codec
 from repro.core.encoding import attach_checksum, encode_selection, wire_size
 from repro.core.filter_splits import prefilter_slice, prefilter_threshold
-from repro.core.prefilter import prefilter_contour
+from repro.core.prefilter import prefilter_contour, prefilter_contour_stream
 from repro.errors import IntegrityError, RPCError
 from repro.filters.contour import normalize_values
 from repro.grid.bounds import Bounds
-from repro.io.vgf import read_vgf_array, read_vgf_info
+from repro.io.vgf import read_vgf_array, read_vgf_block, read_vgf_info
 from repro.obs.metrics import Registry
 from repro.obs.trace import NULL_TRACER
 from repro.rpc.admission import AdmissionController, check_deadline
@@ -90,6 +91,15 @@ class NDPServer:
         every read and every pre-filter reply is stamped with a wire
         checksum (see :func:`~repro.core.encoding.attach_checksum`).
         ``False`` reproduces pre-integrity behaviour for compat tests.
+    fused_streaming:
+        When true (default), ``prefilter_contour`` requests that bypass
+        the array cache run the fused hot path: the stored block streams
+        through the codec's incremental decoder straight into the
+        chunked interesting-scan
+        (:func:`~repro.core.prefilter.prefilter_contour_stream`), so the
+        whole decoded array is never materialized.  Replies are
+        byte-identical to the materializing path.  ``False`` forces the
+        legacy decode-then-scan path everywhere.
     """
 
     def __init__(
@@ -103,9 +113,11 @@ class NDPServer:
         max_inflight: int = 0,
         max_pending: int = 0,
         verify_checksums: bool = True,
+        fused_streaming: bool = True,
     ):
         self.fs = fs
         self.testbed = testbed
+        self.fused_streaming = fused_streaming
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else Registry()
         self.verify_checksums = verify_checksums
@@ -226,7 +238,8 @@ class NDPServer:
                     info = read_vgf_info(fh)
                     entry = info.array(array)
                     data_array, _ = read_vgf_array(
-                        fh, array, info, verify=self.verify_checksums
+                        fh, array, info, verify=self.verify_checksums,
+                        copy=False,
                     )
             except IntegrityError:
                 # Fail loudly, never serve wrong geometry: the typed error
@@ -287,6 +300,12 @@ class NDPServer:
         roi_key = tuple(float(v) for v in roi) if roi is not None else None
 
         def compute() -> dict:
+            if self._fusable(key, array, roi_key):
+                reply = self._prefilter_contour_fused(
+                    key, array, values, mode, encoding, wire_codec
+                )
+                if reply is not None:
+                    return reply
             grid, entry = self._load_array(key, array)
             check_deadline("pre-filter scan")
             with self.tracer.span("prefilter", kind="contour", key=key,
@@ -304,6 +323,73 @@ class NDPServer:
              encoding, wire_codec, roi_key),
             key, compute,
         )
+
+    def _fusable(self, key: str, array: str, roi_key) -> bool:
+        """Whether this contour request may take the fused streaming path.
+
+        The fused path never materializes the decoded grid, so anything
+        that needs one — a region-of-interest mask, the decoded-array
+        cache, or a batch memo sharing the grid across requests — routes
+        to the legacy path instead.
+        """
+        return (
+            self.fused_streaming
+            and roi_key is None
+            and self.array_cache is None
+            and getattr(self._batch_local, "memo", None) is None
+        )
+
+    def _prefilter_contour_fused(
+        self, key: str, array: str, values, mode: str,
+        encoding: str, wire_codec: str,
+    ) -> dict | None:
+        """The fused hot path: stream-decode + scan without materializing.
+
+        Reads only the *stored* block (checksum-verified), then feeds the
+        codec's incremental decoder straight into the chunked
+        interesting-scan.  Span layout, testbed charges, and deadline
+        phases mirror the legacy path, so traces and simulated costs stay
+        comparable.  Returns ``None`` for blocks the streaming scan
+        cannot serve (cell-associated or multi-component arrays) — the
+        caller falls back to the materializing path.
+        """
+        check_deadline("store read")
+        with self.tracer.span("store.read", key=key, array=array):
+            try:
+                with self.fs.open(key) as fh:
+                    info = read_vgf_info(fh)
+                    entry = info.array(array)
+                    if entry.association != "point" or entry.components != 1:
+                        return None
+                    stored, _ = read_vgf_block(
+                        fh, array, info, verify=self.verify_checksums
+                    )
+            except IntegrityError:
+                self._integrity_failures.inc()
+                self.tracer.add_event("integrity.failure", key=key, array=array)
+                raise
+        check_deadline("decompress")
+        with self.tracer.span("decompress", codec=entry.codec,
+                              raw_bytes=entry.raw_bytes):
+            if self.testbed is not None:
+                self.testbed.charge_decompress(entry.codec, entry.raw_bytes)
+        check_deadline("pre-filter scan")
+        with self.tracer.span("prefilter", kind="contour", key=key,
+                              array=array, fused=True):
+            if self.testbed is not None:
+                self.testbed.charge_filter_scan(entry.raw_bytes)
+            selection = prefilter_contour_stream(
+                get_codec(entry.codec).iter_decompress(stored),
+                info.dims,
+                np.dtype(entry.dtype),
+                array,
+                values,
+                mode=mode,
+                origin=info.origin,
+                spacing=info.spacing,
+                axes=info.axes,
+            )
+        return self._finish(selection, entry, encoding, wire_codec)
 
     def _finish(self, selection, entry, encoding: str, wire_codec: str) -> dict:
         """Shared tail: encode, charge wire compression, attach stats."""

@@ -63,6 +63,7 @@ __all__ = [
     "read_vgf",
     "read_vgf_info",
     "read_vgf_array",
+    "read_vgf_block",
     "verify_vgf",
     "VGFInfo",
     "ArrayInfo",
@@ -225,7 +226,9 @@ def read_vgf_info(source) -> VGFInfo:
     if len(header_bytes) != hlen:
         raise FormatError("truncated VGF header")
     try:
-        header = unpack(header_bytes)
+        # zero_copy: axes blobs decode as views over header_bytes, so
+        # np.frombuffer below never duplicates the coordinate arrays.
+        header = unpack(header_bytes, zero_copy=True)
     except FormatError as exc:
         raise FormatError(f"undecodable VGF header: {exc}") from exc
     if not isinstance(header, dict):
@@ -271,15 +274,16 @@ def read_vgf_info(source) -> VGFInfo:
     return info
 
 
-def read_vgf_array(
+def read_vgf_block(
     source, name: str, info: VGFInfo | None = None, verify: bool = True
-) -> tuple[DataArray, ArrayInfo]:
-    """Read one array block (a single ranged read) and decode it.
+) -> tuple[bytes, ArrayInfo]:
+    """Read one array's *stored* (still-compressed) block, unverified decode.
 
-    When the header carries a checksum for the block and ``verify`` is
-    true (default), the stored bytes are verified before decompression;
-    a mismatch raises :class:`~repro.errors.IntegrityError`.  Files
-    written without checksums skip verification.
+    The single ranged read shared by :func:`read_vgf_array` and the
+    fused streaming scan (which feeds the block to the codec's
+    incremental decoder instead of materializing the decoded array).
+    Checksum verification over the stored bytes happens here, so every
+    consumer gets the same integrity guarantee.
     """
     fh = _open(source)
     if info is None:
@@ -296,6 +300,23 @@ def read_vgf_array(
             entry.checksum_algo or DEFAULT_ALGO,
             f"array {name!r} block",
         )
+    return stored, entry
+
+
+def read_vgf_array(
+    source, name: str, info: VGFInfo | None = None, verify: bool = True,
+    copy: bool = True,
+) -> tuple[DataArray, ArrayInfo]:
+    """Read one array block (a single ranged read) and decode it.
+
+    When the header carries a checksum for the block and ``verify`` is
+    true (default), the stored bytes are verified before decompression;
+    a mismatch raises :class:`~repro.errors.IntegrityError`.  Files
+    written without checksums skip verification.  ``copy=False`` returns
+    the values as a zero-copy (read-only) view over the decoded buffer —
+    safe for scan-only consumers like the NDP server's pre-filters.
+    """
+    stored, entry = read_vgf_block(source, name, info, verify=verify)
     try:
         payload = get_codec(entry.codec).decompress(stored)
     except CodecError as exc:
@@ -307,7 +328,9 @@ def read_vgf_array(
             f"array {name!r}: decoded {len(payload)} bytes, header says "
             f"{entry.raw_bytes}"
         )
-    values = np.frombuffer(payload, dtype=np.dtype(entry.dtype)).copy()
+    values = np.frombuffer(payload, dtype=np.dtype(entry.dtype))
+    if copy:
+        values = values.copy()
     return DataArray(entry.name, values, components=entry.components), entry
 
 

@@ -72,7 +72,8 @@ class RPCClient:
     call and propagate trace context to the server.
     """
 
-    def __init__(self, transport: Transport, tracer=None, tenant: str | None = None):
+    def __init__(self, transport: Transport, tracer=None, tenant: str | None = None,
+                 zero_copy: bool = False):
         self._transport = transport
         self._msgid = itertools.count(1)
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -80,6 +81,11 @@ class RPCClient:
         #: map (see :mod:`repro.rpc.fairshare`); ``None`` keeps frames
         #: byte-identical to the classic protocol.
         self.tenant = tenant
+        #: decode response bin payloads as :class:`memoryview` slices into
+        #: the reply frame (no per-payload copy; ``np.frombuffer`` then
+        #: views the frame directly).  Opt-in: callers comparing payloads
+        #: with ``isinstance(x, bytes)`` should leave this off.
+        self.zero_copy = zero_copy
 
     @classmethod
     def connect_tcp(cls, host: str, port: int, timeout: float | None = 30.0,
@@ -172,7 +178,7 @@ class RPCClient:
         return self._decode(raw, msgid, method, anchor=anchor)
 
     def _decode(self, raw: bytes, msgid: int, method: str, anchor=None) -> Any:
-        message = unpack(raw)
+        message = unpack(raw, zero_copy=self.zero_copy)
         if (
             not isinstance(message, list)
             or len(message) not in (4, 5)

@@ -141,7 +141,17 @@ def _pack_str(out: bytearray, v: str) -> None:
     out += data
 
 
-def _pack_bin(out: bytearray, v: bytes) -> None:
+def _pack_bin(out: bytearray, v) -> None:
+    if isinstance(v, memoryview):
+        # Zero-copy framing: flatten a contiguous view to a byte view
+        # and append it straight into the output buffer — no intermediate
+        # ``bytes(v)`` materialization.  Non-contiguous views can't be
+        # appended as-is, so they pay one gather copy.
+        if v.contiguous:
+            if v.format != "B" or v.ndim != 1:
+                v = v.cast("B")
+        else:
+            v = v.tobytes()
     n = len(v)
     if n <= 0xFF:
         out += b"\xc4" + n.to_bytes(1, "big")
@@ -192,7 +202,7 @@ def _pack_any(out: bytearray, v: Any) -> None:
     elif isinstance(v, str):
         _pack_str(out, v)
     elif isinstance(v, (bytes, bytearray, memoryview)):
-        _pack_bin(out, bytes(v))
+        _pack_bin(out, v)
     elif isinstance(v, Timestamp):
         _pack_ext(out, ExtType(_TIMESTAMP_EXT, v.encode()))
     elif isinstance(v, ExtType):
@@ -245,13 +255,28 @@ class Unpacker:
 
     Call :meth:`unpack_one` repeatedly to read consecutive values;
     :attr:`offset` tracks the cursor.
+
+    With ``zero_copy=True`` bin payloads are returned as
+    :class:`memoryview` slices into the *input* buffer instead of copied
+    ``bytes``: ``np.frombuffer`` over such a slice views the original
+    frame with no per-payload copy.  The views keep the input buffer
+    alive; everything else (strs, ints, ext payloads) still decodes to
+    ordinary owned objects.  Off by default — bin payloads decode to
+    ``bytes``, exactly as before.
     """
 
     #: Guard against pathological nesting in untrusted input.
     MAX_DEPTH = 256
 
-    def __init__(self, data: bytes):
-        self._data = bytes(data)
+    def __init__(self, data, zero_copy: bool = False):
+        self.zero_copy = bool(zero_copy)
+        if self.zero_copy:
+            mv = data if isinstance(data, memoryview) else memoryview(data)
+            if mv.format != "B" or mv.ndim != 1:
+                mv = mv.cast("B")
+            self._data = mv
+        else:
+            self._data = bytes(data)
         self.offset = 0
 
     # -- low-level reads ------------------------------------------------
@@ -262,7 +287,8 @@ class Unpacker:
                 f"{self.offset}, have {len(self._data) - self.offset}"
             )
 
-    def _take(self, n: int) -> bytes:
+    def _take(self, n: int):
+        # Slicing bytes copies; slicing the zero-copy memoryview does not.
         self._need(n)
         chunk = self._data[self.offset : self.offset + n]
         self.offset += n
@@ -277,7 +303,8 @@ class Unpacker:
     def _str(self, n: int) -> str:
         raw = self._take(n)
         try:
-            return raw.decode("utf-8")
+            # str(buffer, encoding) decodes bytes and memoryview alike.
+            return str(raw, "utf-8")
         except UnicodeDecodeError as exc:
             raise FormatError(f"invalid UTF-8 in str payload: {exc}") from exc
 
@@ -361,7 +388,9 @@ class Unpacker:
 
     def _ext(self, n: int):
         code = self._int(1)
-        data = self._take(n)
+        # Ext payloads are tiny and ride in hashable NamedTuples: always
+        # own them, even in zero-copy mode.
+        data = bytes(self._take(n))
         if code == _TIMESTAMP_EXT:
             return Timestamp.decode(data)
         return ExtType(code, data)
@@ -384,9 +413,13 @@ class Unpacker:
         return self.offset >= len(self._data)
 
 
-def unpack(data: bytes) -> Any:
-    """Deserialize exactly one value; trailing bytes are an error."""
-    up = Unpacker(data)
+def unpack(data, zero_copy: bool = False) -> Any:
+    """Deserialize exactly one value; trailing bytes are an error.
+
+    ``zero_copy=True`` returns bin payloads as :class:`memoryview` slices
+    of ``data`` (see :class:`Unpacker`).
+    """
+    up = Unpacker(data, zero_copy=zero_copy)
     value = up.unpack_one()
     if not up.exhausted:
         raise FormatError(

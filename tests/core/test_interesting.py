@@ -160,3 +160,91 @@ class TestCellComplete:
     def test_rejects_bad_rank(self):
         with pytest.raises(FilterError):
             point_mask_to_cell_complete(np.ones((3, 3), dtype=bool))
+
+
+def brute_force_cell_mask_f64(field, values):
+    """Per-value active-cell reference with explicit float64 semantics."""
+    f = np.asarray(field, dtype=np.float64)
+    lo = hi = f
+    for axis in range(3):
+        if f.shape[axis] > 1:
+            a, b = [slice(None)] * 3, [slice(None)] * 3
+            a[axis], b[axis] = slice(None, -1), slice(1, None)
+            lo = np.minimum(lo[tuple(a)], lo[tuple(b)])
+            hi = np.maximum(hi[tuple(a)], hi[tuple(b)])
+    active = np.zeros(lo.shape, dtype=bool)
+    for v in values:
+        active |= (hi >= np.float64(v)) & (lo < np.float64(v))
+    return active
+
+
+class TestSinglePassClassification:
+    """The single-pass interval-index scan must match the per-value
+    float64 reference bit-for-bit — including NaN, integer dtypes, and
+    float32 fields against values float32 cannot represent."""
+
+    def _check(self, field, values):
+        f64 = np.asarray(field, dtype=np.float64)
+        assert np.array_equal(
+            interesting_point_mask(field, values),
+            brute_force_point_mask(f64, [np.float64(v) for v in values]),
+        )
+        assert np.array_equal(
+            active_cell_mask(field, values),
+            brute_force_cell_mask_f64(field, values),
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32,
+                                       np.int64, np.uint16])
+    def test_matches_per_value_reference(self, rng, dtype):
+        field = (rng.normal(scale=100, size=(6, 7, 8))).astype(dtype)
+        self._check(field, [-120.0, -3.5, 0.0, 17.0, 99.9])
+
+    def test_nan_points_never_interesting(self, rng):
+        field = rng.normal(size=(6, 6, 6)).astype(np.float32)
+        field.ravel()[::11] = np.nan
+        self._check(field, [-0.5, 0.0, 0.5])
+        # And no NaN point is itself flagged: a NaN endpoint classifies
+        # like -inf on both sides, but its *neighbour* may still cross.
+        mask = interesting_point_mask(field, [0.0])
+        assert np.array_equal(mask, brute_force_point_mask(
+            field.astype(np.float64), [np.float64(0.0)]))
+
+    def test_float32_unrepresentable_values(self, rng):
+        # 0.1 and friends have no exact float32; classification must
+        # still follow float64 comparison semantics exactly.
+        field = rng.normal(size=(5, 5, 5)).astype(np.float32)
+        values = [0.1, 0.3, -0.7, 1e-40]
+        self._check(field, values)
+
+    def test_float32_threshold_adjacent_points(self):
+        # Points sitting exactly at, just below, and just above a value
+        # that float32 rounds — the nastiest case for native thresholds.
+        v = 0.1  # float64 0.1 > float32 0.1
+        f32 = np.float32(v)
+        pts = np.array(
+            [f32, np.nextafter(f32, np.float32(np.inf)),
+             np.nextafter(f32, np.float32(-np.inf)), 0.0, 1.0,
+             np.float32(np.nan), np.float32(np.inf), np.float32(-np.inf)],
+            dtype=np.float32,
+        )
+        field = np.tile(pts, 16)[:125].reshape(5, 5, 5)
+        self._check(field, [v])
+
+    def test_values_beyond_float32_range(self, rng):
+        # 1e40 overflows float32; classification must treat it as "above
+        # every finite float32", not wrap or error.
+        field = rng.normal(scale=1e30, size=(4, 4, 4)).astype(np.float32)
+        field[0, 0, 0] = np.float32(np.inf)
+        field[1, 1, 1] = np.float32(-np.inf)
+        self._check(field, [-1e40, 0.0, 1e40])
+
+    def test_many_values_uint16_path(self, rng):
+        # >= 256 intervals forces the uint16 accumulator.
+        field = rng.normal(size=(4, 5, 6))
+        values = np.linspace(-2.5, 2.5, 300).tolist()
+        self._check(field, values)
+
+    def test_single_value_boolean_path(self, rng):
+        field = rng.normal(size=(5, 5, 5)).astype(np.float32)
+        self._check(field, [0.25])

@@ -1,0 +1,194 @@
+"""The fused streaming pre-filter must be byte-identical to materializing.
+
+:func:`~repro.core.prefilter.prefilter_contour_stream` consumes decoded
+buffers chunk-by-chunk; these tests drive it across codecs, chunk sizes
+(down to one layer), selection modes, grid shapes (incl. 2-D), dtypes,
+NaN-bearing fields, and rectilinear axes, always comparing against the
+materializing :func:`~repro.core.prefilter.prefilter_contour`.  A second
+class asserts the NDP server's fused hot path produces replies
+byte-identical (CRC included) to the legacy server path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import get_codec
+from repro.core.ndp_server import NDPServer
+from repro.core.prefilter import prefilter_contour, prefilter_contour_stream
+from repro.errors import FilterError, FormatError
+from repro.grid.array import DataArray
+from repro.grid.rectilinear import RectilinearGrid
+from repro.grid.uniform import UniformGrid
+from repro.io.vgf import write_vgf
+from repro.rpc import RPCClient, pack
+from repro.rpc.transport import InProcessTransport
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+VALUES = (-0.5, 0.0, 0.7)
+
+
+def same_selection(a, b) -> bool:
+    """Byte-identical geometry (NaN-safe, unlike PointSelection.__eq__)."""
+    return (
+        a.dims == b.dims
+        and np.array_equal(a.ids, b.ids)
+        and a.values.dtype == b.values.dtype
+        and a.values.tobytes() == b.values.tobytes()
+    )
+
+
+def make_grid(dims, dtype=np.float32, nan_every=0, seed=0):
+    nx, ny, nz = dims
+    rng = np.random.default_rng(seed)
+    f = rng.normal(size=(nz, ny, nx)).astype(dtype)
+    if nan_every:
+        f.ravel()[::nan_every] = np.nan
+    grid = UniformGrid(dims, (0, 0, 0), (1, 1, 1))
+    grid.point_data.add(DataArray("s", f.reshape(-1)))
+    return grid, f
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("dims", [(7, 5, 9), (4, 4, 1), (3, 3, 2),
+                                      (16, 16, 16), (1, 6, 6), (2, 2, 2)])
+    @pytest.mark.parametrize("mode", ["cell-closure", "edge"])
+    @pytest.mark.parametrize("codec_name", ["raw", "gzip"])
+    def test_matches_materializing(self, dims, mode, codec_name):
+        grid, f = make_grid(dims, nan_every=37)
+        ref = prefilter_contour(grid, "s", VALUES, mode=mode)
+        codec = get_codec(codec_name)
+        stored = codec.compress(f.tobytes())
+        for chunk_layers in (0, 1, 2, 5):
+            got = prefilter_contour_stream(
+                codec.iter_decompress(stored), dims, f.dtype, "s", VALUES,
+                mode=mode, chunk_layers=chunk_layers,
+            )
+            assert same_selection(got, ref), (dims, mode, codec_name, chunk_layers)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32])
+    def test_dtype_preserved(self, dtype):
+        dims = (6, 5, 7)
+        grid, f = make_grid(dims, dtype=dtype)
+        ref = prefilter_contour(grid, "s", [0.1])
+        got = prefilter_contour_stream(
+            [f.tobytes()], dims, dtype, "s", [0.1], chunk_layers=2
+        )
+        assert got.values.dtype == np.dtype(dtype)
+        assert same_selection(got, ref)
+
+    def test_rectilinear_axes_carried(self):
+        axes = (np.linspace(0, 1, 6), np.linspace(0, 2, 4),
+                np.cumsum(np.random.default_rng(2).random(5)))
+        grid = RectilinearGrid(*axes)
+        f = np.random.default_rng(2).normal(size=(5, 4, 6)).astype(np.float32)
+        grid.point_data.add(DataArray("s", f.reshape(-1)))
+        ref = prefilter_contour(grid, "s", [0.1])
+        got = prefilter_contour_stream(
+            [f.tobytes()], (6, 4, 5), np.float32, "s", [0.1],
+            axes=axes, chunk_layers=2,
+        )
+        assert got == ref  # full equality, axes included (no NaN here)
+
+    def test_arbitrary_chunk_splits(self):
+        # The byte stream need not align to layers or even elements.
+        dims = (6, 4, 5)
+        grid, f = make_grid(dims, seed=3)
+        ref = prefilter_contour(grid, "s", VALUES)
+        raw = f.tobytes()
+        for step in (1, 7, 13, 64):
+            chunks = [raw[i : i + step] for i in range(0, len(raw), step)]
+            got = prefilter_contour_stream(
+                chunks, dims, np.float32, "s", VALUES, chunk_layers=1
+            )
+            assert same_selection(got, ref), step
+
+    def test_truncated_stream_raises(self):
+        dims = (6, 4, 5)
+        _, f = make_grid(dims, seed=4)
+        raw = f.tobytes()
+        for bad in (raw[:-4], raw[:-1], raw[: len(raw) // 2], b""):
+            with pytest.raises(FormatError):
+                prefilter_contour_stream(
+                    [bad], dims, np.float32, "s", [0.1], chunk_layers=2
+                )
+
+    def test_oversized_stream_raises(self):
+        dims = (6, 4, 5)
+        _, f = make_grid(dims, seed=5)
+        raw = f.tobytes()
+        for extra in (b"\x00", raw[:12], b"x"):
+            with pytest.raises(FormatError):
+                prefilter_contour_stream(
+                    [raw, extra], dims, np.float32, "s", [0.1], chunk_layers=2
+                )
+
+    def test_bad_mode_rejected(self):
+        dims = (4, 4, 4)
+        _, f = make_grid(dims, seed=6)
+        with pytest.raises(FilterError):
+            prefilter_contour_stream(
+                [f.tobytes()], dims, np.float32, "s", [0.1], mode="nope"
+            )
+
+
+class TestServerFusedPath:
+    @pytest.fixture()
+    def fs(self):
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("sim")
+        fs = S3FileSystem(store, "sim")
+        grid, _ = make_grid((11, 9, 13), seed=7)
+        for codec in ("raw", "gzip"):
+            fs.write_object(f"x_{codec}.vgf", write_vgf(grid, codec=codec))
+        return fs
+
+    @pytest.mark.parametrize("codec", ["raw", "gzip"])
+    @pytest.mark.parametrize("mode", ["cell-closure", "edge"])
+    def test_fused_reply_byte_identical_to_legacy(self, fs, codec, mode):
+        replies = []
+        for fused in (True, False):
+            server = NDPServer(fs, fused_streaming=fused)
+            client = RPCClient(InProcessTransport(server.dispatch))
+            for encoding in ("auto", "ids", "bitmap"):
+                replies.append(
+                    client.call(
+                        "prefilter_contour", f"x_{codec}.vgf", "s",
+                        list(VALUES), mode, encoding, "gzip",
+                    )
+                )
+        half = len(replies) // 2
+        for fused_reply, legacy_reply in zip(replies[:half], replies[half:]):
+            # Same bytes on the wire, same integrity stamp.
+            assert pack(dict(fused_reply)) == pack(dict(legacy_reply))
+            assert fused_reply["crc"] == legacy_reply["crc"]
+
+    def test_fallbacks_still_serve(self, fs):
+        # ROI, caches, and batches route around the fused path and work.
+        server = NDPServer(fs, cache_bytes=1 << 20,
+                           selection_cache_bytes=1 << 20)
+        client = RPCClient(InProcessTransport(server.dispatch))
+        roi_reply = client.call(
+            "prefilter_contour", "x_gzip.vgf", "s", [0.0], "cell-closure",
+            "auto", "lz4", [2, 8, 2, 8, 2, 8],
+        )
+        assert roi_reply["stats"]["selected_points"] > 0
+        batch = client.call("prefilter_batch", "x_gzip.vgf", [
+            {"kind": "contour", "array": "s", "values": [0.0]},
+            {"kind": "threshold", "array": "s", "lower": 0.0, "upper": 1.0},
+        ])
+        assert len(batch) == 2
+
+    def test_fused_and_legacy_against_direct_prefilter(self, fs):
+        # Both server paths agree with calling the library directly.
+        from repro.core.encoding import decode_selection
+        from repro.io.vgf import read_vgf
+
+        grid = read_vgf(fs.read_object("x_gzip.vgf"))
+        ref = prefilter_contour(grid, "s", list(VALUES))
+        for fused in (True, False):
+            server = NDPServer(fs, fused_streaming=fused)
+            client = RPCClient(InProcessTransport(server.dispatch))
+            reply = client.call(
+                "prefilter_contour", "x_gzip.vgf", "s", list(VALUES),
+            )
+            assert same_selection(decode_selection(reply), ref)

@@ -203,6 +203,58 @@ class TestErrors:
         assert up.exhausted
 
 
+class TestZeroCopy:
+    """Opt-in zero-copy framing: bin payloads as views, not copies."""
+
+    def test_pack_accepts_non_contiguous_view(self):
+        data = bytes(range(20))
+        view = memoryview(data)[::2]  # non-contiguous
+        assert unpack(pack(view)) == bytes(view)
+
+    def test_zero_copy_unpack_returns_memoryview(self):
+        buf = pack({"payload": b"\x01\x02\x03", "n": 3})
+        out = unpack(buf, zero_copy=True)
+        assert isinstance(out["payload"], memoryview)
+        assert bytes(out["payload"]) == b"\x01\x02\x03"
+        assert out["n"] == 3
+
+    def test_zero_copy_views_alias_source_buffer(self):
+        # The decoded view must window the *input* buffer, not a copy.
+        payload = b"\xaa" * 64
+        buf = bytearray(pack([payload]))
+        out = unpack(buf, zero_copy=True)
+        view = out[0]
+        pos = bytes(buf).find(payload)
+        buf[pos] = 0xBB
+        assert view[0] == 0xBB  # the mutation shows through the view
+
+    def test_default_mode_still_copies(self):
+        buf = bytearray(pack([b"\xaa" * 64]))
+        out = unpack(bytes(buf))
+        assert isinstance(out[0], bytes)
+
+    def test_zero_copy_round_trip_byte_identical(self):
+        msg = {"a": b"x" * 300, "b": [b"", b"\x00" * 70_000], "c": 5}
+        once = pack(msg)
+        again = pack(unpack(once, zero_copy=True))
+        assert once == again
+
+    def test_streaming_unpacker_zero_copy(self):
+        buf = pack(b"abc") + pack(b"defg")
+        up = Unpacker(buf, zero_copy=True)
+        first = up.unpack_one()
+        second = up.unpack_one()
+        assert isinstance(first, memoryview) and bytes(first) == b"abc"
+        assert isinstance(second, memoryview) and bytes(second) == b"defg"
+        assert up.exhausted
+
+    def test_zero_copy_ext_and_str_unaffected(self):
+        msg = {"s": "text", "e": ExtType(3, b"\x07" * 4)}
+        out = unpack(pack(msg), zero_copy=True)
+        assert out["s"] == "text"
+        assert out["e"] == ExtType(3, b"\x07" * 4)
+
+
 class TestTimestamp:
     """The spec's reserved ext type -1, in all three widths."""
 
