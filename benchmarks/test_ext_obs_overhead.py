@@ -1,0 +1,174 @@
+"""Observability overhead gate: recorder + SLO + profiler under 5%.
+
+Extension benchmark (not a paper artifact).  ``repro serve`` runs with
+the flight recorder, the SLO engine, and the sampling profiler on *by
+default*; this benchmark is the contract that keeps that defensible.
+Two identical NDP servers answer the same fused-hot-path contour
+requests through the full RPC dispatch layer (where the per-request
+recording happens):
+
+* *on* — flight recorder (with a dump dir), per-tenant SLO engine, and
+  the sampling profiler running at its default 67 Hz,
+* *off* — every observability hook nulled out.
+
+The two request loops are interleaved so host load drift hits both
+equally, and the gate asserts the instrumented server costs less than
+5% wall-clock over the bare one.  The profiler's collapsed flamegraph
+and a flight-recorder dump are written next to ``BENCH_results.json``
+(override the directory with ``REPRO_OBS_ARTIFACT_DIR``) so CI uploads
+real artifacts, not just the ratio.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.grid.array import DataArray
+from repro.grid.uniform import UniformGrid
+from repro.io.vgf import write_vgf
+from repro.rpc.msgpack import pack, unpack
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+DIM = int(os.environ.get("REPRO_OBS_DIM", "64"))
+VALUES = [-0.5, 0.0, 0.5]
+BATCH = 24          # dispatches per timing sample
+REPEATS = 5         # best-of, interleaved
+MAX_OVERHEAD = 0.05
+
+_ARTIFACT_DIR = os.environ.get("REPRO_OBS_ARTIFACT_DIR", ".")
+
+
+def _fresh_fs():
+    n = DIM
+    rng = np.random.default_rng(7)
+    z, y, x = np.meshgrid(
+        np.linspace(0, 2 * np.pi, n),
+        np.linspace(0, 2 * np.pi, n),
+        np.linspace(0, 2 * np.pi, n),
+        indexing="ij",
+    )
+    f = (np.sin(2 * x) * np.cos(y) + 0.3 * np.sin(3 * z)).astype(np.float32)
+    f += rng.normal(scale=0.02, size=f.shape).astype(np.float32)
+    grid = UniformGrid((n, n, n), (0, 0, 0), (1, 1, 1))
+    grid.point_data.add(DataArray("s", f.reshape(-1)))
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    fs.write_object("wave.vgf", write_vgf(grid, codec="lz4"))
+    return fs
+
+
+def _servers(tmp_path):
+    """(instrumented server, bare server) over identical stores."""
+    from repro.core.ndp_server import NDPServer
+
+    on = NDPServer(
+        _fresh_fs(), cache_bytes=0,
+        flight_recorder="auto", slo="auto", profiler="auto",
+        dump_dir=str(tmp_path),
+    )
+    off = NDPServer(
+        _fresh_fs(), cache_bytes=0,
+        flight_recorder=None, slo=None, profiler=None,
+    )
+    return on, off
+
+
+def _drive(server, batch=BATCH):
+    """Dispatch one batch of contour requests through the RPC layer."""
+    for i in range(batch):
+        raw = server.dispatch(pack([
+            0, i + 1, "prefilter_contour", ["wave.vgf", "s", VALUES],
+            {"tenant": "bench"},
+        ]))
+        reply = unpack(raw)
+        assert reply[2] is None, reply[2]
+
+
+def test_observability_overhead_under_5pct(tmp_path, bench_record):
+    on, off = _servers(tmp_path)
+    assert on.recorder and on.slo is not None and on.profiler
+    assert not off.recorder and off.slo is None and not off.profiler
+
+    # Warm both paths (imports, allocator) outside the timed region.
+    _drive(on, batch=3)
+    _drive(off, batch=3)
+
+    on.profiler.start()
+    try:
+        t_on = t_off = float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            _drive(on)
+            t1 = time.perf_counter()
+            _drive(off)
+            t2 = time.perf_counter()
+            t_on = min(t_on, t1 - t0)
+            t_off = min(t_off, t2 - t1)
+    finally:
+        on.profiler.stop()
+
+    overhead = t_on / t_off - 1.0
+    per_request_us = (t_on - t_off) / BATCH * 1e6
+
+    # The profiler really sampled this process while it worked, and the
+    # recorder really held the request timeline — the 5% buys something.
+    prof = on.profiler.snapshot()
+    assert prof["samples"] >= 1
+    events = on.recorder.snapshot()
+    kinds = {e["kind"] for e in events}
+    assert {"request.begin", "request.end", "phase"} <= kinds
+    assert on.slo.tenant_state("bench")["total"] >= 2 * BATCH
+
+    # CI artifacts: the flamegraph and a dump, next to BENCH_results.json.
+    os.makedirs(_ARTIFACT_DIR, exist_ok=True)
+    flame = os.path.join(_ARTIFACT_DIR, "obs_profile.collapsed")
+    with open(flame, "w", encoding="utf-8") as fh:
+        fh.write(on.profiler.collapsed() + "\n")
+    dump = on.recorder.dump(
+        reason="bench",
+        path=os.path.join(_ARTIFACT_DIR, "obs_flightrec_dump.jsonl"),
+    )
+
+    bench_record(
+        dim=DIM, batch=BATCH, values=len(VALUES),
+        wall_on_s=t_on, wall_off_s=t_off, overhead_fraction=overhead,
+        overhead_per_request_us=per_request_us,
+        profiler_samples=prof["samples"],
+        recorder_events=on.recorder.info()["recorded"],
+        flamegraph=flame, dump=dump,
+    )
+
+    print(f"\nobservability overhead at {DIM}^3, batch {BATCH}:")
+    print(f"  on  (recorder+slo+profiler) {t_on * 1e3:8.1f} ms")
+    print(f"  off (all nulled)            {t_off * 1e3:8.1f} ms")
+    print(f"  overhead {overhead * 100:+.2f}% "
+          f"({per_request_us:+.0f} us/request), "
+          f"{prof['samples']} profiler samples, "
+          f"{on.recorder.info()['recorded']} events recorded")
+
+    assert overhead < MAX_OVERHEAD, (
+        f"observability costs {overhead * 100:.1f}% wall-clock "
+        f"(gate: {MAX_OVERHEAD * 100:.0f}%)"
+    )
+
+
+def test_recorder_hot_path_is_sub_microsecond_scale(bench_record):
+    """The raw record() cost, isolated: the budget every instrumented
+    call site pays.  Gated loosely (10 us) so only a pathological
+    regression — accidental locking, string formatting — trips it."""
+    from repro.obs.flightrec import FlightRecorder
+
+    rec = FlightRecorder(capacity=8192)
+    n = 20_000
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for i in range(n):
+            rec.record("phase", name="bench", duration=0.001, i=i)
+        best = min(best, time.perf_counter() - t0)
+    per_event_us = best / n * 1e6
+    bench_record(record_per_event_us=per_event_us)
+    print(f"\nrecord(): {per_event_us:.2f} us/event")
+    assert per_event_us < 10.0

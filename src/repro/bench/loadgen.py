@@ -55,7 +55,7 @@ class LoadReport:
 
     def __init__(self, core: str, connections: int, rate: float,
                  duration: float, latencies: list, ok: int, shed: int,
-                 errors: int, wall: float):
+                 errors: int, wall: float, slowest: dict | None = None):
         self.core = core
         self.connections = connections
         self.rate = rate
@@ -64,6 +64,7 @@ class LoadReport:
         self.shed = shed
         self.errors = errors
         self.wall = wall
+        self.slowest = slowest
         self.sent = ok + shed + errors
         lat = sorted(latencies)
         self.mean = sum(lat) / len(lat) if lat else 0.0
@@ -107,15 +108,25 @@ class LoadReport:
                 "p99": self.p99, "p999": self.p999, "max": self.max,
             },
             "histogram": self.histogram,
+            "slowest": self.slowest,
         }
 
     def summary(self) -> str:
-        return (
+        out = (
             f"{self.core}: {self.connections} conns @ {self.rate:.0f} Hz "
             f"— {self.ok} ok / {self.shed} shed / {self.errors} err, "
             f"p50 {self.p50 * 1e3:.1f} ms, p99 {self.p99 * 1e3:.1f} ms, "
             f"p999 {self.p999 * 1e3:.1f} ms"
         )
+        if self.slowest:
+            # The exemplar: which request paid the max — the first thing
+            # an operator greps a flight dump or trace for.
+            out += (
+                f" (slowest {self.slowest['latency_s'] * 1e3:.1f} ms: "
+                f"conn {self.slowest['connection']} "
+                f"msgid {self.slowest['msgid']} [{self.slowest['kind']}])"
+            )
+        return out
 
 
 def _classify(raw: bytes) -> str:
@@ -171,11 +182,18 @@ def run_load(
     lock = threading.Lock()
     latencies: list = []
     counts = {"ok": 0, "shed": 0, "errors": 0}
+    slowest: dict = {}
 
-    def record(kind: str, latency: float) -> None:
+    def record(kind: str, latency: float, conn: int = -1,
+               msgid: int = -1) -> None:
         with lock:
             counts[kind] += 1
             latencies.append(latency)
+            if not slowest or latency > slowest["latency_s"]:
+                slowest.update({
+                    "latency_s": latency, "connection": conn,
+                    "msgid": msgid, "kind": kind,
+                })
 
     start_barrier = threading.Barrier(connections + 1)
     clock = time.monotonic
@@ -186,7 +204,7 @@ def run_load(
             msg.append({"tenant": tenant})
         return pack(msg)
 
-    def run_mux(plan: list) -> None:
+    def run_mux(conn: int, plan: list) -> None:
         from repro.rpc.mux import MuxTransport
 
         # Lazy dial: construction cannot fail, so the start barrier is
@@ -202,22 +220,23 @@ def run_load(
                     time.sleep(delay)
                 scheduled = t0 + offset
 
-                def done(fut, scheduled=scheduled):
+                def done(fut, scheduled=scheduled, msgid=i + 1):
                     latency = clock() - scheduled
                     exc = fut.exception()
                     if exc is not None:
                         kind = ("shed" if isinstance(exc, ServerOverloadedError)
                                 else "errors")
-                        record(kind, latency)
+                        record(kind, latency, conn, msgid)
                         return
                     kind = _classify(fut.result())
                     record("errors" if kind == "error" else
-                           ("shed" if kind == "shed" else "ok"), latency)
+                           ("shed" if kind == "shed" else "ok"),
+                           latency, conn, msgid)
 
                 try:
                     fut = transport.submit(frame(i + 1))
                 except Exception:
-                    record("errors", clock() - scheduled)
+                    record("errors", clock() - scheduled, conn, i + 1)
                     continue
                 fut.add_done_callback(done)
                 inflight.append(fut)
@@ -233,7 +252,7 @@ def run_load(
         finally:
             transport.close()
 
-    def run_legacy(plan: list) -> None:
+    def run_legacy(conn: int, plan: list) -> None:
         from repro.rpc.transport import TCPTransport
 
         transport = TCPTransport(host, port, timeout=timeout, lazy=True)
@@ -248,13 +267,13 @@ def run_load(
                 try:
                     raw = transport.request(frame(i + 1))
                 except ServerOverloadedError:
-                    record("shed", clock() - scheduled)
+                    record("shed", clock() - scheduled, conn, i + 1)
                     continue
                 except Exception:
                     # Dial refused / reset mid-call: error this request
                     # and re-dial for the next one — a refused connection
                     # must show up as failed arrivals, not a silent stop.
-                    record("errors", clock() - scheduled)
+                    record("errors", clock() - scheduled, conn, i + 1)
                     try:
                         transport.reconnect()
                     except Exception:
@@ -263,7 +282,7 @@ def run_load(
                 kind = _classify(raw)
                 record("errors" if kind == "error" else
                        ("shed" if kind == "shed" else "ok"),
-                       clock() - scheduled)
+                       clock() - scheduled, conn, i + 1)
         finally:
             try:
                 transport.close()
@@ -272,7 +291,7 @@ def run_load(
 
     runner = run_mux if core == "mux" else run_legacy
     threads = [
-        threading.Thread(target=runner, args=(plan,), daemon=True,
+        threading.Thread(target=runner, args=(i, plan), daemon=True,
                          name=f"loadgen-{i}")
         for i, plan in enumerate(plans)
     ]
@@ -289,4 +308,5 @@ def run_load(
         core=core, connections=connections, rate=rate, duration=duration,
         latencies=latencies, ok=counts["ok"], shed=shed,
         errors=counts["errors"], wall=wall,
+        slowest=slowest or None,
     )

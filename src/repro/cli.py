@@ -27,7 +27,10 @@ from repro.errors import ReproError, RPCTransportError
 from repro.io.ppm import write_ppm
 from repro.io.vgf import read_vgf_info, write_vgf
 from repro.obs.export import prometheus_text, write_chrome_trace, write_jsonl
-from repro.obs.metrics import Registry
+from repro.obs.flightrec import FlightRecorder, install_signal_dump
+from repro.obs.metrics import Registry, merge_snapshots
+from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import SLO, SLOEngine
 from repro.obs.trace import Tracer
 from repro.rpc.client import RPCClient
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
@@ -129,6 +132,16 @@ def cmd_serve(args) -> int:
 
     fs = _open_fs(args.store, args.bucket)
     tracer = Tracer(process="server") if args.trace_out else None
+    recorder = (
+        FlightRecorder(dump_dir=args.dump_dir or None, process="server")
+        if args.flight_recorder == "on" else None
+    )
+    profiler = (
+        SamplingProfiler(hz=args.profile_hz) if args.profile_hz > 0 else None
+    )
+    slo_engine = SLOEngine(
+        slo=SLO(latency=args.slo_latency, objective=args.slo_objective)
+    )
     server = NDPServer(
         fs,
         cache_bytes=args.cache_bytes,
@@ -137,7 +150,13 @@ def cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
         max_pending=args.max_pending,
         verify_checksums=args.verify_checksums == "on",
+        flight_recorder=recorder,
+        slo=slo_engine,
+        profiler=profiler,
+        slo_shed=args.slo_shed,
     )
+    if recorder is not None:
+        install_signal_dump(recorder)  # SIGUSR2 -> dump, main thread only
     max_conns = args.max_connections if args.max_connections > 0 else None
     if args.serving_core == "async":
         weights = _parse_tenant_weights(args.tenant_weights)
@@ -165,10 +184,21 @@ def cmd_serve(args) -> int:
         f"core=async workers={args.workers}" if args.serving_core == "async"
         else "core=threaded"
     )
+    obs = (
+        "flightrec=" + (
+            (f"on->{args.dump_dir}" if args.dump_dir else "on")
+            if recorder is not None else "off"
+        ),
+        f"profiler={args.profile_hz:g}Hz" if profiler is not None
+        else "profiler=off",
+        f"slo={args.slo_objective:.0%}@{args.slo_latency * 1e3:.0f}ms"
+        + ("+shed" if args.slo_shed else ""),
+    )
     print(f"NDP server on {listener.host}:{listener.port} "
           f"(store={args.store}, bucket={args.bucket}, {core}, "
           f"{caches[0]}, {caches[1]}, {admission}, "
-          f"checksums={args.verify_checksums}"
+          f"checksums={args.verify_checksums}, "
+          f"{obs[0]}, {obs[1]}, {obs[2]}"
           f"{', tracing on' if tracer else ''})")
 
     stop = threading.Event()
@@ -549,24 +579,66 @@ def _report_contour(args, polydata, stats, rstats: ResilienceStats) -> int:
     return 0
 
 
+def _split_addresses(spec: str) -> list[tuple[str, str, int]] | None:
+    """Parse ``"a:1,b:2"`` into ``[(label, host, port), ...]`` or None."""
+    out = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, _, port = part.rpartition(":")
+        if not port.isdigit():
+            print(f"error: bad address {part!r} (want host:port)",
+                  file=sys.stderr)
+            return None
+        out.append((part, host or "127.0.0.1", int(port)))
+    if not out:
+        print("error: --connect lists no addresses", file=sys.stderr)
+        return None
+    return out
+
+
+def _call_addresses(addresses, args, method: str, rstats, params=()):
+    """Call one RPC method on every address; never raises.
+
+    Returns ``(results, failures)`` where results are ``(label, reply)``
+    and failures ``(label, exc)``.  Each address gets its own transport
+    and breaker (a dead shard must not open the breaker for the rest);
+    ``rstats`` is shared so the probe reports one resilience ledger.
+    """
+    results, failures = [], []
+    for label, host, port in addresses:
+        retry, breaker, _ = _resilience_from_args(args)
+        try:
+            transport = TCPTransport(host, port)
+        except RPCTransportError as exc:
+            failures.append((label, exc))
+            continue
+        client = RPCClient(
+            ResilientTransport(transport, retry=retry, breaker=breaker,
+                               stats=rstats)
+        )
+        try:
+            results.append((label, client.call(method, *params)))
+        except RPCTransportError as exc:
+            failures.append((label, exc))
+        finally:
+            client.close()
+    return results, failures
+
+
 def cmd_health(args) -> int:
-    retry, breaker, rstats = _resilience_from_args(args)
-    host, _, port = args.connect.rpartition(":")
-    try:
-        transport = TCPTransport(host or "127.0.0.1", int(port))
-    except RPCTransportError as exc:
+    addresses = _split_addresses(args.connect)
+    if addresses is None:
+        return 2
+    rstats = ResilienceStats()
+    results, failures = _call_addresses(addresses, args, "health", rstats)
+    if len(addresses) > 1:
+        return _health_table(addresses, results, failures)
+    for _, exc in failures:
         print(f"unreachable: {exc}")
         return 1
-    client = RPCClient(
-        ResilientTransport(transport, retry=retry, breaker=breaker, stats=rstats)
-    )
-    try:
-        report = client.call("health")
-    except RPCTransportError as exc:
-        print(f"unreachable: {exc}")
-        return 1
-    finally:
-        client.close()
+    report = results[0][1]
     print(
         f"status: {report['status']} "
         f"(store_reachable={report['store_reachable']}, "
@@ -600,6 +672,33 @@ def cmd_health(args) -> int:
             f"{cache['coalesced']} coalesced"
         )
     return 0 if report["status"] == "ok" else 1
+
+
+def _health_table(addresses, results, failures) -> int:
+    """One merged table for a comma-separated address list."""
+    print(f"{'ADDRESS':<22}{'STATUS':<13}{'SERVED':>8}{'INFL':>6}"
+          f"{'SHED':>7}{'INTEG':>7}  BURNING")
+    reports = dict(results)
+    ok = 0
+    for label, _, _ in addresses:
+        report = reports.get(label)
+        if report is None:
+            print(f"{label:<22}{'unreachable':<13}")
+            continue
+        admission = report.get("admission") or {}
+        slo = report.get("slo") or {}
+        burning = ",".join(slo.get("burning") or []) or "-"
+        print(
+            f"{label:<22}{report['status']:<13}"
+            f"{int(report.get('requests_served', 0)):>8}"
+            f"{int(admission.get('inflight', 0)):>6}"
+            f"{int(admission.get('shed', 0)):>7}"
+            f"{int(report.get('integrity_failures', 0)):>7}  {burning}"
+        )
+        if report["status"] == "ok":
+            ok += 1
+    print(f"{ok}/{len(addresses)} healthy")
+    return 0 if ok == len(addresses) else 1
 
 
 def _hist_summary(hist: dict) -> str:
@@ -645,24 +744,28 @@ def _print_cache_line(label: str, cache: dict) -> None:
 
 
 def cmd_stats(args) -> int:
-    """Fetch and pretty-print a server's unified registry snapshot."""
-    retry, breaker, rstats = _resilience_from_args(args)
-    host, _, port = args.connect.rpartition(":")
-    try:
-        transport = TCPTransport(host or "127.0.0.1", int(port))
-    except RPCTransportError as exc:
-        print(f"unreachable: {exc}")
+    """Fetch and pretty-print a server's unified registry snapshot.
+
+    ``--connect`` accepts a comma-separated address list; snapshots from
+    every reachable shard are merged (counters summed, histograms merged
+    bucket-wise) into one table — the static counterpart of ``repro top``.
+    """
+    addresses = _split_addresses(args.connect)
+    if addresses is None:
+        return 2
+    rstats = ResilienceStats()
+    results, failures = _call_addresses(addresses, args, "stats", rstats)
+    for label, exc in failures:
+        if len(addresses) == 1:
+            print(f"unreachable: {exc}")
+        else:
+            print(f"unreachable: {label}: {exc}")
+    if not results:
         return 1
-    client = RPCClient(
-        ResilientTransport(transport, retry=retry, breaker=breaker, stats=rstats)
-    )
-    try:
-        snapshot = client.call("stats")
-    except RPCTransportError as exc:
-        print(f"unreachable: {exc}")
-        return 1
-    finally:
-        client.close()
+    if len(results) == 1:
+        snapshot = results[0][1]
+    else:
+        snapshot = merge_snapshots([snap for _, snap in results])
     # Fold this probe's own client-side resilience counters into the same
     # snapshot: one tree for everything the request chain observed.
     registry = Registry()
@@ -672,9 +775,13 @@ def cmd_stats(args) -> int:
     )
     if args.prom:
         print(prometheus_text(snapshot), end="")
-        return 0
+        return 0 if not failures else 1
     counters = snapshot.get("counters", {})
-    print(f"stats for {args.connect}:")
+    if len(addresses) == 1:
+        print(f"stats for {args.connect}:")
+    else:
+        print(f"stats for {len(results)}/{len(addresses)} endpoint(s), "
+              f"merged:")
     print(
         f"requests: {int(counters.get('requests', 0))}  "
         f"prefilter_calls: {int(counters.get('prefilter_calls', 0))}  "
@@ -708,11 +815,133 @@ def cmd_stats(args) -> int:
     integrity = int(counters.get("integrity_failures", 0))
     if integrity:
         print(f"integrity_failures: {integrity}")
+    slo = collected.get("slo") or {}
+    for name in sorted(slo.get("tenants") or {}):
+        state = slo["tenants"][name]
+        flag = "  BURNING" if state.get("burning") else ""
+        print(
+            f"slo[{name}]: burn_fast {float(state.get('burn_fast', 0)):.2f} "
+            f"burn_slow {float(state.get('burn_slow', 0)):.2f} "
+            f"p99 {float(state.get('p99', 0)) * 1e3:.3g}ms "
+            f"slo_sheds {int(state.get('slo_sheds', 0))}{flag}"
+        )
+    flightrec = collected.get("flightrec") or {}
+    if flightrec.get("enabled"):
+        print(
+            f"flightrec: {int(flightrec.get('recorded', 0))} recorded, "
+            f"{int(flightrec.get('retained', 0))}/"
+            f"{int(flightrec.get('capacity', 0))} retained, "
+            f"{int(flightrec.get('dumps', 0))} dumps"
+        )
+    profiler = collected.get("profiler") or {}
+    if profiler.get("enabled") and profiler.get("samples"):
+        print(
+            f"profiler: {int(profiler.get('samples', 0))} samples @ "
+            f"{float(profiler.get('hz', 0)):g} Hz, "
+            f"{int(profiler.get('distinct_stacks', 0))} distinct stacks"
+        )
     resilience = collected.get("resilience_client") or {}
     if resilience:
         inner = " ".join(f"{k}={v}" for k, v in sorted(resilience.items()))
         print(f"resilience (this probe): {inner}")
-    return 0
+    return 0 if not failures else 1
+
+
+def _suffixed(path: str, label: str) -> str:
+    """``dump.jsonl`` + ``shard1`` -> ``dump-shard1.jsonl``."""
+    root, dot, ext = path.rpartition(".")
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in label)
+    if not dot:
+        return f"{path}-{safe}"
+    return f"{root}-{safe}.{ext}"
+
+
+def cmd_dump(args) -> int:
+    """Pull a server's flight-recorder ring over RPC (``repro dump``)."""
+    import json
+
+    addresses = _split_addresses(args.connect)
+    if addresses is None:
+        return 2
+    rstats = ResilienceStats()
+    results, failures = _call_addresses(
+        addresses, args, "dump", rstats,
+        params=(args.reason, args.last if args.last > 0 else None),
+    )
+    for label, exc in failures:
+        print(f"unreachable: {label}: {exc}")
+    for label, reply in results:
+        if not reply.get("enabled"):
+            print(f"{label}: flight recorder disabled")
+            continue
+        events = reply.get("events") or []
+        where = reply.get("path") or "not written (server has no --dump-dir)"
+        print(f"{label}: {len(events)} event(s); server-side dump: {where}")
+        if args.out:
+            path = (args.out if len(results) == 1
+                    else _suffixed(args.out, label))
+            header = {
+                "kind": "flightrec.header", "source": label,
+                "reason": args.reason, "events": len(events),
+            }
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                for event in events:
+                    fh.write(json.dumps(event, sort_keys=True, default=str)
+                             + "\n")
+            print(f"wrote {path}")
+    return 0 if results and not failures else 1
+
+
+def cmd_prof(args) -> int:
+    """Pull a server's sampling-profiler stacks (``repro prof``)."""
+    addresses = _split_addresses(args.connect)
+    if addresses is None:
+        return 2
+    rstats = ResilienceStats()
+    results, failures = _call_addresses(
+        addresses, args, "profile", rstats,
+        params=(args.top if args.top > 0 else None,),
+    )
+    for label, exc in failures:
+        print(f"unreachable: {label}: {exc}")
+    for label, snap in results:
+        if not snap.get("enabled"):
+            print(f"{label}: profiler disabled")
+            continue
+        stacks = snap.get("stacks") or {}
+        print(f"{label}: {int(snap.get('samples', 0))} samples @ "
+              f"{float(snap.get('hz', 0)):g} Hz over "
+              f"{float(snap.get('elapsed', 0)):.1f}s, "
+              f"{len(stacks)} distinct stack(s)")
+        lines = [f"{stack} {count}" for stack, count in stacks.items()]
+        if args.out:
+            path = (args.out if len(results) == 1
+                    else _suffixed(args.out, label))
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + ("\n" if lines else ""))
+            print(f"wrote {path} (collapsed-stack format: feed to "
+                  f"flamegraph.pl or speedscope)")
+        else:
+            for line in lines[:args.show]:
+                print(f"  {line}")
+    return 0 if results and not failures else 1
+
+
+def cmd_top(args) -> int:
+    """Live cluster console over every address's ``stats`` endpoint."""
+    from repro.obs.top import run_top
+
+    addresses = _split_addresses(args.connect)
+    if addresses is None:
+        return 2
+    return run_top(
+        [label for label, _, _ in addresses],
+        interval=args.interval,
+        iterations=args.iterations if args.iterations > 0 else None,
+        once=args.once,
+        as_json=args.json,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -798,6 +1027,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="async core: max requests one tenant may queue "
                         "before its excess is shed with retry_after "
                         "(0 = unlimited)")
+    p.add_argument("--flight-recorder", choices=["on", "off"], default="on",
+                   help="always-on ring of recent structured events, "
+                        "dumpable via `repro dump` / SIGUSR2 (default on)")
+    p.add_argument("--dump-dir", default="", metavar="DIR",
+                   help="directory for automatic flight-recorder dumps on "
+                        "errors/sheds/integrity failures and on drain "
+                        "(default: no automatic dumps)")
+    p.add_argument("--profile-hz", type=float, default=67.0,
+                   help="sampling-profiler frequency; stacks served via "
+                        "`repro prof` (default 67; 0 disables)")
+    p.add_argument("--slo-latency", type=float, default=0.25,
+                   help="per-tenant latency SLO threshold in seconds "
+                        "(default 0.25)")
+    p.add_argument("--slo-objective", type=float, default=0.99,
+                   help="fraction of requests that must meet the SLO "
+                        "(default 0.99)")
+    p.add_argument("--slo-shed", action="store_true",
+                   help="under overload, shed tenants that are burning "
+                        "their error budget before well-behaved ones")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -901,18 +1149,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_contour)
 
     p = sub.add_parser("health", help="probe an NDP server's health endpoint")
-    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT[,..]",
+                   help="one address, or a comma-separated list for a "
+                        "cluster-wide health table")
     _add_resilience_flags(p)
     p.set_defaults(func=cmd_health)
 
     p = sub.add_parser(
         "stats", help="pretty-print an NDP server's unified registry snapshot"
     )
-    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT[,..]",
+                   help="one address, or a comma-separated list merged "
+                        "into one table (counters summed, histograms "
+                        "merged bucket-wise)")
     p.add_argument("--prom", action="store_true",
                    help="print Prometheus text exposition instead")
     _add_resilience_flags(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "dump", help="pull a server's flight-recorder ring (recent "
+                     "structured events) over RPC"
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT[,..]")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the events as JSONL here (multi-address "
+                        "lists get one file per shard)")
+    p.add_argument("--last", type=float, default=0.0, metavar="SECONDS",
+                   help="only events from the last N seconds "
+                        "(0 = server default window)")
+    p.add_argument("--reason", default="rpc",
+                   help="reason label stamped into the dump header")
+    _add_resilience_flags(p)
+    p.set_defaults(func=cmd_dump)
+
+    p = sub.add_parser(
+        "prof", help="pull a server's sampling-profiler flamegraph stacks"
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT[,..]")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write collapsed stacks here (.collapsed format "
+                        "for flamegraph.pl / speedscope / inferno)")
+    p.add_argument("--top", type=int, default=0,
+                   help="only the N hottest stacks (0 = all)")
+    p.add_argument("--show", type=int, default=15,
+                   help="stacks printed to stdout without --out "
+                        "(default 15)")
+    _add_resilience_flags(p)
+    p.set_defaults(func=cmd_prof)
+
+    p = sub.add_parser(
+        "top", help="live cluster console: throughput, queues, burn rates "
+                    "across every shard"
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT[,..]",
+                   help="comma-separated addresses of every shard to watch")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="exit after N polls (0 = run until interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="poll once and exit (scripting)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw view dict as JSON instead of tables")
+    p.set_defaults(func=cmd_top)
 
     return parser
 

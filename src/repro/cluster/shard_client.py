@@ -39,6 +39,7 @@ from repro.errors import (
 from repro.filters.contour import normalize_values
 from repro.grid.bounds import Bounds
 from repro.io.vgf import read_vgf
+from repro.obs.flightrec import NULL_RECORDER
 from repro.obs.trace import NULL_TRACER
 
 __all__ = ["ClusterClient"]
@@ -61,11 +62,16 @@ class ClusterClient:
     fallback_fs:
         Optional filesystem that can read the block objects directly;
         enables per-shard baseline fallback when a shard is down.
+    recorder:
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`; fallback
+        and integrity-retry decisions land in the always-on flight ring
+        so a post-hoc dump shows which shard degraded and why.
     """
 
     def __init__(self, pool, manifest: ShardManifest, fallback_fs=None, *,
                  mode: str = "cell-closure", encoding: str = "auto",
-                 wire_codec: str = "lz4", tracer=None, max_workers=None):
+                 wire_codec: str = "lz4", tracer=None, max_workers=None,
+                 recorder=None):
         if len(pool) != manifest.shards:
             raise ReproError(
                 f"pool has {len(pool)} endpoints but manifest names "
@@ -78,6 +84,7 @@ class ClusterClient:
         self.encoding = encoding
         self.wire_codec = wire_codec
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.max_workers = max_workers
 
     # ------------------------------------------------------------------
@@ -133,6 +140,11 @@ class ClusterClient:
                             "shard.fallback", shard=shard,
                             reason=type(exc).__name__,
                         )
+                        self.recorder.record(
+                            "shard.fallback", shard=shard,
+                            reason=type(exc).__name__,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                 # Shard is exhausted: degrade the rest of its blocks to
                 # baseline reads rather than re-running the retry dance
                 # per block against a known-dead endpoint.
@@ -163,6 +175,7 @@ class ClusterClient:
             # of the block) is bad and the fallback policy takes over.
             stats["integrity_retries"] += 1
             self.tracer.add_event("integrity.retry", key=bo.key)
+            self.recorder.record("integrity.retry", key=bo.key)
             encoded = client.call(
                 "prefilter_contour", bo.key, array_name, list(values),
                 self.mode, self.encoding, self.wire_codec, roi_wire,

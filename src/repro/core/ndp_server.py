@@ -42,7 +42,10 @@ from repro.errors import IntegrityError, RPCError
 from repro.filters.contour import normalize_values
 from repro.grid.bounds import Bounds
 from repro.io.vgf import read_vgf_array, read_vgf_block, read_vgf_info
+from repro.obs.flightrec import NULL_RECORDER, FlightRecorder
 from repro.obs.metrics import Registry
+from repro.obs.profile import NULL_PROFILER, SamplingProfiler
+from repro.obs.slo import SLOEngine
 from repro.obs.trace import NULL_TRACER
 from repro.rpc.admission import AdmissionController, check_deadline
 from repro.rpc.server import RPCServer
@@ -100,6 +103,31 @@ class NDPServer:
         whole decoded array is never materialized.  Replies are
         byte-identical to the materializing path.  ``False`` forces the
         legacy decode-then-scan path everywhere.
+    flight_recorder:
+        ``"auto"`` (default) builds an always-on
+        :class:`~repro.obs.flightrec.FlightRecorder`; pass an instance to
+        share one, or ``None``/``False`` to disable.  The recorder feeds
+        on request begin/end, phase timings, sheds, integrity failures,
+        and cache outcomes, and is exposed as the ``dump`` RPC endpoint.
+    slo:
+        ``"auto"`` (default) builds a per-tenant
+        :class:`~repro.obs.slo.SLOEngine` with the default objective;
+        pass an instance to customize, or ``None``/``False`` to disable.
+        Burn state surfaces through ``stats``/``health`` either way;
+        shedding decisions only consult it when ``slo_shed`` is set.
+    profiler:
+        ``"auto"`` (default) builds a
+        :class:`~repro.obs.profile.SamplingProfiler` (started by the
+        ``serve_*`` methods, stopped on listener stop); pass an instance
+        or ``None``/``False``.  Exposed as the ``profile`` RPC endpoint.
+    dump_dir:
+        Directory the flight recorder writes trigger/drain dumps into.
+        ``None`` (default) keeps the ring in memory only — explicit
+        ``dump`` RPCs with a path still work.
+    slo_shed:
+        When true, the admission gate and fair scheduler refuse requests
+        from tenants burning their error budget *while the server is
+        saturated* — SLO-aware shedding (off by default: observe first).
     """
 
     def __init__(
@@ -114,6 +142,11 @@ class NDPServer:
         max_pending: int = 0,
         verify_checksums: bool = True,
         fused_streaming: bool = True,
+        flight_recorder="auto",
+        slo="auto",
+        profiler="auto",
+        dump_dir: str | None = None,
+        slo_shed: bool = False,
     ):
         self.fs = fs
         self.testbed = testbed
@@ -121,16 +154,32 @@ class NDPServer:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else Registry()
         self.verify_checksums = verify_checksums
+        if flight_recorder == "auto":
+            self.recorder = FlightRecorder(dump_dir=dump_dir, process="server")
+        else:
+            self.recorder = flight_recorder or NULL_RECORDER
+        if slo == "auto":
+            self.slo = SLOEngine()
+        else:
+            self.slo = slo or None
+        if profiler == "auto":
+            self.profiler = SamplingProfiler()
+        else:
+            self.profiler = profiler or NULL_PROFILER
+        self.slo_shed = bool(slo_shed)
         self.admission = AdmissionController(
             max_inflight=max_inflight, max_pending=max_pending
         )
         self._listener = None
         self._fair_queue = None
+        cache_recorder = self.recorder if self.recorder else None
         self.array_cache = (
-            ArrayCache(cache_bytes, tracer=self.tracer) if cache_bytes > 0 else None
+            ArrayCache(cache_bytes, tracer=self.tracer, recorder=cache_recorder)
+            if cache_bytes > 0 else None
         )
         self.selection_cache = (
-            SelectionCache(selection_cache_bytes, tracer=self.tracer)
+            SelectionCache(selection_cache_bytes, tracer=self.tracer,
+                           recorder=cache_recorder)
             if selection_cache_bytes > 0
             else None
         )
@@ -161,6 +210,12 @@ class NDPServer:
             self.registry.register("array_cache", self.array_cache.info)
         if self.selection_cache is not None:
             self.registry.register("selection_cache", self.selection_cache.info)
+        if self.recorder:
+            self.registry.register("flightrec", self.recorder.info)
+        if self.slo is not None:
+            self.registry.register("slo", self.slo.snapshot)
+        if self.profiler:
+            self.registry.register("profiler", self.profiler.info)
         self.rpc = RPCServer(
             {
                 "prefilter_contour": self.prefilter_contour,
@@ -176,9 +231,14 @@ class NDPServer:
                 "server_stats": self.server_stats,
                 "stats": self.stats_snapshot,
                 "health": self.health,
+                "dump": self.dump_flight,
+                "profile": self.profile_snapshot,
             },
             tracer=self.tracer,
             admission=self.admission,
+            recorder=self.recorder if self.recorder else None,
+            slo=self.slo,
+            slo_shed=self.slo_shed,
         )
 
     # ------------------------------------------------------------------
@@ -232,8 +292,9 @@ class NDPServer:
         time is folded into the read, where the VGF reader performs it).
         """
         check_deadline("store read")
-        with self.tracer.span("store.read", key=key, array=array):
-            try:
+        try:
+            with self.tracer.span("store.read", key=key, array=array), \
+                    self.recorder.phase("store.read", key=key, array=array):
                 with self.fs.open(key) as fh:
                     info = read_vgf_info(fh)
                     entry = info.array(array)
@@ -241,15 +302,19 @@ class NDPServer:
                         fh, array, info, verify=self.verify_checksums,
                         copy=False,
                     )
-            except IntegrityError:
-                # Fail loudly, never serve wrong geometry: the typed error
-                # crosses the wire and the client re-reads / falls back.
-                self._integrity_failures.inc()
-                self.tracer.add_event("integrity.failure", key=key, array=array)
-                raise
+        except IntegrityError:
+            # Fail loudly, never serve wrong geometry: the typed error
+            # crosses the wire and the client re-reads / falls back.
+            # Outside the phase scope so the trigger dump already holds
+            # the failed store.read phase — the timeline explains itself.
+            self._integrity_failures.inc()
+            self.tracer.add_event("integrity.failure", key=key, array=array)
+            self.recorder.record("integrity.failure", key=key, array=array)
+            raise
         check_deadline("decompress")
         with self.tracer.span("decompress", codec=entry.codec,
-                              raw_bytes=entry.raw_bytes):
+                              raw_bytes=entry.raw_bytes), \
+                self.recorder.phase("decompress", codec=entry.codec):
             if self.testbed is not None:
                 self.testbed.charge_decompress(entry.codec, entry.raw_bytes)
         grid = info.make_grid()
@@ -309,7 +374,8 @@ class NDPServer:
             grid, entry = self._load_array(key, array)
             check_deadline("pre-filter scan")
             with self.tracer.span("prefilter", kind="contour", key=key,
-                                  array=array):
+                                  array=array), \
+                    self.recorder.phase("prefilter", kind="contour", key=key):
                 if self.testbed is not None:
                     self.testbed.charge_filter_scan(entry.raw_bytes)
                 bounds = Bounds(*roi_key) if roi_key is not None else None
@@ -354,8 +420,9 @@ class NDPServer:
         caller falls back to the materializing path.
         """
         check_deadline("store read")
-        with self.tracer.span("store.read", key=key, array=array):
-            try:
+        try:
+            with self.tracer.span("store.read", key=key, array=array), \
+                    self.recorder.phase("store.read", key=key, array=array):
                 with self.fs.open(key) as fh:
                     info = read_vgf_info(fh)
                     entry = info.array(array)
@@ -364,10 +431,11 @@ class NDPServer:
                     stored, _ = read_vgf_block(
                         fh, array, info, verify=self.verify_checksums
                     )
-            except IntegrityError:
-                self._integrity_failures.inc()
-                self.tracer.add_event("integrity.failure", key=key, array=array)
-                raise
+        except IntegrityError:
+            self._integrity_failures.inc()
+            self.tracer.add_event("integrity.failure", key=key, array=array)
+            self.recorder.record("integrity.failure", key=key, array=array)
+            raise
         check_deadline("decompress")
         with self.tracer.span("decompress", codec=entry.codec,
                               raw_bytes=entry.raw_bytes):
@@ -375,7 +443,9 @@ class NDPServer:
                 self.testbed.charge_decompress(entry.codec, entry.raw_bytes)
         check_deadline("pre-filter scan")
         with self.tracer.span("prefilter", kind="contour", key=key,
-                              array=array, fused=True):
+                              array=array, fused=True), \
+                self.recorder.phase("prefilter", kind="contour", key=key,
+                                    fused=True):
             if self.testbed is not None:
                 self.testbed.charge_filter_scan(entry.raw_bytes)
             selection = prefilter_contour_stream(
@@ -394,7 +464,9 @@ class NDPServer:
     def _finish(self, selection, entry, encoding: str, wire_codec: str) -> dict:
         """Shared tail: encode, charge wire compression, attach stats."""
         check_deadline("encode")
-        with self.tracer.span("encode", encoding=encoding, wire_codec=wire_codec):
+        with self.tracer.span("encode", encoding=encoding,
+                              wire_codec=wire_codec), \
+                self.recorder.phase("encode", wire_codec=wire_codec):
             encoded = encode_selection(
                 selection, method=encoding, payload_codec=wire_codec
             )
@@ -433,7 +505,13 @@ class NDPServer:
             encoded = self.selection_cache.get_or_load(
                 request_key + (self._store_version(key),), compute
             )
-        self._latency.observe(time.perf_counter() - wall0)
+        # Exemplar: the slowest request in each latency bucket keeps its
+        # trace id, so a histogram outlier links straight to its trace.
+        exemplar = None
+        span = self.tracer.current_span()
+        if span.trace_id:
+            exemplar = {"trace_id": span.trace_id, "span_id": span.span_id}
+        self._latency.observe(time.perf_counter() - wall0, exemplar=exemplar)
         if sim0 is not None:
             self._sim_latency.observe(self.testbed.clock.now - sim0)
         self._record(encoded["stats"])
@@ -485,6 +563,15 @@ class NDPServer:
         if self._fair_queue is not None:
             out["serving_core"] = "async"
             out["fair_queue"] = self._fair_queue.info()
+        if self.slo is not None:
+            snap = self.slo.snapshot()
+            out["slo"] = {
+                "tenants": len(snap["tenants"]),
+                "burning": sorted(
+                    name for name, state in snap["tenants"].items()
+                    if state.get("burning")
+                ),
+            }
         return out
 
     @staticmethod
@@ -525,6 +612,29 @@ class NDPServer:
         pretty-prints and the Prometheus exporter renders.
         """
         return self.registry.snapshot()
+
+    def dump_flight(self, reason: str = "rpc",
+                    last_seconds: float | None = None) -> dict:
+        """The ``dump`` RPC endpoint: snapshot the flight ring.
+
+        Returns the recorded events (msgpack-safe dicts) plus the path of
+        the JSONL file written server-side when a ``dump_dir`` is
+        configured — so ``repro dump <addr>`` works even against a server
+        whose disk the operator cannot reach.
+        """
+        if not self.recorder:
+            return {"enabled": False, "events": [], "path": None}
+        path = self.recorder.dump(reason=reason, last_seconds=last_seconds)
+        return {
+            "enabled": True,
+            "path": path,
+            "events": self.recorder.snapshot(last_seconds),
+            "info": self.recorder.info(),
+        }
+
+    def profile_snapshot(self, top: int | None = None) -> dict:
+        """The ``profile`` RPC endpoint: collapsed flamegraph stacks."""
+        return self.profiler.snapshot(top=top)
 
     def prefilter_threshold(
         self,
@@ -761,7 +871,7 @@ class NDPServer:
             self.rpc.dispatch, host=host, port=port,
             max_connections=max_connections,
         ).start()
-        return self._listener
+        return self._arm_observability(self._listener)
 
     def serve_async_tcp(
         self,
@@ -794,10 +904,37 @@ class NDPServer:
             max_tenant_inflight=tenant_inflight,
             max_tenant_pending=tenant_pending,
             admission=self.admission,
+            recorder=self.recorder if self.recorder else None,
+            slo=self.slo,
+            slo_shed=self.slo_shed,
         )
         self.registry.register("fair_queue", self._fair_queue.info)
         self._listener = AsyncServerTransport(
             self.rpc.dispatch, host=host, port=port,
             max_connections=max_connections, scheduler=self._fair_queue,
         ).start()
-        return self._listener
+        return self._arm_observability(self._listener)
+
+    def _arm_observability(self, listener):
+        """Start the profiler; dump the ring and stop it when serving ends.
+
+        The listener's ``stop`` is wrapped rather than subclassed so both
+        serving cores (threaded and async) get identical drain behaviour:
+        after the transport finishes draining, the flight ring is dumped
+        once (``reason="drain"``) and the profiler thread is joined — no
+        leaked threads across restarts, and the final seconds of a
+        graceful shutdown are always on disk.
+        """
+        self.profiler.start()
+        inner_stop = listener.stop
+
+        def stop(*args, **kwargs):
+            try:
+                return inner_stop(*args, **kwargs)
+            finally:
+                self.profiler.stop()
+                if self.recorder:
+                    self.recorder.dump(reason="drain")
+
+        listener.stop = stop
+        return listener

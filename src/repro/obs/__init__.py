@@ -20,11 +20,28 @@ reused no-op, so un-traced hot paths pay a single attribute read.
 
 from repro.obs.export import (
     chrome_trace,
+    escape_label_value,
     prometheus_text,
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, Registry, exponential_buckets
+from repro.obs.flightrec import (
+    DEFAULT_TRIGGERS,
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    install_signal_dump,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    exponential_buckets,
+    merge_snapshots,
+)
+from repro.obs.profile import NULL_PROFILER, NullProfiler, SamplingProfiler
+from repro.obs.slo import DEFAULT_SLO, SLO, RollingSketch, SLOEngine
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, new_id
 
 __all__ = [
@@ -38,8 +55,22 @@ __all__ = [
     "Histogram",
     "Registry",
     "exponential_buckets",
+    "merge_snapshots",
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
     "prometheus_text",
+    "escape_label_value",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_RECORDER",
+    "DEFAULT_TRIGGERS",
+    "install_signal_dump",
+    "SLO",
+    "DEFAULT_SLO",
+    "SLOEngine",
+    "RollingSketch",
+    "SamplingProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_text",
+    "escape_label_value",
 ]
 
 
@@ -142,28 +143,65 @@ def _fmt(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then double quote and newline — the three characters the grammar
+    reserves inside ``label="..."``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline (quotes are legal)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Per-tenant numeric fields of the SLO collector exported as labeled
+#: gauges (``repro_slo_burn_fast{tenant="..."} 12.3``).
+_SLO_TENANT_FIELDS = (
+    "burn_fast", "burn_slow", "burning", "window_total", "window_bad",
+    "slo_sheds", "p50", "p99",
+)
+
+
 def prometheus_text(snapshot: dict) -> str:
     """Text exposition of a :meth:`Registry.snapshot` dict.
 
-    Counters/gauges emit as ``<ns>_<name>``; histograms emit the
-    conventional ``_bucket{le=...}`` (cumulative) / ``_sum`` / ``_count``
-    triplet; collector dicts flatten to ``<ns>_<collector>_<key>`` with
-    non-numeric values skipped (they are labels, not samples).
+    Counters emit as ``<ns>_<name>_total`` (the conventional suffix,
+    added once — names already ending in ``_total`` are left alone);
+    gauges as ``<ns>_<name>``; histograms as the cumulative
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet.  Every typed
+    family gets a ``# HELP`` line (the instrument's help text when the
+    snapshot carries one, else a generated description).  Collector
+    dicts flatten to ``<ns>_<collector>_<key>`` with non-numeric values
+    skipped — except the SLO collector's per-tenant states, which emit
+    as labeled gauges with the tenant name escaped per the grammar.
     """
     ns = _sanitize(str(snapshot.get("namespace", "repro")))
+    helps = snapshot.get("help") or {}
     lines: list[str] = []
 
+    def _head(metric: str, kind: str, raw_name: str, fallback: str) -> None:
+        text = helps.get(raw_name) or fallback
+        lines.append(f"# HELP {metric} {_escape_help(text)}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in sorted((snapshot.get("counters") or {}).items()):
-        metric = f"{ns}_{_sanitize(name)}"
-        lines.append(f"# TYPE {metric} counter")
+        base = _sanitize(name)
+        metric = f"{ns}_{base}" if base.endswith("_total") else f"{ns}_{base}_total"
+        _head(metric, "counter", name, f"Total count of {name}.")
         lines.append(f"{metric} {_fmt(value)}")
     for name, value in sorted((snapshot.get("gauges") or {}).items()):
         metric = f"{ns}_{_sanitize(name)}"
-        lines.append(f"# TYPE {metric} gauge")
+        _head(metric, "gauge", name, f"Current value of {name}.")
         lines.append(f"{metric} {_fmt(value)}")
     for name, hist in sorted((snapshot.get("histograms") or {}).items()):
         metric = f"{ns}_{_sanitize(name)}"
-        lines.append(f"# TYPE {metric} histogram")
+        _head(metric, "histogram", name, f"Distribution of {name}.")
         cumulative = 0
         for bucket in hist.get("buckets", []):
             cumulative += int(bucket.get("count", 0))
@@ -173,6 +211,24 @@ def prometheus_text(snapshot: dict) -> str:
         lines.append(f"{metric}_sum {_fmt(float(hist.get('sum', 0.0)))}")
         lines.append(f"{metric}_count {int(hist.get('count', 0))}")
     for source, values in sorted((snapshot.get("collected") or {}).items()):
+        if not isinstance(values, dict):
+            continue
+        tenants = values.get("tenants")
+        if source == "slo" and isinstance(tenants, dict):
+            for field in _SLO_TENANT_FIELDS:
+                for tenant, state in sorted(tenants.items()):
+                    if not isinstance(state, dict) or field not in state:
+                        continue
+                    value = state[field]
+                    if isinstance(value, bool):
+                        value = int(value)
+                    if not isinstance(value, (int, float)):
+                        continue
+                    lines.append(
+                        f'{ns}_slo_{_sanitize(field)}'
+                        f'{{tenant="{escape_label_value(tenant)}"}} '
+                        f"{_fmt(value)}"
+                    )
         for key, value in sorted(values.items()):
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 continue

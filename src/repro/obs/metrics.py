@@ -23,7 +23,14 @@ from typing import Callable
 
 from repro.errors import ReproError
 
-__all__ = ["Counter", "Gauge", "Histogram", "Registry", "exponential_buckets"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "exponential_buckets",
+    "merge_snapshots",
+]
 
 
 def exponential_buckets(start: float = 1e-4, factor: float = 4.0,
@@ -94,9 +101,15 @@ class Histogram:
 
     ``buckets`` are upper bounds; an implicit ``+Inf`` bucket always
     exists, so every observation lands somewhere.
+
+    Each bucket also keeps one **exemplar**: the identifying fields
+    (trace id, msgid) of the *slowest* observation that landed in it.
+    That turns a mute "+Inf count: 3" into a clickable pointer — the
+    p999 bucket links straight to a dumpable trace.
     """
 
-    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum",
+                 "_count", "_exemplars")
 
     def __init__(self, name: str, buckets: tuple[float, ...] | None = None,
                  help: str = ""):
@@ -110,13 +123,18 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
         self._sum = 0.0
         self._count = 0
+        self._exemplars: list[dict | None] = [None] * (len(bounds) + 1)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         idx = bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                held = self._exemplars[idx]
+                if held is None or value >= held["value"]:
+                    self._exemplars[idx] = {"value": value, **exemplar}
 
     @property
     def count(self) -> int:
@@ -148,11 +166,15 @@ class Histogram:
 
     def as_dict(self) -> dict:
         with self._lock:
+            buckets = [
+                {"le": b, "count": c}
+                for b, c in zip(self.buckets, self._counts)
+            ] + [{"le": "+Inf", "count": self._counts[-1]}]
+            for slot, ex in zip(buckets, self._exemplars):
+                if ex is not None:
+                    slot["exemplar"] = dict(ex)
             return {
-                "buckets": [
-                    {"le": b, "count": c}
-                    for b, c in zip(self.buckets, self._counts)
-                ] + [{"le": "+Inf", "count": self._counts[-1]}],
+                "buckets": buckets,
                 "sum": self._sum,
                 "count": self._count,
             }
@@ -224,10 +246,106 @@ class Registry:
                 collected[name] = dict(fn())
             except Exception as exc:
                 collected[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        helps = {
+            n: inst.help
+            for group in (counters, gauges, histograms)
+            for n, inst in group.items() if inst.help
+        }
         return {
             "namespace": self.namespace,
             "counters": {n: c.value for n, c in counters.items()},
             "gauges": {n: g.value for n, g in gauges.items()},
             "histograms": {n: h.as_dict() for n, h in histograms.items()},
             "collected": collected,
+            "help": helps,
         }
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard merging
+# ---------------------------------------------------------------------------
+
+def _merge_histogram_dicts(a: dict, b: dict) -> dict:
+    """Sum two ``Histogram.as_dict`` payloads with identical bounds;
+    on mismatched bounds the first operand wins (foreign shards cannot
+    be merged losslessly).  Exemplars keep the slower of the pair."""
+    a_les = [bk.get("le") for bk in a.get("buckets", [])]
+    b_les = [bk.get("le") for bk in b.get("buckets", [])]
+    if a_les != b_les:
+        return a
+    buckets = []
+    for ba, bb in zip(a["buckets"], b["buckets"]):
+        merged = {"le": ba["le"],
+                  "count": int(ba.get("count", 0)) + int(bb.get("count", 0))}
+        ex_a, ex_b = ba.get("exemplar"), bb.get("exemplar")
+        ex = max(
+            (e for e in (ex_a, ex_b) if e is not None),
+            key=lambda e: e.get("value", 0.0), default=None,
+        )
+        if ex is not None:
+            merged["exemplar"] = dict(ex)
+        buckets.append(merged)
+    return {
+        "buckets": buckets,
+        "sum": float(a.get("sum", 0.0)) + float(b.get("sum", 0.0)),
+        "count": int(a.get("count", 0)) + int(b.get("count", 0)),
+    }
+
+
+def _merge_numeric_tree(a: dict, b: dict) -> dict:
+    """Recursively sum matching numeric leaves; non-numeric leaves keep
+    the first value seen.  Used for collector dicts across shards."""
+    out = dict(a)
+    for key, bval in b.items():
+        aval = out.get(key)
+        if aval is None:
+            out[key] = bval
+        elif isinstance(aval, dict) and isinstance(bval, dict):
+            out[key] = _merge_numeric_tree(aval, bval)
+        elif (isinstance(aval, (int, float)) and not isinstance(aval, bool)
+              and isinstance(bval, (int, float)) and not isinstance(bval, bool)):
+            out[key] = aval + bval
+    return out
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge :meth:`Registry.snapshot` dicts from peer shards into one.
+
+    Counters and gauges sum by name; histograms sum bucket-wise (the
+    bounds are identical across shards by construction); collector trees
+    sum their numeric leaves.  The result has the same shape as a single
+    snapshot, so every renderer — tables, :func:`prometheus_text` —
+    works on a whole cluster unchanged.
+    """
+    snapshots = [s for s in snapshots if s]
+    if not snapshots:
+        return {"namespace": "repro", "counters": {}, "gauges": {},
+                "histograms": {}, "collected": {}}
+    out = {
+        "namespace": snapshots[0].get("namespace", "repro"),
+        "counters": dict(snapshots[0].get("counters") or {}),
+        "gauges": dict(snapshots[0].get("gauges") or {}),
+        "histograms": {
+            n: dict(h) for n, h in (snapshots[0].get("histograms") or {}).items()
+        },
+        "collected": dict(snapshots[0].get("collected") or {}),
+        "help": dict(snapshots[0].get("help") or {}),
+        "merged_from": 1,
+    }
+    for snap in snapshots[1:]:
+        for name, value in (snap.get("counters") or {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + value
+        for name, value in (snap.get("gauges") or {}).items():
+            out["gauges"][name] = out["gauges"].get(name, 0) + value
+        for name, hist in (snap.get("histograms") or {}).items():
+            held = out["histograms"].get(name)
+            out["histograms"][name] = (
+                _merge_histogram_dicts(held, hist) if held else dict(hist)
+            )
+        out["collected"] = _merge_numeric_tree(
+            out["collected"], snap.get("collected") or {}
+        )
+        for name, text in (snap.get("help") or {}).items():
+            out["help"].setdefault(name, text)
+        out["merged_from"] += 1
+    return out

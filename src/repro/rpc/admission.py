@@ -183,6 +183,12 @@ class AdmissionController:
         with self._cond:
             self._shed += 1
 
+    def saturated(self) -> bool:
+        """True when every inflight slot is busy — overload territory,
+        where SLO-aware shedding is allowed to refuse burning tenants."""
+        with self._cond:
+            return self.max_inflight > 0 and self._inflight >= self.max_inflight
+
     @property
     def inflight(self) -> int:
         with self._cond:

@@ -35,6 +35,7 @@ import time
 from typing import Callable, NamedTuple
 
 from repro.errors import FormatError
+from repro.obs.flightrec import NULL_RECORDER
 from repro.rpc.msgpack import pack, unpack
 
 __all__ = ["FairScheduler", "sniff_request", "inject_tenant", "DEFAULT_TENANT"]
@@ -106,7 +107,7 @@ def inject_tenant(payload: bytes, tenant: str) -> bytes:
 
 class _Tenant:
     __slots__ = ("name", "weight", "queue", "inflight", "vtime",
-                 "served", "shed", "enqueued")
+                 "served", "shed", "enqueued", "slo_shed")
 
     def __init__(self, name: str, weight: float, vtime: float):
         self.name = name
@@ -117,6 +118,7 @@ class _Tenant:
         self.served = 0
         self.shed = 0
         self.enqueued = 0
+        self.slo_shed = 0
 
 
 class FairScheduler:
@@ -145,6 +147,17 @@ class FairScheduler:
     retry_after:
         Hint (seconds) carried by shed replies; defaults to the
         controller's hint, else 50 ms.
+    recorder:
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`; every
+        fair-queue shed records a ``tenant.shed`` event.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOEngine` consulted (with
+        ``slo_shed=True``) before queueing a request.
+    slo_shed:
+        When true, a tenant that is *burning its error budget* loses its
+        queueing rights: while it has any backlog, new arrivals are shed
+        immediately.  Healthy tenants queue as before — under overload
+        the budget-burner sheds first.
     """
 
     def __init__(
@@ -157,6 +170,9 @@ class FairScheduler:
         max_tenant_pending: int = 0,
         admission=None,
         retry_after: float | None = None,
+        recorder=None,
+        slo=None,
+        slo_shed: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -173,12 +189,16 @@ class FairScheduler:
             self.retry_after = float(admission.retry_after)
         else:
             self.retry_after = 0.05
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.slo = slo
+        self.slo_shed = bool(slo_shed)
         self._cond = threading.Condition()
         self._tenants: dict[str, _Tenant] = {}
         self._vclock = 0.0
         self._total_pending = 0
         self._total_inflight = 0
         self._sheds = 0
+        self._slo_sheds = 0
         self._served = 0
         self._stopping = False
         self._finish_queue = True
@@ -227,12 +247,22 @@ class FairScheduler:
         response payload (or ``None`` for notifications), possibly on a
         worker thread, possibly immediately for shed requests."""
         info = sniff_request(payload)
+        sheddable = info.mtype == _REQUEST and info.msgid is not None
+        # Burn state is read outside the scheduler lock: the SLO engine
+        # has its own locking and never calls back into the scheduler.
+        burning = (
+            self.slo_shed
+            and self.slo is not None
+            and sheddable
+            and self.slo.burning(info.tenant)
+        )
         shed_reply = None
+        shed_error = None
+        slo_decided = False
         with self._cond:
             tenant = self._tenant_locked(info.tenant)
             if (
-                info.mtype == _REQUEST
-                and info.msgid is not None
+                sheddable
                 and self.max_tenant_pending > 0
                 and len(tenant.queue) >= self.max_tenant_pending
             ):
@@ -240,20 +270,43 @@ class FairScheduler:
                 self._sheds += 1
                 if self.admission is not None:
                     self.admission.record_shed()
-                shed_reply = pack([
-                    _RESPONSE, info.msgid,
+                shed_error = (
                     f"ServerOverloadedError: tenant {tenant.name!r} over "
                     f"fair-share capacity (pending="
                     f"{len(tenant.queue)}/{self.max_tenant_pending}); "
-                    f"retry_after={self.retry_after}",
-                    None,
-                ])
+                    f"retry_after={self.retry_after}"
+                )
+            elif burning and len(tenant.queue) > 0:
+                # SLO-aware shedding: a budget-burning tenant keeps its
+                # in-flight and queued work but may not grow its backlog.
+                tenant.shed += 1
+                tenant.slo_shed += 1
+                self._sheds += 1
+                self._slo_sheds += 1
+                if self.admission is not None:
+                    self.admission.record_shed()
+                slo_decided = True
+                shed_error = (
+                    f"ServerOverloadedError: tenant {tenant.name!r} is "
+                    f"burning its error budget (backlog="
+                    f"{len(tenant.queue)}); retry_after={self.retry_after}"
+                )
             else:
                 tenant.queue.append((payload, respond))
                 tenant.enqueued += 1
                 self._total_pending += 1
                 self._cond.notify()
-        if shed_reply is not None:
+        if shed_error is not None:
+            shed_reply = pack([_RESPONSE, info.msgid, shed_error, None])
+            if self.recorder:
+                self.recorder.record(
+                    "tenant.shed", tenant=info.tenant, msgid=info.msgid,
+                    slo=slo_decided, error=shed_error,
+                )
+            if self.slo is not None:
+                if slo_decided:
+                    self.slo.record_slo_shed(info.tenant)
+                self.slo.observe(info.tenant, 0.0, error=True)
             respond(shed_reply)
 
     def _tenant_locked(self, name: str) -> _Tenant:
@@ -342,6 +395,8 @@ class FairScheduler:
                 "inflight": self._total_inflight,
                 "served": self._served,
                 "shed": self._sheds,
+                "slo_shed": self._slo_sheds,
+                "slo_aware": self.slo_shed,
                 "max_tenant_inflight": self.max_tenant_inflight,
                 "max_tenant_pending": self.max_tenant_pending,
                 "tenants": {
@@ -351,6 +406,7 @@ class FairScheduler:
                         "inflight": t.inflight,
                         "served": t.served,
                         "shed": t.shed,
+                        "slo_shed": t.slo_shed,
                     }
                     for name, t in self._tenants.items()
                 },

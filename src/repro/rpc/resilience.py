@@ -43,6 +43,7 @@ from repro.errors import (
     RPCTransportError,
     ServerOverloadedError,
 )
+from repro.obs.flightrec import NULL_RECORDER
 from repro.obs.trace import NULL_TRACER
 from repro.rpc.admission import inject_deadline, sniff_overload
 from repro.rpc.transport import Transport
@@ -237,6 +238,10 @@ class ResilientTransport(Transport):
         ctx map, so a deadline-aware server can reject doomed work early.
         Non-request payloads pass through untouched, and with
         ``deadline=None`` frames stay byte-identical to the wire.
+    recorder:
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`; retries,
+        reconnects, overload backoffs, deadline busts, and breaker flips
+        land in the client-side flight ring even with tracing off.
     """
 
     def __init__(
@@ -251,6 +256,7 @@ class ResilientTransport(Transport):
         retryable: tuple[type[BaseException], ...] = (RPCTransportError,),
         tracer=None,
         propagate_deadline: bool = True,
+        recorder=None,
     ):
         self._inner = inner
         self.retry = retry if retry is not None else RetryPolicy()
@@ -262,6 +268,7 @@ class ResilientTransport(Transport):
         self._retryable = retryable
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._propagate_deadline = propagate_deadline
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     def _record(self, event: str, n: int = 1) -> None:
@@ -271,6 +278,7 @@ class ResilientTransport(Transport):
     def _reject_open(self, cause: BaseException | None) -> None:
         self._record("breaker_rejections")
         self._tracer.add_event("breaker.reject", state=self.breaker.state)
+        self._recorder.record("breaker.reject", state=self.breaker.state)
         after = self.breaker.retry_after()
         hint = f"; retrying in {after:.3g}s" if after else ""
         raise CircuitOpenError(
@@ -303,6 +311,7 @@ class ResilientTransport(Transport):
                 if guarded():
                     self._record("reconnects")
                     self._tracer.add_event("rpc.reconnect")
+                    self._recorder.record("rpc.reconnect")
             except RPCTransportError:
                 pass
             return
@@ -313,6 +322,7 @@ class ResilientTransport(Transport):
             reconnect()
             self._record("reconnects")
             self._tracer.add_event("rpc.reconnect")
+            self._recorder.record("rpc.reconnect")
         except RPCTransportError:
             pass
 
@@ -325,6 +335,9 @@ class ResilientTransport(Transport):
             self._record("breaker_trips")
             self._tracer.add_event(
                 "breaker.trip", failures=self.breaker.failures
+            )
+            self._recorder.record(
+                "breaker.open", failures=self.breaker.failures
             )
 
     def request(self, payload: bytes) -> bytes:
@@ -362,6 +375,10 @@ class ResilientTransport(Transport):
                         attempt=attempt + 1,
                         retry_after=exc.retry_after or 0.0,
                     )
+                    self._recorder.record(
+                        "rpc.overloaded", attempt=attempt + 1,
+                        retry_after=exc.retry_after or 0.0,
+                    )
                 else:
                     self._record("failures")
                     self._breaker_failure()
@@ -378,12 +395,20 @@ class ResilientTransport(Transport):
                     self._tracer.add_event(
                         "rpc.deadline_exceeded", attempts=attempt + 1
                     )
+                    self._recorder.record(
+                        "deadline.expired", attempts=attempt + 1,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     raise RPCTimeoutError(
                         f"deadline of {policy.deadline}s exhausted after "
                         f"{attempt + 1} attempt(s): {exc}"
                     ) from exc
                 self._record("retries")
                 self._tracer.add_event(
+                    "rpc.retry", attempt=attempt + 1, delay=delay,
+                    cause=f"{type(exc).__name__}: {exc}",
+                )
+                self._recorder.record(
                     "rpc.retry", attempt=attempt + 1, delay=delay,
                     cause=f"{type(exc).__name__}: {exc}",
                 )
@@ -403,6 +428,7 @@ class ResilientTransport(Transport):
                     self._tracer.add_event(
                         "rpc.deadline_exceeded", elapsed=elapsed
                     )
+                    self._recorder.record("deadline.expired", elapsed=elapsed)
                     raise RPCTimeoutError(
                         f"response arrived after {elapsed:.3g}s, "
                         f"deadline was {policy.deadline}s"

@@ -40,6 +40,7 @@ import traceback
 from typing import Any, Callable
 
 from repro.errors import FormatError, RPCError, ServerOverloadedError
+from repro.obs.flightrec import NULL_RECORDER
 from repro.obs.trace import NULL_TRACER
 from repro.rpc.admission import AdmissionController, DeadlineScope
 from repro.rpc.msgpack import pack, unpack
@@ -83,6 +84,20 @@ class RPCServer:
         handler.  ``None`` (default) keeps the pre-admission behaviour.
     clock:
         Monotonic clock used for deadline scopes (tests inject a fake).
+    recorder:
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`; every
+        dispatched request records begin/end (or error/shed/expired)
+        events with its tenant, so the last seconds of traffic are
+        always reconstructable.  Defaults to the inert null recorder.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOEngine`; every finished
+        request feeds its tenant's latency/error windows (sheds count as
+        errors — the client asked and was refused).
+    slo_shed:
+        When true *and* both ``slo`` and ``admission`` are present,
+        requests from tenants currently burning their error budget are
+        shed pre-dispatch while the admission gate is saturated —
+        budget-burning tenants lose first under overload.
     """
 
     def __init__(
@@ -92,12 +107,18 @@ class RPCServer:
         tracer=None,
         admission: AdmissionController | None = None,
         clock: Callable[[], float] = time.monotonic,
+        recorder=None,
+        slo=None,
+        slo_shed: bool = False,
     ):
         self._handlers: dict[str, Callable[..., Any]] = {}
         self._on_error = on_error
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.admission = admission
         self._clock = clock
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.slo = slo
+        self.slo_shed = bool(slo_shed)
         if handlers:
             for name, fn in handlers.items():
                 self.bind(name, fn)
@@ -156,36 +177,106 @@ class RPCServer:
         msgid, method, params = message[1], message[2], message[3]
         ctx = message[4] if len(message) == 5 else None
         budget = None
-        if isinstance(ctx, dict) and "deadline" in ctx:
-            try:
-                budget = float(ctx["deadline"])
-            except (TypeError, ValueError):
-                budget = None
+        tenant = "default"
+        if isinstance(ctx, dict):
+            if "deadline" in ctx:
+                try:
+                    budget = float(ctx["deadline"])
+                except (TypeError, ValueError):
+                    budget = None
+            t = ctx.get("tenant")
+            if isinstance(t, str) and t:
+                tenant = t
+        method_name = method if isinstance(method, str) else repr(method)
+        if self.recorder:
+            self.recorder.record(
+                "request.begin", method=method_name, msgid=msgid,
+                tenant=tenant,
+            )
 
         if self.admission is None:
-            return self._respond(msgid, method, params, ctx, budget)
+            return self._respond(msgid, method, params, ctx, budget, tenant)
+        if (
+            self.slo_shed
+            and self.slo is not None
+            and self.admission.saturated()
+            and self.slo.burning(tenant)
+        ):
+            # SLO-aware shedding: under saturation, a tenant torching its
+            # error budget is refused before it costs anyone a slot.
+            self.admission.record_shed()
+            self.slo.record_slo_shed(tenant)
+            error = (
+                f"ServerOverloadedError: tenant {tenant!r} is burning its "
+                f"error budget under overload; "
+                f"retry_after={self.admission.retry_after}"
+            )
+            return self._shed_reply(msgid, method_name, tenant, error)
         try:
             self.admission.acquire()
         except ServerOverloadedError as exc:
             # Shed *before* any work: the whole point is answering fast.
-            return pack([_RESPONSE, msgid, f"ServerOverloadedError: {exc}", None])
+            return self._shed_reply(
+                msgid, method_name, tenant, f"ServerOverloadedError: {exc}"
+            )
         try:
-            return self._respond(msgid, method, params, ctx, budget)
+            return self._respond(msgid, method, params, ctx, budget, tenant)
         finally:
             self.admission.release()
 
-    def _respond(
-        self, msgid: Any, method: Any, params: Any, ctx: Any, budget: float | None
+    def _shed_reply(
+        self, msgid: Any, method_name: str, tenant: str, error: str
     ) -> bytes:
+        if self.recorder:
+            self.recorder.record(
+                "request.shed", method=method_name, msgid=msgid,
+                tenant=tenant, error=error,
+            )
+        if self.slo is not None:
+            self.slo.observe(tenant, 0.0, error=True)
+        return pack([_RESPONSE, msgid, error, None])
+
+    def _respond(
+        self, msgid: Any, method: Any, params: Any, ctx: Any,
+        budget: float | None, tenant: str = "default",
+    ) -> bytes:
+        """Run one admitted request with begin/end accounting around the
+        deadline scope, trace capture, and invoke."""
+        t0 = time.perf_counter()
+        error, payload = self._respond_inner(msgid, method, params, ctx, budget)
+        latency = time.perf_counter() - t0
+        if self.recorder:
+            method_name = method if isinstance(method, str) else repr(method)
+            if error is None:
+                self.recorder.record(
+                    "request.end", method=method_name, msgid=msgid,
+                    tenant=tenant, latency=latency,
+                )
+            else:
+                kind = (
+                    "deadline.expired"
+                    if error.startswith("DeadlineExpiredError")
+                    else "request.error"
+                )
+                self.recorder.record(
+                    kind, method=method_name, msgid=msgid, tenant=tenant,
+                    latency=latency, error=error,
+                )
+        if self.slo is not None:
+            self.slo.observe(tenant, latency, error=error is not None)
+        return payload
+
+    def _respond_inner(
+        self, msgid: Any, method: Any, params: Any, ctx: Any, budget: float | None
+    ) -> tuple[str | None, bytes]:
         """Run one admitted request: deadline scope, trace capture, invoke."""
         if budget is not None and budget <= 0:
             self._count_expired()
-            return pack(
-                [_RESPONSE, msgid,
-                 "DeadlineExpiredError: request deadline already expired on "
-                 f"arrival (budget {budget:.3f}s); nothing attempted",
-                 None]
+            error = (
+                "DeadlineExpiredError: request deadline already expired on "
+                f"arrival (budget {budget:.3f}s); nothing attempted"
             )
+            return error, pack([_RESPONSE, msgid, error, None])
         scope = (
             DeadlineScope(budget, clock=self._clock)
             if budget is not None
@@ -204,7 +295,7 @@ class RPCServer:
                 error, result = self._invoke(method, params)
                 if error is not None and error.startswith("DeadlineExpiredError"):
                     self._count_expired()
-                return pack([_RESPONSE, msgid, error, result])
+                return error, pack([_RESPONSE, msgid, error, result])
             with self.tracer.collect() as captured:
                 with self.tracer.activate(
                     ctx, "rpc.dispatch",
@@ -219,7 +310,7 @@ class RPCServer:
         if error is not None and error.startswith("DeadlineExpiredError"):
             self._count_expired()
         spans = [span.to_dict() for span in captured.spans]
-        return pack([_RESPONSE, msgid, error, result, spans])
+        return error, pack([_RESPONSE, msgid, error, result, spans])
 
     def _count_expired(self) -> None:
         if self.admission is not None:

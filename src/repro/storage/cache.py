@@ -81,6 +81,9 @@ class SingleFlightCache:
         Optional :class:`~repro.obs.trace.Tracer`; each lookup outcome
         (hit / miss / coalesced) is recorded as an event on the caller's
         current span, so a trace shows which phases a cache hit skipped.
+    recorder:
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`; the same
+        hit/miss/coalesced outcomes land in the always-on flight ring.
     """
 
     def __init__(
@@ -89,6 +92,7 @@ class SingleFlightCache:
         sizeof: Callable[[Any], int] | None = None,
         name: str = "cache",
         tracer=None,
+        recorder=None,
     ):
         if max_bytes <= 0:
             raise ReproError(f"cache budget must be > 0 bytes, got {max_bytes}")
@@ -101,6 +105,9 @@ class SingleFlightCache:
         self._current_bytes = 0
         self.stats = CacheStats(name=name)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        from repro.obs.flightrec import NULL_RECORDER
+
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     def get_or_load(self, key: Hashable, loader: Callable[[], Any]) -> Any:
@@ -117,6 +124,7 @@ class SingleFlightCache:
                 self._entries.move_to_end(key)
                 self.stats.record("hits")
                 self.tracer.add_event("cache.hit", cache=self.name)
+                self.recorder.record("cache.hit", cache=self.name)
                 return value
             flight = self._inflight.get(key)
             if flight is None:
@@ -125,10 +133,12 @@ class SingleFlightCache:
                 leader = True
                 self.stats.record("misses")
                 self.tracer.add_event("cache.miss", cache=self.name)
+                self.recorder.record("cache.miss", cache=self.name)
             else:
                 leader = False
                 self.stats.record("coalesced")
                 self.tracer.add_event("cache.coalesced", cache=self.name)
+                self.recorder.record("cache.coalesced", cache=self.name)
 
         if not leader:
             flight.event.wait()
@@ -229,8 +239,10 @@ class ArrayCache(SingleFlightCache):
     NDP server only charges those Testbed phases inside the loader.
     """
 
-    def __init__(self, max_bytes: int, name: str = "array_cache", tracer=None):
-        super().__init__(max_bytes, sizeof=_array_sizeof, name=name, tracer=tracer)
+    def __init__(self, max_bytes: int, name: str = "array_cache", tracer=None,
+                 recorder=None):
+        super().__init__(max_bytes, sizeof=_array_sizeof, name=name,
+                         tracer=tracer, recorder=recorder)
 
 
 class SelectionCache(SingleFlightCache):
@@ -240,5 +252,7 @@ class SelectionCache(SingleFlightCache):
     and compressed), so a hit costs no scan, no encode, and no compress.
     """
 
-    def __init__(self, max_bytes: int, name: str = "selection_cache", tracer=None):
-        super().__init__(max_bytes, sizeof=_generic_sizeof, name=name, tracer=tracer)
+    def __init__(self, max_bytes: int, name: str = "selection_cache", tracer=None,
+                 recorder=None):
+        super().__init__(max_bytes, sizeof=_generic_sizeof, name=name,
+                         tracer=tracer, recorder=recorder)

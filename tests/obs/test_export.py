@@ -93,7 +93,9 @@ class TestPrometheusText:
         h.observe(0.5)
         h.observe(5.0)
         text = prometheus_text(reg.snapshot())
-        assert "# TYPE repro_requests counter\nrepro_requests 3" in text
+        # Counters carry the conventional _total suffix.
+        assert ("# TYPE repro_requests_total counter\n"
+                "repro_requests_total 3") in text
         assert "# TYPE repro_depth gauge\nrepro_depth 2" in text
         # Buckets must be CUMULATIVE in the exposition format.
         assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
@@ -113,4 +115,110 @@ class TestPrometheusText:
         reg = Registry(namespace="re pro")
         reg.counter("bad-name.x").inc()
         text = prometheus_text(reg.snapshot())
-        assert "re_pro_bad_name_x 1" in text
+        assert "re_pro_bad_name_x_total 1" in text
+
+    def test_total_suffix_not_doubled(self):
+        reg = Registry()
+        reg.counter("bytes_total").inc(7)
+        text = prometheus_text(reg.snapshot())
+        assert "repro_bytes_total 7" in text
+        assert "bytes_total_total" not in text
+
+    def test_help_lines(self):
+        reg = Registry()
+        reg.counter("requests", help="Requests served.").inc()
+        reg.gauge("depth").set(1)
+        text = prometheus_text(reg.snapshot())
+        # Explicit help text wins; instruments without one get a
+        # generated description — every typed family has a HELP line.
+        assert "# HELP repro_requests_total Requests served.\n" in text
+        assert "# HELP repro_depth Current value of depth.\n" in text
+
+    def test_help_text_escaped(self):
+        reg = Registry()
+        reg.counter("c", help="line one\nback\\slash").inc()
+        text = prometheus_text(reg.snapshot())
+        assert "# HELP repro_c_total line one\\nback\\\\slash" in text
+
+    def test_label_value_escaping(self):
+        from repro.obs.export import escape_label_value
+
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # Backslash escapes first, so escaped quotes don't double-escape.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_slo_tenant_gauges_labeled_and_escaped(self):
+        reg = Registry()
+        reg.register("slo", lambda: {
+            "fast_window": 30.0,
+            "tenants": {
+                'we"ird\nco': {
+                    "burn_fast": 2.5, "burn_slow": 1.5, "burning": True,
+                    "window_total": 20, "window_bad": 10, "slo_sheds": 3,
+                    "p50": 0.01, "p99": 0.4,
+                },
+            },
+        })
+        text = prometheus_text(reg.snapshot())
+        assert 'repro_slo_burn_fast{tenant="we\\"ird\\nco"} 2.5' in text
+        assert 'repro_slo_burning{tenant="we\\"ird\\nco"} 1' in text
+        assert 'repro_slo_slo_sheds{tenant="we\\"ird\\nco"} 3' in text
+
+    def test_grammar_round_trip(self):
+        """Every non-comment line must parse under the exposition grammar.
+
+        A tiny parser implementing the format's line grammar — metric
+        name, optional {labels}, float value — rejects anything a real
+        scraper would reject (unescaped quotes, bad names, missing
+        values), and the label values must unescape back to the
+        originals.
+        """
+        import re
+
+        name_re = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+        line_re = re.compile(
+            rf"^({name_re})(\{{(.*)\}})? (\S+)$"
+        )
+        label_re = re.compile(
+            rf'^({name_re})="((?:[^"\\\n]|\\\\|\\"|\\n)*)"$'
+        )
+
+        def unescape(v: str) -> str:
+            out, i = [], 0
+            while i < len(v):
+                if v[i] == "\\" and i + 1 < len(v):
+                    out.append({"\\": "\\", '"': '"', "n": "\n"}[v[i + 1]])
+                    i += 2
+                else:
+                    out.append(v[i])
+                    i += 1
+            return "".join(out)
+
+        reg = Registry()
+        reg.counter("requests", help="Total requests.").inc(3)
+        reg.gauge("depth").set(-2)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        reg.register("slo", lambda: {"tenants": {
+            'evil"\n\\tenant': {"burn_fast": 1.25, "burning": False},
+        }})
+        reg.register("cache", lambda: {"hits": 4, "name": "array"})
+        text = prometheus_text(reg.snapshot())
+        assert text.endswith("\n")
+
+        seen_labels = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert re.match(
+                    rf"^# (HELP|TYPE) {name_re} .+$", line
+                ), line
+                continue
+            m = line_re.match(line)
+            assert m, f"unparseable sample line: {line!r}"
+            float("+inf" if m.group(4) == "+Inf" else m.group(4))
+            if m.group(3):
+                lm = label_re.match(m.group(3))
+                assert lm, f"unparseable labels: {m.group(3)!r}"
+                seen_labels.append(unescape(lm.group(2)))
+        assert 'evil"\n\\tenant' in seen_labels

@@ -96,6 +96,102 @@ class TestHistogram:
         assert h.sum == pytest.approx(0.003)
 
 
+class TestExemplars:
+    def test_exemplar_attached_to_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar={"trace_id": "t1", "span_id": "s1"})
+        h.observe(50.0)  # no exemplar: bucket stays bare
+        d = h.as_dict()
+        by_le = {b["le"]: b for b in d["buckets"]}
+        assert by_le[1.0]["exemplar"] == {
+            "value": 0.5, "trace_id": "t1", "span_id": "s1",
+        }
+        assert "exemplar" not in by_le["+Inf"]
+
+    def test_slowest_observation_wins_per_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.2, exemplar={"trace_id": "fast"})
+        h.observe(0.9, exemplar={"trace_id": "slow"})
+        h.observe(0.5, exemplar={"trace_id": "mid"})
+        d = h.as_dict()
+        ex = d["buckets"][0]["exemplar"]
+        assert ex["trace_id"] == "slow"
+        assert ex["value"] == pytest.approx(0.9)
+
+    def test_snapshot_stays_msgpack_safe(self):
+        from repro.rpc import pack, unpack
+
+        reg = Registry()
+        reg.histogram("lat").observe(0.5, exemplar={"trace_id": "t"})
+        assert unpack(pack(reg.snapshot())) == reg.snapshot()
+
+
+class TestMergeSnapshots:
+    def _snap(self, requests, hist_obs=(), collected=None):
+        reg = Registry()
+        reg.counter("requests").inc(requests)
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for value, exemplar in hist_obs:
+            h.observe(value, exemplar=exemplar)
+        for name, fn in (collected or {}).items():
+            reg.register(name, fn)
+        return reg.snapshot()
+
+    def test_counters_and_histograms_sum(self):
+        from repro.obs import merge_snapshots
+
+        merged = merge_snapshots([
+            self._snap(3, [(0.5, None)]),
+            self._snap(4, [(0.7, None), (50.0, None)]),
+        ])
+        assert merged["counters"]["requests"] == 7
+        assert merged["merged_from"] == 2
+        hist = merged["histograms"]["lat"]
+        assert hist["count"] == 3
+        by_le = {b["le"]: b["count"] for b in hist["buckets"]}
+        assert by_le == {1.0: 2, 10.0: 0, "+Inf": 1}
+        assert hist["sum"] == pytest.approx(51.2)
+
+    def test_exemplar_merge_keeps_slower(self):
+        from repro.obs import merge_snapshots
+
+        merged = merge_snapshots([
+            self._snap(1, [(0.4, {"trace_id": "a"})]),
+            self._snap(1, [(0.8, {"trace_id": "b"})]),
+        ])
+        ex = merged["histograms"]["lat"]["buckets"][0]["exemplar"]
+        assert ex["trace_id"] == "b"
+
+    def test_collector_trees_sum_numeric_leaves(self):
+        from repro.obs import merge_snapshots
+
+        merged = merge_snapshots([
+            self._snap(0, collected={"cache": lambda: {
+                "hits": 3, "name": "array", "enabled": True,
+                "nested": {"bytes": 10},
+            }}),
+            self._snap(0, collected={"cache": lambda: {
+                "hits": 4, "name": "other", "enabled": False,
+                "nested": {"bytes": 5},
+            }}),
+        ])
+        cache = merged["collected"]["cache"]
+        assert cache["hits"] == 7
+        assert cache["nested"]["bytes"] == 15
+        # Non-numeric (and bool) leaves keep the first shard's value.
+        assert cache["name"] == "array"
+        assert cache["enabled"] is True
+
+    def test_empty_and_single_inputs(self):
+        from repro.obs import merge_snapshots
+
+        empty = merge_snapshots([])
+        assert empty["counters"] == {}
+        one = merge_snapshots([self._snap(2)])
+        assert one["counters"]["requests"] == 2
+        assert one["merged_from"] == 1
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         reg = Registry()

@@ -1,0 +1,238 @@
+"""Tests for the `repro top` engine: model, renderer, poll loop.
+
+The model and renderer are pure (snapshots in, rows/text out), so these
+tests drive them with dict fixtures and an injected clock; ``run_top``
+gets a fake pool, so no test here opens a socket.
+"""
+
+import io
+import json
+
+from repro.obs.top import TopModel, poll_stats, render, run_top
+
+
+class FakeMono:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def snap(requests=0, pending=0, inflight=0, shed=0, hits=0, misses=0,
+         fair_tenants=None, slo_tenants=None, latency=None):
+    collected = {
+        "admission": {"pending": pending, "inflight": inflight,
+                      "shed": shed},
+        "array_cache": {"enabled": True, "hits": hits, "misses": misses,
+                        "coalesced": 0},
+    }
+    if fair_tenants is not None:
+        collected["fair_queue"] = {
+            "pending": pending, "inflight": inflight,
+            "tenants": fair_tenants,
+        }
+    if slo_tenants is not None:
+        collected["slo"] = {"tenants": slo_tenants}
+    return {
+        "counters": {"requests": requests, "integrity_failures": 0},
+        "histograms": {"request_latency_seconds": latency or {}},
+        "collected": collected,
+    }
+
+
+class TestTopModel:
+    def test_rates_are_first_difference(self):
+        clock = FakeMono()
+        model = TopModel(clock=clock)
+        view = model.view([{"address": "a:1", "snapshot": snap(100)}])
+        assert view["shards"][0]["rate"] == 0.0  # first poll: no basis
+        clock.advance(2.0)
+        view = model.view([{"address": "a:1", "snapshot": snap(150)}])
+        assert view["shards"][0]["rate"] == 25.0
+        assert view["totals"]["rate"] == 25.0
+        assert view["shards"][0]["requests"] == 150
+
+    def test_counter_reset_clamps_rate_to_zero(self):
+        clock = FakeMono()
+        model = TopModel(clock=clock)
+        model.view([{"address": "a:1", "snapshot": snap(500)}])
+        clock.advance(1.0)
+        view = model.view([{"address": "a:1", "snapshot": snap(3)}])
+        assert view["shards"][0]["rate"] == 0.0  # restarted shard
+
+    def test_unreachable_rows_kept_and_counted(self):
+        model = TopModel(clock=FakeMono())
+        view = model.view([
+            {"address": "a:1", "snapshot": snap(10)},
+            {"address": "b:2", "error": "OSError: refused"},
+        ])
+        assert view["totals"] == {
+            "requests": 10, "rate": 0.0, "pending": 0, "inflight": 0,
+            "shed": 0, "reachable": 1, "shards": 2,
+        }
+        down = view["shards"][1]
+        assert down["status"] == "unreachable"
+        assert down["error"] == "OSError: refused"
+
+    def test_tenant_rows_merge_across_shards(self):
+        model = TopModel(clock=FakeMono())
+        view = model.view([
+            {"address": "a:1", "snapshot": snap(
+                fair_tenants={"alice": {"served": 5, "pending": 1,
+                                        "inflight": 1, "shed": 0,
+                                        "weight": 2.0}},
+                slo_tenants={"alice": {"burn_fast": 3.0, "burn_slow": 1.5,
+                                       "burning": True, "slo_sheds": 2}},
+            )},
+            {"address": "b:2", "snapshot": snap(
+                fair_tenants={"alice": {"served": 7, "pending": 0,
+                                        "inflight": 0, "shed": 1}},
+                slo_tenants={"alice": {"burn_fast": 1.0, "burn_slow": 0.5,
+                                       "burning": False, "slo_sheds": 1}},
+            )},
+        ])
+        [alice] = view["tenants"]
+        # Counts sum; burn is a fraction so the worst shard wins.
+        assert alice["served"] == 12
+        assert alice["shed"] == 1
+        assert alice["burn_fast"] == 3.0
+        assert alice["burn_slow"] == 1.5
+        assert alice["burning"] is True
+        assert alice["slo_sheds"] == 3
+
+    def test_slo_only_tenant_still_gets_a_row(self):
+        model = TopModel(clock=FakeMono())
+        view = model.view([{"address": "a:1", "snapshot": snap(
+            slo_tenants={"bob": {"burn_fast": 2.0, "burn_slow": 2.0,
+                                 "burning": True, "slo_sheds": 0}},
+        )}])
+        [bob] = view["tenants"]
+        assert bob["tenant"] == "bob"
+        assert bob["burning"] is True
+        assert bob["served"] == 0
+
+    def test_latency_quantiles_from_histogram(self):
+        latency = {
+            "count": 100,
+            "buckets": [
+                {"le": 0.01, "count": 60},
+                {"le": 0.1, "count": 39},
+                {"le": "+Inf", "count": 1},
+            ],
+        }
+        model = TopModel(clock=FakeMono())
+        view = model.view([
+            {"address": "a:1", "snapshot": snap(latency=latency)}])
+        row = view["shards"][0]
+        assert row["p50"] == 0.01
+        assert row["p99"] == 0.1
+
+    def test_cache_hit_rate(self):
+        model = TopModel(clock=FakeMono())
+        view = model.view([
+            {"address": "a:1", "snapshot": snap(hits=3, misses=1)}])
+        assert view["shards"][0]["cache_hit_rate"] == 0.75
+        view = model.view([{"address": "b:2", "snapshot": snap()}])
+        assert view["shards"][0]["cache_hit_rate"] is None
+
+
+class TestRender:
+    def _view(self):
+        model = TopModel(clock=FakeMono())
+        return model.view([
+            {"address": "a:1", "snapshot": snap(
+                10, pending=2, inflight=1, shed=3,
+                fair_tenants={"alice": {"served": 4, "pending": 0,
+                                        "inflight": 0, "shed": 0}},
+                slo_tenants={"alice": {"burn_fast": 2.5, "burn_slow": 1.1,
+                                       "burning": True, "slo_sheds": 2}},
+            )},
+            {"address": "b:2", "error": "OSError: refused"},
+        ])
+
+    def test_tables_carry_all_sections(self):
+        text = render(self._view())
+        assert "cluster: 1/2 shards up" in text
+        assert "SHARD" in text and "REQ/S" in text and "P99" in text
+        assert "a:1" in text
+        assert "unreachable" in text and "OSError: refused" in text
+        assert "TENANT" in text and "BURN(F)" in text
+        assert "alice" in text
+        assert "BURNING+2" in text
+
+    def test_empty_tenants_omit_tenant_table(self):
+        model = TopModel(clock=FakeMono())
+        view = model.view([{"address": "a:1", "snapshot": snap(5)}])
+        text = render(view)
+        assert "TENANT" not in text
+
+
+class FakeClient:
+    def __init__(self, result):
+        self._result = result
+
+    def call(self, method):
+        assert method == "stats"
+        if isinstance(self._result, Exception):
+            raise self._result
+        return self._result
+
+
+class FakePool:
+    def __init__(self, results):
+        self._results = results
+        self.closed = False
+
+    def client(self, i):
+        return FakeClient(self._results[i])
+
+    def close(self):
+        self.closed = True
+
+
+class TestPollStats:
+    def test_errors_become_rows(self):
+        pool = FakePool([snap(5), OSError("refused")])
+        polls = poll_stats(pool, ["a:1", "b:2"])
+        assert polls[0]["snapshot"]["counters"]["requests"] == 5
+        assert polls[1]["error"] == "OSError: refused"
+
+
+class TestRunTop:
+    def test_once_json_contract(self):
+        pool = FakePool([snap(7)])
+        out = io.StringIO()
+        rc = run_top(["a:1"], once=True, as_json=True, out=out, pool=pool)
+        assert rc == 0
+        view = json.loads(out.getvalue())
+        assert view["totals"]["requests"] == 7
+        assert view["shards"][0]["address"] == "a:1"
+        # Injected pools are not closed by run_top — caller owns them.
+        assert pool.closed is False
+
+    def test_unreachable_shard_fails_exit_code(self):
+        pool = FakePool([snap(7), OSError("refused")])
+        out = io.StringIO()
+        rc = run_top(["a:1", "b:2"], once=True, as_json=True, out=out,
+                     pool=pool)
+        assert rc == 1
+
+    def test_iterations_and_sleep_injection(self):
+        pool = FakePool([snap(7)])
+        out = io.StringIO()
+        slept = []
+        clock = FakeMono()
+
+        def sleep(dt):
+            slept.append(dt)
+            clock.advance(dt)
+
+        rc = run_top(["a:1"], interval=0.5, iterations=3, out=out,
+                     pool=pool, clock=clock, sleep=sleep)
+        assert rc == 0
+        assert slept == [0.5, 0.5]  # no sleep after the final round
+        assert out.getvalue().count("cluster:") == 3

@@ -251,7 +251,8 @@ class TestStatsSubcommand:
             listener.stop()
         out = capsys.readouterr().out
         assert rc == 0
-        assert "# TYPE repro_requests counter" in out
+        assert "# TYPE repro_requests_total counter" in out
+        assert "# HELP repro_requests_total" in out
         assert "# TYPE repro_request_latency_seconds histogram" in out
         assert 'repro_request_latency_seconds_bucket{le="+Inf"} 0' in out
 
@@ -337,3 +338,148 @@ class TestServeRobustnessFlags:
         out = capsys.readouterr().out
         assert "max_inflight=4" in out
         assert "stopped (clean" in out
+
+
+def _live_listeners(store, n=2):
+    """Start n NDP servers over one store; returns (listeners, addrs)."""
+    from repro.core.ndp_server import NDPServer
+    from repro.storage.object_store import DirectoryBackend, ObjectStore
+    from repro.storage.s3fs import S3FileSystem
+
+    listeners = []
+    for _ in range(n):
+        fs = S3FileSystem(ObjectStore(DirectoryBackend(store)), "sim")
+        listeners.append(NDPServer(fs, cache_bytes=2**20).serve_tcp())
+    return listeners, [f"{ls.host}:{ls.port}" for ls in listeners]
+
+
+class TestMultiAddress:
+    def test_stats_merged_across_endpoints(self, store, capsys):
+        listeners, addrs = _live_listeners(store, 2)
+        try:
+            # One request against each shard so merged counters read 2.
+            for addr in addrs:
+                assert main([
+                    "contour", "--connect", addr,
+                    "--key", "asteroid/ts00000.vgf", "--array", "v02",
+                    "--values", "0.1",
+                ]) == 0
+            capsys.readouterr()
+            rc = main(["stats", "--connect", ",".join(addrs)])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "stats for 2/2 endpoint(s), merged:" in out
+            assert "requests: 2" in out
+            assert "latency (wall): count=2" in out
+        finally:
+            for ls in listeners:
+                ls.stop()
+
+    def test_stats_partial_failure_still_merges(self, store, capsys):
+        listeners, addrs = _live_listeners(store, 1)
+        dead = f"127.0.0.1:{TestResilienceFlags._dead_port()}"
+        try:
+            rc = main(["stats", "--connect", f"{addrs[0]},{dead}",
+                       "--retries", "1", "--deadline", "2"])
+            out = capsys.readouterr().out
+            assert rc == 1  # partial coverage is not a clean exit
+            assert f"unreachable: {dead}:" in out
+            assert "stats for 1/2 endpoint(s), merged:" in out
+        finally:
+            listeners[0].stop()
+
+    def test_health_table_across_endpoints(self, store, capsys):
+        listeners, addrs = _live_listeners(store, 2)
+        dead = f"127.0.0.1:{TestResilienceFlags._dead_port()}"
+        try:
+            rc = main(["health", "--connect", ",".join(addrs + [dead]),
+                       "--retries", "1", "--deadline", "2"])
+            out = capsys.readouterr().out
+            assert rc == 1
+            assert "ADDRESS" in out and "BURNING" in out
+            for addr in addrs:
+                assert addr in out
+            assert "unreachable" in out
+            assert "2/3 healthy" in out
+        finally:
+            for ls in listeners:
+                ls.stop()
+
+    def test_bad_address_spec_is_usage_error(self, capsys):
+        assert main(["stats", "--connect", "noport"]) == 2
+        assert main(["health", "--connect", ""]) == 2
+        assert "bad address" in capsys.readouterr().err
+
+
+class TestDumpSubcommand:
+    def test_dump_pulls_ring_and_writes_local_jsonl(self, store, tmp_path,
+                                                    capsys):
+        import json
+
+        listeners, addrs = _live_listeners(store, 1)
+        try:
+            assert main([
+                "contour", "--connect", addrs[0],
+                "--key", "asteroid/ts00000.vgf", "--array", "v02",
+                "--values", "0.1",
+            ]) == 0
+            capsys.readouterr()
+            out_path = str(tmp_path / "dump.jsonl")
+            rc = main(["dump", "--connect", addrs[0], "--out", out_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "event(s); server-side dump:" in out
+            assert f"wrote {out_path}" in out
+            lines = [json.loads(line) for line in open(out_path)]
+            assert lines[0]["kind"] == "flightrec.header"
+            kinds = {e["kind"] for e in lines[1:]}
+            assert "request.begin" in kinds
+            assert "phase" in kinds  # the request's phase timeline rode along
+        finally:
+            listeners[0].stop()
+
+    def test_dump_unreachable(self, capsys):
+        dead = f"127.0.0.1:{TestResilienceFlags._dead_port()}"
+        rc = main(["dump", "--connect", dead, "--retries", "1",
+                   "--deadline", "2"])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().out
+
+
+class TestProfSubcommand:
+    def test_prof_reports_profiler_state(self, store, tmp_path, capsys):
+        listeners, addrs = _live_listeners(store, 1)
+        try:
+            out_path = str(tmp_path / "prof.collapsed")
+            rc = main(["prof", "--connect", addrs[0], "--out", out_path])
+            out = capsys.readouterr().out
+            assert rc == 0
+            # serve_tcp does not arm the profiler thread by itself until
+            # serve(); the endpoint still answers with a valid snapshot.
+            assert ("samples @" in out) or ("profiler disabled" in out)
+        finally:
+            listeners[0].stop()
+
+
+class TestTopSubcommand:
+    def test_top_once_json(self, store, capsys):
+        import json
+
+        listeners, addrs = _live_listeners(store, 2)
+        try:
+            rc = main(["top", "--connect", ",".join(addrs), "--once",
+                       "--json"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            view = json.loads(out)
+            assert view["totals"]["shards"] == 2
+            assert view["totals"]["reachable"] == 2
+            assert {s["address"] for s in view["shards"]} == set(addrs)
+        finally:
+            for ls in listeners:
+                ls.stop()
+
+    def test_top_reports_unreachable_with_rc_1(self, capsys):
+        dead = f"127.0.0.1:{TestResilienceFlags._dead_port()}"
+        rc = main(["top", "--connect", dead, "--once", "--json"])
+        assert rc == 1
