@@ -1,0 +1,147 @@
+"""Extension — failover latency: hedged reads vs. a dead replica.
+
+The replication design claims failover is a *fast path*: with R=2, a
+dead replica should cost roughly one fast connection failure on the
+first few requests — until its circuit breaker opens and health ranking
+moves it to the back of every chain — and nothing at all afterwards.
+This bench measures end-to-end contour latency over an in-process
+3-shard cluster, healthy versus one-replica-dead, and gates the
+dead-replica p99 at 3x the healthy p99.
+
+Geometry is asserted byte-identical in both conditions, with zero
+baseline fallback reads (no ``fallback_fs`` is even configured).
+"""
+
+import time
+
+from repro.bench.reporting import print_table
+from repro.cluster import ClusterClient, load_manifest, shard_object
+from repro.core import NDPServer
+from repro.errors import RPCTransportError
+from repro.filters import contour_grid
+from repro.io import write_vgf
+from repro.rpc import InProcessTransport
+from repro.rpc.pool import EndpointPool
+from repro.rpc.resilience import CircuitBreaker, RetryPolicy
+from repro.storage import ObjectStore, S3FileSystem
+
+SHARDS = 3
+REPLICAS = 2
+VALUES = [0.3]
+ROUNDS = 40
+
+
+class DeadTransport:
+    """A replica whose socket is gone: every request fails fast."""
+
+    def __init__(self):
+        self.attempts = 0
+
+    def request(self, payload):
+        self.attempts += 1
+        raise RPCTransportError("bench: replica is dead (connection refused)")
+
+    def close(self):
+        pass
+
+
+def _assert_bytes_equal(a, b):
+    assert a.points.tobytes() == b.points.tobytes()
+    assert a.polys.connectivity.tobytes() == b.polys.connectivity.tobytes()
+    assert a.polys.offsets.tobytes() == b.polys.offsets.tobytes()
+    for x, y in zip(a.point_data, b.point_data):
+        assert x.name == y.name and x.values.tobytes() == y.values.tobytes()
+
+
+def _build(env, dead_shard=None):
+    grid = env.grid("asteroid", env.timesteps[0])
+    backend = env.store.backend.__class__()
+    store = ObjectStore(backend)
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    key = "failover/full.vgf"
+    fs.write_object(key, write_vgf(grid, codec="lz4"))
+    manifest_obj = shard_object(fs, key, blocks=(1, 1, SHARDS),
+                                shards=SHARDS, replicas=REPLICAS)
+    manifest = load_manifest(fs, manifest_obj.manifest_key)
+    transports = []
+    for shard in range(SHARDS):
+        if shard == dead_shard:
+            transports.append(DeadTransport())
+        else:
+            server = NDPServer(fs, cache_bytes=64 * 2**20)
+            transports.append(InProcessTransport(server.rpc.dispatch))
+    pool = EndpointPool(
+        transports,
+        retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0,
+                          deadline=None),
+        breaker_factory=lambda: CircuitBreaker(failure_threshold=3,
+                                               reset_timeout=60.0),
+    )
+    return ClusterClient(pool, manifest), pool
+
+
+def _p(latencies, q):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _run(cluster, reference):
+    latencies = []
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        result, stats = cluster.contour("v02", VALUES)
+        latencies.append(time.perf_counter() - t0)
+        assert stats["fallback_blocks"] == 0
+    _assert_bytes_equal(result, reference)
+    return latencies, stats
+
+
+def test_ext_failover_latency(benchmark, bench_record, env):
+    grid = env.grid("asteroid", env.timesteps[0])
+    reference = contour_grid(grid, "v02", VALUES)
+
+    healthy_cluster, healthy_pool = _build(env)
+    healthy, _ = _run(healthy_cluster, reference)
+
+    dead_cluster, dead_pool = _build(env, dead_shard=0)
+    dead, dead_stats = _run(dead_cluster, reference)
+    assert dead_pool.wait_drained(timeout=5.0)
+
+    healthy_p99 = _p(healthy, 0.99)
+    dead_p99 = _p(dead, 0.99)
+    ratio = dead_p99 / healthy_p99 if healthy_p99 else float("inf")
+    rows = [
+        {"condition": "healthy", "p50_ms": _p(healthy, 0.5) * 1e3,
+         "p99_ms": healthy_p99 * 1e3, "failovers": 0},
+        {"condition": "shard0 dead", "p50_ms": _p(dead, 0.5) * 1e3,
+         "p99_ms": dead_p99 * 1e3,
+         "failovers": dead_pool.stats.as_dict().get("failovers", 0)},
+    ]
+    print_table(
+        rows,
+        title=(f"Extension — failover latency ({SHARDS} shards, R="
+               f"{REPLICAS}, one replica dead, p99 gate 3x; "
+               f"observed {ratio:.2f}x)"),
+    )
+
+    # The acceptance gate: hedged failover keeps the dead-replica p99
+    # within 3x of the healthy cluster's.
+    assert dead_p99 <= 3.0 * healthy_p99, (
+        f"dead-replica p99 {dead_p99 * 1e3:.1f}ms vs healthy "
+        f"{healthy_p99 * 1e3:.1f}ms ({ratio:.2f}x > 3x)"
+    )
+    # After the breaker trips, health ranking routes around the corpse:
+    # the dead endpoint saw only a bounded number of attempts, not one
+    # per request.
+    assert dead_pool.endpoint_state(0) == "open"
+    assert dead_stats["fallback_blocks"] == 0
+
+    bench_record(
+        healthy_p50_s=_p(healthy, 0.5), healthy_p99_s=healthy_p99,
+        dead_p50_s=_p(dead, 0.5), dead_p99_s=dead_p99,
+        dead_over_healthy_p99=ratio,
+        failovers=dead_pool.stats.as_dict().get("failovers", 0),
+        hedges=dead_pool.stats.as_dict().get("hedges", 0),
+    )
+    benchmark(lambda: _p(healthy, 0.99))

@@ -33,6 +33,7 @@ from repro.obs.profile import SamplingProfiler
 from repro.obs.slo import SLO, SLOEngine
 from repro.obs.trace import Tracer
 from repro.rpc.client import RPCClient
+from repro.rpc.pool import parse_address
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
 from repro.rpc.transport import TCPTransport
 from repro.storage.metrics import ResilienceStats
@@ -255,10 +256,10 @@ def cmd_loadgen(args) -> int:
 
     from repro.bench.loadgen import run_load
 
-    host, _, port = args.connect.rpartition(":")
-    if not port.isdigit():
-        print(f"error: bad --connect address {args.connect!r} "
-              f"(want host:port)", file=sys.stderr)
+    try:
+        host, port = parse_address(args.connect)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     params = ()
     if args.params:
@@ -269,7 +270,7 @@ def cmd_loadgen(args) -> int:
                   file=sys.stderr)
             return 2
     report = run_load(
-        host or "127.0.0.1", int(port),
+        host, port,
         connections=args.connections, rate=args.rate,
         duration=args.duration, method=args.method, params=params,
         core=args.core, tenant=args.tenant or None,
@@ -338,39 +339,71 @@ def cmd_shard(args) -> int:
         shards=args.shards if args.shards > 0 else None,
         codec=args.codec,
         sign_key=args.sign_key.encode() if args.sign_key else None,
+        replicas=args.replicas,
     )
     for bo in manifest.block_objects:
+        chain = ("" if len(bo.replicas) == 1
+                 else f", replicas {list(bo.replicas)}")
         print(f"wrote {bo.key} (block {bo.spec.index} "
-              f"{bo.spec.lo}..{bo.spec.hi} -> shard {bo.shard})")
+              f"{bo.spec.lo}..{bo.spec.hi} -> shard {bo.shard}{chain})")
     print(f"wrote {manifest.manifest_key} "
-          f"({len(manifest.block_objects)} blocks, {manifest.shards} shards)")
+          f"({len(manifest.block_objects)} blocks, {manifest.shards} "
+          f"shard(s), R={manifest.replication_factor})")
     return 0
 
 
 def cmd_serve_cluster(args) -> int:
-    """Run one NDP server per shard of a manifest, all over one store."""
+    """Run NDP servers for a manifest's shards over one shared store.
+
+    Default mode runs every shard in this process.  ``--shard N`` runs
+    exactly one shard (on ``--port``, default ephemeral) so each shard
+    can live in its own OS process — the deployment the failover tests
+    kill shards out of.  Either way every server advertises the *live*
+    manifest generation through a :class:`ManifestWatcher`, so a
+    ``repro rebalance --apply`` shows up in reply ``map_version`` tokens
+    without a restart.
+    """
     import threading
 
-    from repro.cluster import load_manifest
+    from repro.cluster import ManifestWatcher
 
     fs = _open_fs(args.store, args.bucket)
-    manifest = load_manifest(
+    watcher = ManifestWatcher(
         fs, args.manifest,
         sign_key=args.sign_key.encode() if args.sign_key else None,
+        min_interval=args.map_poll,
     )
-    servers = [NDPServer(fs) for _ in range(manifest.shards)]
-    listeners = [s.serve_tcp(host=args.host) for s in servers]
+    manifest = watcher.manifest()
+    if args.shard >= 0:
+        if args.shard >= manifest.shards:
+            print(f"error: --shard {args.shard} out of range "
+                  f"(manifest names {manifest.shards} shard(s))",
+                  file=sys.stderr)
+            return 2
+        shard_ids = [args.shard]
+    else:
+        shard_ids = list(range(manifest.shards))
+    servers = [
+        NDPServer(fs, map_version=watcher.version) for _ in shard_ids
+    ]
+    listeners = [
+        s.serve_tcp(host=args.host,
+                    port=args.port if len(shard_ids) == 1 else 0)
+        for s in servers
+    ]
     endpoints = [f"{ln.host}:{ln.port}" for ln in listeners]
-    for shard, (ln, addr) in enumerate(zip(listeners, endpoints)):
-        blocks = len(manifest.blocks_for_shard(shard))
-        print(f"shard {shard}: {addr} ({blocks} block(s))")
+    for shard, addr in zip(shard_ids, endpoints):
+        blocks = len(manifest.blocks_served_by(shard))
+        print(f"shard {shard}: {addr} ({blocks} block(s) incl. replicas)",
+              flush=True)
     if args.endpoints_out:
         with open(args.endpoints_out, "w") as fh:
             fh.write("\n".join(endpoints) + "\n")
         print(f"wrote {args.endpoints_out}")
-    print(f"cluster of {manifest.shards} shard(s) for {args.manifest} "
+    print(f"{len(shard_ids)} shard(s) of {manifest.shards} for "
+          f"{args.manifest} @ map_version {manifest.map_version} "
           f"(connect with: repro contour --cluster {args.manifest} "
-          f"--connect {','.join(endpoints)})")
+          f"--connect {','.join(endpoints)})", flush=True)
     stop = threading.Event()
     try:
         stop.wait(args.timeout if args.timeout > 0 else None)
@@ -432,9 +465,9 @@ def cmd_contour(args) -> int:
     close = lambda: None  # noqa: E731 - replaced when a client is built
     try:
         if args.connect:
-            host, _, port = args.connect.rpartition(":")
+            host, port = parse_address(args.connect)
             try:
-                transport = TCPTransport(host or "127.0.0.1", int(port))
+                transport = TCPTransport(host, port)
             except RPCTransportError as exc:
                 if fallback is None:
                     raise
@@ -505,9 +538,9 @@ def _cluster_contour(args, values, retry, breaker, rstats, tracer) -> int:
     )
     if args.connect:
         addresses = [a for a in args.connect.split(",") if a]
-        if len(addresses) != manifest.shards:
+        if len(addresses) < manifest.shards:
             print(f"error: manifest names {manifest.shards} shard(s) but "
-                  f"--connect lists {len(addresses)} address(es)",
+                  f"--connect lists only {len(addresses)} address(es)",
                   file=sys.stderr)
             return 2
         pool = EndpointPool.connect_tcp(
@@ -517,7 +550,10 @@ def _cluster_contour(args, values, retry, breaker, rstats, tracer) -> int:
     else:
         from repro.rpc.transport import InProcessTransport
 
-        servers = [NDPServer(fs) for _ in range(manifest.shards)]
+        servers = [
+            NDPServer(fs, map_version=manifest.map_version)
+            for _ in range(manifest.shards)
+        ]
         pool = EndpointPool(
             [InProcessTransport(s.rpc.dispatch) for s in servers],
             retry=retry, breaker_factory=breaker_factory,
@@ -526,7 +562,11 @@ def _cluster_contour(args, values, retry, breaker, rstats, tracer) -> int:
     with pool:
         cluster = ClusterClient(
             pool, manifest, fallback_fs=fs if args.fallback else None,
-            tracer=tracer,
+            tracer=tracer, manifest_fs=fs,
+            hedge=not args.no_hedge,
+            hedge_quantile=args.hedge_quantile,
+            hedge_floor=args.hedge_floor,
+            hedge_cap=args.hedge_cap,
         )
         polydata, stats = cluster.contour(args.array, values)
     rc = _report_contour(args, polydata, stats, rstats)
@@ -551,6 +591,22 @@ def _report_contour(args, polydata, stats, rstats: ResilienceStats) -> int:
             line += (f"; {stats['fallback_blocks']} block(s) via baseline "
                      f"fallback ({stats.get('last_fallback_reason')})")
         print(line)
+        if stats.get("replicas", 1) > 1 or stats.get("hedges") \
+                or stats.get("failovers"):
+            rep = (
+                f"replication: R={stats.get('replicas', 1)} "
+                f"map_version={stats.get('map_version', 1)}; "
+                f"{stats.get('hedges', 0)} hedge(s) "
+                f"({stats.get('hedge_wins', 0)} won), "
+                f"{stats.get('failovers', 0)} failover(s), "
+                f"{stats.get('failover_blocks', 0)} block(s) served by a "
+                f"non-primary replica"
+            )
+            if stats.get("stale_map"):
+                refreshed = ("refreshed" if stats.get("map_refreshed")
+                             else "refresh unavailable")
+                rep += f"; stale shard map detected ({refreshed})"
+            print(rep)
     elif stats and stats.get("path") == "fallback":
         print(
             f"path: baseline fallback ({stats.get('fallback_reason')}); "
@@ -586,14 +642,15 @@ def _split_addresses(spec: str) -> list[tuple[str, str, int]] | None:
         part = part.strip()
         if not part:
             continue
-        host, _, port = part.rpartition(":")
-        if not port.isdigit():
-            print(f"error: bad address {part!r} (want host:port)",
-                  file=sys.stderr)
+        try:
+            host, port = parse_address(part)
+        except ReproError as exc:
+            print(f"error: bad address: {exc}", file=sys.stderr)
             return None
-        out.append((part, host or "127.0.0.1", int(port)))
+        out.append((part, host, port))
     if not out:
-        print("error: --connect lists no addresses", file=sys.stderr)
+        print("error: bad address spec: --connect lists no addresses",
+              file=sys.stderr)
         return None
     return out
 
@@ -657,6 +714,14 @@ def cmd_health(args) -> int:
     if integrity:
         print(f"integrity_failures: {integrity} (checksum mismatches on "
               f"at-rest reads — run `repro verify` against the store)")
+    if "map_version" in report or report.get("hedged_requests") \
+            or report.get("failover_requests"):
+        line = (f"replication: {int(report.get('hedged_requests', 0))} "
+                f"hedged, {int(report.get('failover_requests', 0))} "
+                f"failover request(s)")
+        if "map_version" in report:
+            line += f", serving map_version {report['map_version']}"
+        print(line)
     for label in ("array_cache", "selection_cache"):
         cache = report.get(label)
         if not cache:
@@ -815,6 +880,11 @@ def cmd_stats(args) -> int:
     integrity = int(counters.get("integrity_failures", 0))
     if integrity:
         print(f"integrity_failures: {integrity}")
+    hedged = int(counters.get("hedged_requests", 0))
+    failover = int(counters.get("failover_requests", 0))
+    if hedged or failover:
+        print(f"replication: {hedged} hedged request(s), "
+              f"{failover} failover request(s)")
     slo = collected.get("slo") or {}
     for name in sorted(slo.get("tenants") or {}):
         state = slo["tenants"][name]
@@ -926,6 +996,67 @@ def cmd_prof(args) -> int:
             for line in lines[:args.show]:
                 print(f"  {line}")
     return 0 if results and not failures else 1
+
+
+def cmd_rebalance(args) -> int:
+    """Plan (and optionally apply) a hot-shard re-replication pass.
+
+    Loads come from live shard polls when ``--connect`` names the
+    cluster's endpoints, else from the manifest's block placement.  The
+    plan is printed either way; ``--apply`` writes it back as a new
+    manifest generation (``map_version + 1``) that running servers and
+    clients pick up through the live-map protocol.
+    """
+    import json
+
+    from repro.cluster import (
+        apply_plan,
+        load_manifest,
+        loads_from_polls,
+        plan_rebalance,
+    )
+
+    fs = _open_fs(args.store, args.bucket)
+    sign_key = args.sign_key.encode() if args.sign_key else None
+    manifest = load_manifest(fs, args.key, sign_key=sign_key)
+    loads = None
+    if args.connect:
+        from repro.obs.top import poll_stats
+        from repro.rpc.pool import EndpointPool
+
+        addresses = _split_addresses(args.connect)
+        if addresses is None:
+            return 2
+        if len(addresses) < manifest.shards:
+            print(f"error: manifest names {manifest.shards} shard(s) but "
+                  f"--connect lists only {len(addresses)} address(es)",
+                  file=sys.stderr)
+            return 2
+        labels = [label for label, _, _ in addresses]
+        with EndpointPool.connect_tcp(labels) as pool:
+            polls = poll_stats(pool, labels)
+        loads = loads_from_polls(polls)
+    plan = plan_rebalance(
+        manifest, loads=loads,
+        replicas=args.replicas if args.replicas > 0 else None,
+        hot_factor=args.hot_factor,
+    )
+    for line in plan.summary():
+        print(line)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(plan.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    if plan.empty:
+        return 0
+    if not args.apply:
+        print("dry run (re-run with --apply to write the new manifest "
+              "generation)")
+        return 0
+    fresh = apply_plan(fs, manifest, plan, sign_key=sign_key)
+    print(f"applied: {args.key} now at map_version {fresh.map_version} "
+          f"({len(plan.moves)} chain rewrite(s))")
+    return 0
 
 
 def cmd_top(args) -> int:
@@ -1100,6 +1231,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard (server) count; blocks are assigned "
                         "round-robin (default: one shard per block)")
     p.add_argument("--codec", default="lz4", help="storage codec per block")
+    p.add_argument("--replicas", type=int, default=1, metavar="R",
+                   help="serve each block from R consecutive shards "
+                        "(ordered replica chain; default 1 = no "
+                        "replication)")
     p.add_argument("--sign-key", default="",
                    help="HMAC key for the manifest signature (default: "
                         "unkeyed SHA-256 content digest)")
@@ -1119,6 +1254,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the shard host:port list here, one per line")
     p.add_argument("--sign-key", default="",
                    help="HMAC key the manifest was signed with")
+    p.add_argument("--shard", type=int, default=-1, metavar="N",
+                   help="serve only shard N in this process (one process "
+                        "per shard; default: every shard in-process)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port for --shard mode (default ephemeral)")
+    p.add_argument("--map-poll", type=float, default=1.0, metavar="SECONDS",
+                   help="min seconds between manifest re-reads for the "
+                        "live map_version token (default 1)")
     p.set_defaults(func=cmd_serve_cluster)
 
     p = sub.add_parser("contour", help="offloaded contour of a stored array")
@@ -1146,6 +1289,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fallback", action="store_true",
                    help="degrade to a baseline full read through --store "
                         "when the NDP server is unreachable")
+    p.add_argument("--no-hedge", action="store_true",
+                   help="cluster mode: disable hedged replica reads "
+                        "(strict primary-then-failover ordering)")
+    p.add_argument("--hedge-quantile", type=float, default=0.95,
+                   help="cluster mode: launch a hedge once the primary is "
+                        "slower than this quantile of its recent latency "
+                        "(default 0.95)")
+    p.add_argument("--hedge-floor", type=float, default=0.005,
+                   help="minimum hedge delay in seconds (default 0.005)")
+    p.add_argument("--hedge-cap", type=float, default=1.0,
+                   help="maximum hedge delay in seconds (default 1.0)")
     p.set_defaults(func=cmd_contour)
 
     p = sub.add_parser("health", help="probe an NDP server's health endpoint")
@@ -1197,6 +1351,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 15)")
     _add_resilience_flags(p)
     p.set_defaults(func=cmd_prof)
+
+    p = sub.add_parser(
+        "rebalance", help="plan/apply hot-shard re-replication for a "
+                          "manifest (writes a new map_version)"
+    )
+    p.add_argument("key", help="shard manifest object key")
+    p.add_argument("--store", required=True)
+    p.add_argument("--bucket", default=DEFAULT_BUCKET)
+    p.add_argument("--connect", default="", metavar="HOST:PORT[,..]",
+                   help="poll these shard endpoints for live load scores "
+                        "(default: plan from block placement only)")
+    p.add_argument("--replicas", type=int, default=0, metavar="R",
+                   help="target replication factor (default: keep the "
+                        "manifest's current factor)")
+    p.add_argument("--hot-factor", type=float, default=1.5,
+                   help="a shard is hot when its load exceeds this multiple "
+                        "of the cluster mean (default 1.5)")
+    p.add_argument("--apply", action="store_true",
+                   help="write the plan back as manifest generation "
+                        "map_version+1 (default: dry run)")
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the full plan as JSON")
+    p.add_argument("--sign-key", default="",
+                   help="HMAC key the manifest was signed with")
+    p.set_defaults(func=cmd_rebalance)
 
     p = sub.add_parser(
         "top", help="live cluster console: throughput, queues, burn rates "

@@ -12,13 +12,24 @@ pipeline (:mod:`repro.cluster.stitch` carries the argument why).
 
 from repro.cluster.manifest import (
     BlockObject,
+    ManifestWatcher,
     ShardManifest,
     load_manifest,
     manifest_key_for,
+    replica_chain,
     shard_object,
     sign_manifest,
     verify_manifest,
     write_manifest,
+)
+from repro.cluster.rebalance import (
+    RebalancePlan,
+    ReplicaMove,
+    ShardLoad,
+    apply_plan,
+    loads_from_manifest,
+    loads_from_polls,
+    plan_rebalance,
 )
 from repro.cluster.partition import (
     BlockSpec,
@@ -52,4 +63,13 @@ __all__ = [
     "stitch_selections",
     "empty_selection",
     "ClusterClient",
+    "ManifestWatcher",
+    "replica_chain",
+    "RebalancePlan",
+    "ReplicaMove",
+    "ShardLoad",
+    "plan_rebalance",
+    "apply_plan",
+    "loads_from_manifest",
+    "loads_from_polls",
 ]

@@ -23,6 +23,8 @@ from __future__ import annotations
 import hashlib
 import hmac
 import json
+import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,7 +37,9 @@ from repro.io.vgf import read_vgf, write_vgf
 __all__ = [
     "BlockObject",
     "ShardManifest",
+    "ManifestWatcher",
     "shard_object",
+    "replica_chain",
     "write_manifest",
     "load_manifest",
     "sign_manifest",
@@ -51,23 +55,56 @@ MANIFEST_SUFFIX = ".manifest.json"
 
 @dataclass(frozen=True)
 class BlockObject:
-    """One stored block: its extents, its object key, its owning shard."""
+    """One stored block: its extents, its object key, its replica chain.
+
+    ``replicas`` is the *ordered* set of shards able to serve this block —
+    the first entry is the primary and equals ``shard`` (kept as its own
+    field for compatibility with pre-replication manifests).  Clients walk
+    the chain in order on failover; re-replication rewrites the chain
+    without moving the stored object.
+    """
 
     spec: BlockSpec
     key: str
     shard: int
+    replicas: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        chain = tuple(int(s) for s in self.replicas) or (int(self.shard),)
+        if chain[0] != int(self.shard):
+            raise FormatError(
+                f"block {self.key!r}: primary shard {self.shard} must lead "
+                f"its replica chain {chain}"
+            )
+        if len(set(chain)) != len(chain):
+            raise FormatError(
+                f"block {self.key!r}: replica chain {chain} repeats a shard"
+            )
+        object.__setattr__(self, "replicas", chain)
 
     def to_dict(self) -> dict:
-        return dict(self.spec.to_dict(), key=self.key, shard=self.shard)
+        return dict(self.spec.to_dict(), key=self.key, shard=self.shard,
+                    replicas=list(self.replicas))
 
     @classmethod
     def from_dict(cls, d: dict) -> "BlockObject":
-        return cls(BlockSpec.from_dict(d), str(d["key"]), int(d["shard"]))
+        shard = int(d["shard"])
+        replicas = tuple(int(s) for s in d.get("replicas") or (shard,))
+        return cls(BlockSpec.from_dict(d), str(d["key"]), shard, replicas)
 
 
 @dataclass(frozen=True)
 class ShardManifest:
-    """Decoded shard manifest: global structure plus block placement."""
+    """Decoded shard manifest: global structure plus block placement.
+
+    ``map_version`` is the *shard-map generation*, distinct from the
+    format version in the document envelope: every re-replication or
+    placement change writes a new manifest with a strictly larger
+    ``map_version``.  Servers stamp the generation they were launched
+    with (or currently observe) into replies, so a client holding an
+    older map sees the larger token and re-fetches the manifest live —
+    no restart, no polling loop on the client.
+    """
 
     dims: tuple[int, int, int]
     origin: tuple[float, float, float]
@@ -80,6 +117,7 @@ class ShardManifest:
     manifest_key: str = ""
     axes: tuple | None = None             # rectilinear per-axis coordinates
     meta: dict = field(default_factory=dict)
+    map_version: int = 1
 
     # ------------------------------------------------------------------
     @property
@@ -99,6 +137,17 @@ class ShardManifest:
 
     def blocks_for_shard(self, shard: int) -> list[BlockObject]:
         return [bo for bo in self.block_objects if bo.shard == shard]
+
+    def blocks_served_by(self, shard: int) -> list[BlockObject]:
+        """Blocks this shard can serve as primary *or* replica."""
+        return [bo for bo in self.block_objects if shard in bo.replicas]
+
+    @property
+    def replication_factor(self) -> int:
+        """Maximum replica-chain length across all blocks (1 = none)."""
+        if not self.block_objects:
+            return 1
+        return max(len(bo.replicas) for bo in self.block_objects)
 
     def block_world_bounds(self, bo: BlockObject) -> Bounds:
         return block_bounds(bo.spec, self.origin, self.spacing, axes=self.axes)
@@ -127,6 +176,7 @@ class ShardManifest:
             "source_key": self.source_key,
             "manifest_key": self.manifest_key,
             "meta": self.meta,
+            "map_version": int(self.map_version),
         }
         if self.axes is not None:
             doc["axes"] = [[float(v) for v in axis] for axis in self.axes]
@@ -163,6 +213,7 @@ class ShardManifest:
                     np.asarray(axis, dtype=np.float64) for axis in axes
                 ) if axes is not None else None,
                 meta=dict(doc.get("meta") or {}),
+                map_version=int(doc.get("map_version", 1)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FormatError(f"malformed shard manifest: {exc}") from exc
@@ -233,6 +284,21 @@ def _block_key(source_key: str, index: int) -> str:
     return f"{stem}.blocks/{index:04d}.vgf"
 
 
+def replica_chain(index: int, shards: int, replicas: int) -> tuple[int, ...]:
+    """Default R-way placement: primary plus the next R-1 shards, wrapped.
+
+    Consecutive placement means any dead-shard set smaller than R leaves
+    every block at least one live replica — the property the failover
+    tests quantify over.
+    """
+    if not 1 <= replicas <= shards:
+        raise ReproError(
+            f"replica count must be in [1, {shards}], got {replicas}"
+        )
+    primary = index % shards
+    return tuple((primary + j) % shards for j in range(replicas))
+
+
 def shard_object(
     fs,
     key: str,
@@ -241,13 +307,18 @@ def shard_object(
     codec: str = "lz4",
     manifest_key: str | None = None,
     sign_key: bytes | None = None,
+    replicas: int = 1,
 ) -> ShardManifest:
     """Partition a stored VGF object into per-block objects + a manifest.
 
     Blocks are assigned to ``shards`` placement groups round-robin by
     block index (``shards`` defaults to the block count — one shard per
-    block).  The source object is left in place, so monolithic and
-    sharded access coexist over the same store.
+    block).  ``replicas=R`` records an R-entry serving chain per block
+    (primary plus the next R-1 shards): shards share one object store,
+    so replication is a *serving* assignment — any chain member answers
+    the pre-filter for the block — rather than R physical copies.  The
+    source object is left in place, so monolithic and sharded access
+    coexist over the same store.
     """
     with fs.open(key) as fh:
         grid = read_vgf(fh)
@@ -257,6 +328,10 @@ def shard_object(
     if not 1 <= shards <= len(specs):
         raise ReproError(
             f"shard count must be in [1, {len(specs)}], got {shards}"
+        )
+    if not 1 <= replicas <= shards:
+        raise ReproError(
+            f"replica count must be in [1, {shards}], got {replicas}"
         )
     block_objects = []
     for spec in specs:
@@ -273,7 +348,8 @@ def shard_object(
             "parent": key,
         }
         fs.write_object(block_key, write_vgf(block_grid, codec=codec, meta=meta))
-        block_objects.append(BlockObject(spec, block_key, spec.index % shards))
+        chain = replica_chain(spec.index, shards, replicas)
+        block_objects.append(BlockObject(spec, block_key, chain[0], chain))
     axes = getattr(grid, "axes", None)
     arrays = tuple(
         (arr.name, arr.values.dtype.str) for arr in grid.point_data
@@ -305,6 +381,63 @@ def write_manifest(fs, manifest_key: str, manifest: ShardManifest,
     fs.write_object(
         manifest_key, json.dumps(doc, sort_keys=True, indent=1).encode()
     )
+
+
+class ManifestWatcher:
+    """Serve a live view of a stored manifest's shard-map version.
+
+    Shard servers hold one of these and stamp :meth:`version` into every
+    pre-filter reply.  :meth:`version` re-reads the stored manifest at
+    most once per ``min_interval`` seconds (the manifest is a small JSON
+    object; a byte-compare decides whether re-parsing is needed), so a
+    ``repro rebalance --apply`` that writes generation N+1 propagates to
+    reply tokens within one interval — and from there to clients — with
+    no server restart.
+    """
+
+    def __init__(self, fs, manifest_key: str, sign_key: bytes | None = None,
+                 min_interval: float = 1.0, clock=time.monotonic):
+        self._fs = fs
+        self._manifest_key = manifest_key
+        self._sign_key = sign_key
+        self._min_interval = float(min_interval)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._raw = fs.read_object(manifest_key)
+        self._manifest = load_manifest(fs, manifest_key, sign_key=sign_key)
+        self._checked_at = clock()
+
+    def _refresh_locked(self, force: bool) -> None:
+        now = self._clock()
+        if not force and now - self._checked_at < self._min_interval:
+            return
+        self._checked_at = now
+        try:
+            raw = self._fs.read_object(self._manifest_key)
+            if raw != self._raw:
+                self._manifest = load_manifest(
+                    self._fs, self._manifest_key, sign_key=self._sign_key
+                )
+                self._raw = raw
+        except Exception:
+            # A transiently unreadable (or half-written/corrupt) manifest
+            # must not fail serving; keep advertising the last generation
+            # we trusted and re-check next interval.
+            return
+
+    def refresh(self, force: bool = False) -> None:
+        with self._lock:
+            self._refresh_locked(force)
+
+    def manifest(self) -> ShardManifest:
+        with self._lock:
+            self._refresh_locked(False)
+            return self._manifest
+
+    def version(self) -> int:
+        with self._lock:
+            self._refresh_locked(False)
+            return int(self._manifest.map_version)
 
 
 def load_manifest(fs, manifest_key: str,

@@ -8,24 +8,39 @@ in order), gathers the per-block sparse selections, stitches them into
 one global-structure selection (:mod:`repro.cluster.stitch` — the
 bit-identity argument lives there), and runs the stock post-filter once.
 
-Failure handling composes with the existing resilience stack.  Each
-endpoint sits behind its own :class:`~repro.rpc.resilience.ResilientTransport`
-(via :class:`~repro.rpc.pool.EndpointPool`), so retries, deadlines, and
-overload sheds are handled per shard before the cluster layer ever sees
-an error.  When a shard is exhausted — transport dead, circuit open, or
-a reply that fails its checksum twice — and a ``fallback_fs`` is
-configured, only **that shard's** blocks degrade to baseline: the client
-reads the block objects itself and runs the pre-filter locally, which
-yields the exact selection the shard would have returned, so the final
-geometry is unchanged.  Without a fallback filesystem the error
+Failure handling composes with the existing resilience stack, and with
+replication (PR 9) failover is a *fast path*, not a degradation.  Each
+block's manifest entry names an ordered replica chain; the client ranks
+the chain by live endpoint health (open breakers last, then rolling
+latency) and drives it through the pool's
+:class:`~repro.rpc.pool.HedgedCall`: the first replica gets the request,
+a hedge fires to the next after a latency-quantile delay, and timeouts,
+breaker-opens, sheds, and integrity failures fail over down the chain
+immediately.  The failover ladder per block is therefore
+
+    retry (inside ResilientTransport) → hedge → next replica → baseline
+
+and the client-side baseline read — fetching the block object and
+running the pre-filter locally, which yields the *exact* selection a
+shard would have returned, so geometry stays bit-identical — is reached
+only when **every** replica of a block is exhausted and a
+``fallback_fs`` is configured.  Without a fallback filesystem the error
 propagates.
+
+Live shard map: replies carry the serving manifest generation as a
+``map_version`` token.  When a reply advertises a newer generation than
+the client's manifest and a ``manifest_fs`` is configured, the client
+re-fetches and atomically swaps its manifest after the gather — a
+``repro rebalance --apply`` propagates to running clients without a
+restart.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.cluster.manifest import ShardManifest
+from repro.cluster.manifest import ShardManifest, load_manifest
 from repro.cluster.stitch import stitch_selections
 from repro.core.encoding import decode_selection
 from repro.core.prefilter import prefilter_contour
@@ -44,7 +59,8 @@ from repro.obs.trace import NULL_TRACER
 
 __all__ = ["ClusterClient"]
 
-#: Errors that exhaust a shard and trigger per-shard baseline fallback.
+#: Errors that exhaust a replica (and, when the whole chain is exhausted,
+#: trigger per-block baseline fallback).
 FALLBACK_TRIGGERS = (RPCTransportError, CircuitOpenError, IntegrityError)
 
 
@@ -54,25 +70,42 @@ class ClusterClient:
     Parameters
     ----------
     pool:
-        :class:`~repro.rpc.pool.EndpointPool` with exactly
+        :class:`~repro.rpc.pool.EndpointPool` with at least
         ``manifest.shards`` endpoints (endpoint ``i`` serves shard ``i``).
     manifest:
         The :class:`~repro.cluster.manifest.ShardManifest` naming every
-        block, its extents, and its owning shard.
+        block, its extents, and its replica chain.
     fallback_fs:
         Optional filesystem that can read the block objects directly;
-        enables per-shard baseline fallback when a shard is down.
+        enables per-block baseline fallback when a block's whole replica
+        chain is down.
+    manifest_fs:
+        Optional filesystem the manifest itself can be re-read from;
+        enables the live shard-map protocol (stale ``map_version`` token
+        in a reply → re-fetch + swap, no restart).
+    sign_key:
+        HMAC key for manifest verification on live re-fetch.
+    hedge:
+        Enable hedged reads for replicated blocks (default on; single-
+        replica chains always use the direct path, so pre-replication
+        layouts behave exactly as before).
+    hedge_quantile, hedge_floor, hedge_cap:
+        Hedge timing model: wait for the endpoint's rolling latency at
+        ``hedge_quantile`` (clamped to ``[hedge_floor, hedge_cap]``
+        seconds) before racing the next replica.
     recorder:
-        Optional :class:`~repro.obs.flightrec.FlightRecorder`; fallback
-        and integrity-retry decisions land in the always-on flight ring
-        so a post-hoc dump shows which shard degraded and why.
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`; fallback,
+        failover, and map-refresh decisions land in the always-on flight
+        ring so a post-hoc dump shows which shard degraded and why.
     """
 
     def __init__(self, pool, manifest: ShardManifest, fallback_fs=None, *,
                  mode: str = "cell-closure", encoding: str = "auto",
                  wire_codec: str = "lz4", tracer=None, max_workers=None,
-                 recorder=None):
-        if len(pool) != manifest.shards:
+                 recorder=None, manifest_fs=None, sign_key=None,
+                 hedge: bool = True, hedge_quantile: float = 0.95,
+                 hedge_floor: float = 0.005, hedge_cap: float = 1.0):
+        if len(pool) < manifest.shards:
             raise ReproError(
                 f"pool has {len(pool)} endpoints but manifest names "
                 f"{manifest.shards} shards"
@@ -80,18 +113,25 @@ class ClusterClient:
         self.pool = pool
         self.manifest = manifest
         self.fallback_fs = fallback_fs
+        self.manifest_fs = manifest_fs
+        self.sign_key = sign_key
         self.mode = mode
         self.encoding = encoding
         self.wire_codec = wire_codec
+        self.hedge = hedge
+        self.hedge_quantile = hedge_quantile
+        self.hedge_floor = hedge_floor
+        self.hedge_cap = hedge_cap
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.max_workers = max_workers
+        self._map_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _block_prefilter_local(self, bo, array_name, values, roi):
         """Baseline path for one block: read it and pre-filter locally.
 
-        This computes exactly what the shard's pre-filter would have
+        This computes exactly what a shard's pre-filter would have
         returned for this block — same grid slice, same corner values,
         same world-coordinate ROI — so selection-level stitching stays
         bit-identical even on the degraded path.
@@ -104,29 +144,118 @@ class ClusterClient:
         )
         return selection, {"fallback_bytes": size}
 
-    def _shard_worker(self, shard, block_objects, array_name, values, roi,
-                      opener):
-        """Pre-filter every block owned by one shard; one result per block.
+    def _rpc_once(self, endpoint, bo, array_name, values, roi_wire,
+                  counts, lock, ctx_extra=None):
+        """One block's pre-filter over RPC, with one integrity re-read."""
+        try:
+            encoded = self.pool.call(
+                endpoint, "prefilter_contour", bo.key, array_name,
+                list(values), self.mode, self.encoding, self.wire_codec,
+                roi_wire, ctx_extra=ctx_extra,
+            )
+            selection = decode_selection(encoded)
+        except IntegrityError:
+            # One immediate re-read on the *same* replica: a flipped bit
+            # on the wire is transient.  A second failure means this copy
+            # (or this shard) is bad — the exception escapes and the
+            # hedged ladder moves to the next replica.
+            with lock:
+                counts["integrity_retries"] += 1
+            self.tracer.add_event("integrity.retry", key=bo.key)
+            self.recorder.record("integrity.retry", key=bo.key,
+                                 endpoint=endpoint)
+            encoded = self.pool.call(
+                endpoint, "prefilter_contour", bo.key, array_name,
+                list(values), self.mode, self.encoding, self.wire_codec,
+                roi_wire, ctx_extra=ctx_extra,
+            )
+            selection = decode_selection(encoded)
+        version = encoded.get("map_version")
+        if version is not None:
+            with lock:
+                if int(version) > counts["map_version_seen"]:
+                    counts["map_version_seen"] = int(version)
+        st = encoded.get("stats") or {}
+        return selection, {
+            "wire_bytes": st.get("wire_bytes", 0),
+            "stored_bytes": st.get("stored_bytes", 0),
+            "raw_bytes": st.get("raw_bytes", 0),
+        }
 
-        Returns ``(results, stats)`` where ``results`` is a list of
-        ``(spec, PointSelection)`` and ``stats`` aggregates the shard's
-        wire accounting.  Raises only when the shard is exhausted *and*
-        no fallback filesystem exists.
+    def _block_prefilter_replicated(self, chain, bo, array_name, values,
+                                    roi_wire, counts, lock, stats):
+        """Drive one block through its (ranked, live) replica chain."""
+        if len(chain) == 1 or not self.hedge:
+            # Single live replica (or hedging off): the classic direct
+            # path — no extra thread, byte-for-byte the old behaviour.
+            return self._rpc_once(
+                chain[0], bo, array_name, values, roi_wire, counts, lock,
+            ) + ({"winner": chain[0], "losers": []},)
+        hedged = self.pool.hedged(
+            self.hedge_quantile, self.hedge_floor, self.hedge_cap
+        )
+
+        def attempt(endpoint, cancel, kind):
+            ctx_extra = None
+            if kind == "hedge":
+                ctx_extra = {"hedge": True}
+            elif kind == "failover":
+                ctx_extra = {"failover": True}
+            return self._rpc_once(
+                endpoint, bo, array_name, values, roi_wire, counts, lock,
+                ctx_extra=ctx_extra,
+            )
+
+        result = hedged.run(chain, attempt)
+        selection, wire_stats = result.value
+        with lock:
+            stats["hedges"] += result.hedges
+            stats["failovers"] += result.failovers
+            if result.winner_kind == "hedge":
+                stats["hedge_wins"] += 1
+                self.pool.health(result.winner).record_hedge_win()
+            if result.winner != chain[0]:
+                stats["failover_blocks"] += 1
+        return selection, wire_stats, {
+            "winner": result.winner,
+            "losers": [endpoint for endpoint, _ in result.errors],
+        }
+
+    def _shard_worker(self, leader, items, array_name, values, roi, opener):
+        """Pre-filter every block led by one endpoint; one result per block.
+
+        ``items`` is ``[(BlockObject, ranked_chain), ...]``.  Returns
+        ``(results, stats)`` where ``results`` is a list of ``(spec,
+        PointSelection)`` and ``stats`` aggregates the group's wire and
+        failover accounting.  Raises only when a block's whole chain is
+        exhausted *and* no fallback filesystem exists.
         """
-        client = self.pool.client(shard)
         roi_wire = list(roi.as_tuple()) if roi is not None else None
         results = []
+        lock = threading.Lock()
+        counts = {"integrity_retries": 0, "map_version_seen": 0}
         stats = {
             "wire_bytes": 0, "stored_bytes": 0, "raw_bytes": 0,
-            "fallback_blocks": 0, "fallback_bytes": 0, "integrity_retries": 0,
+            "fallback_blocks": 0, "fallback_bytes": 0,
+            "hedges": 0, "hedge_wins": 0, "failovers": 0,
+            "failover_blocks": 0,
         }
-        with opener(shard=shard, blocks=len(block_objects)):
-            failed = None
-            for bo in block_objects:
-                if failed is None:
+        with opener(shard=leader, blocks=len(items)):
+            dead: set[int] = set()
+            last_failure = None
+            for bo, chain in items:
+                # Replicas already exhausted this scatter are skipped —
+                # no retry dance against known-dead endpoints.  ``dead``
+                # only fills when a fallback_fs exists (without one the
+                # first exhausted chain raises out of the worker).
+                live = [e for e in chain if e not in dead]
+                if live:
                     try:
-                        selection, st = self._block_prefilter_rpc(
-                            client, bo, array_name, values, roi_wire, stats
+                        selection, st, _route = (
+                            self._block_prefilter_replicated(
+                                live, bo, array_name, values, roi_wire,
+                                counts, lock, stats,
+                            )
                         )
                         for k in ("wire_bytes", "stored_bytes", "raw_bytes"):
                             stats[k] += int(st.get(k, 0) or 0)
@@ -135,65 +264,49 @@ class ClusterClient:
                     except FALLBACK_TRIGGERS as exc:
                         if self.fallback_fs is None:
                             raise
-                        failed = exc
+                        last_failure = exc
+                        dead.update(live)
                         self.tracer.add_event(
-                            "shard.fallback", shard=shard,
+                            "shard.fallback", shard=leader,
                             reason=type(exc).__name__,
                         )
                         self.recorder.record(
-                            "shard.fallback", shard=shard,
+                            "shard.fallback", shard=leader,
+                            block=bo.key, replicas=list(chain),
                             reason=type(exc).__name__,
                             error=f"{type(exc).__name__}: {exc}",
                         )
-                # Shard is exhausted: degrade the rest of its blocks to
-                # baseline reads rather than re-running the retry dance
-                # per block against a known-dead endpoint.
                 selection, st = self._block_prefilter_local(
                     bo, array_name, values, roi
                 )
                 stats["fallback_blocks"] += 1
                 stats["fallback_bytes"] += st["fallback_bytes"]
                 results.append((bo.spec, selection))
-            if failed is not None:
+            if last_failure is not None:
                 stats["fallback_reason"] = (
-                    f"{type(failed).__name__}: {failed}"
+                    f"{type(last_failure).__name__}: {last_failure}"
                 )
+        stats["integrity_retries"] = counts["integrity_retries"]
+        stats["map_version_seen"] = counts["map_version_seen"]
         return results, stats
 
-    def _block_prefilter_rpc(self, client, bo, array_name, values, roi_wire,
-                             stats):
-        """One block's pre-filter over RPC, with one integrity re-read."""
-        try:
-            encoded = client.call(
-                "prefilter_contour", bo.key, array_name, list(values),
-                self.mode, self.encoding, self.wire_codec, roi_wire,
-            )
-            selection = decode_selection(encoded)
-        except IntegrityError:
-            # One immediate re-read: a flipped bit on the wire is
-            # transient; a second failure means the shard (or its copy
-            # of the block) is bad and the fallback policy takes over.
-            stats["integrity_retries"] += 1
-            self.tracer.add_event("integrity.retry", key=bo.key)
-            self.recorder.record("integrity.retry", key=bo.key)
-            encoded = client.call(
-                "prefilter_contour", bo.key, array_name, list(values),
-                self.mode, self.encoding, self.wire_codec, roi_wire,
-            )
-            selection = decode_selection(encoded)
-        st = encoded.get("stats") or {}
-        return selection, {
-            "wire_bytes": st.get("wire_bytes", 0),
-            "stored_bytes": st.get("stored_bytes", 0),
-            "raw_bytes": st.get("raw_bytes", 0),
-        }
-
     # ------------------------------------------------------------------
+    def _route(self, wanted):
+        """Group blocks by the lead endpoint of their ranked chains."""
+        groups: dict[int, list] = {}
+        for bo in wanted:
+            chain = list(bo.replicas)
+            if self.hedge and len(chain) > 1:
+                chain = self.pool.rank(chain)
+            groups.setdefault(chain[0], []).append((bo, chain))
+        return groups
+
     def contour(self, array_name: str, values, roi: Bounds | None = None):
         """Scatter–gather contour: returns ``(polydata, stats)``.
 
-        Bit-identical to the monolithic paths for any shard layout: same
-        points, same polys, same point-data bytes as both a single-server
+        Bit-identical to the monolithic paths for any shard layout, any
+        replication factor, and any failover combination: same points,
+        same polys, same point-data bytes as both a single-server
         :func:`~repro.core.ndp_client.ndp_contour` and a baseline
         full-read :func:`~repro.filters.contour.contour_grid`.
         """
@@ -202,40 +315,45 @@ class ClusterClient:
         array_name = str(array_name)
         value_dtype = m.array_dtype(array_name)
         wanted = m.intersecting(roi)
-        by_shard = {}
-        for bo in wanted:
-            by_shard.setdefault(bo.shard, []).append(bo)
+        groups = self._route(wanted)
         with self.tracer.span(
             "cluster.contour", array=array_name, shards=m.shards,
-            shards_queried=len(by_shard), blocks=len(wanted),
+            shards_queried=len(groups), blocks=len(wanted),
         ):
             gathered = []
             stats = {
                 "path": "cluster",
                 "shards": m.shards,
-                "shards_queried": len(by_shard),
+                "shards_queried": len(groups),
                 "blocks": len(wanted),
+                "replicas": m.replication_factor,
+                "map_version": m.map_version,
                 "fallback_blocks": 0,
                 "fallback_bytes": 0,
                 "integrity_retries": 0,
                 "wire_bytes": 0,
                 "stored_bytes": 0,
                 "raw_bytes": 0,
+                "hedges": 0,
+                "hedge_wins": 0,
+                "failovers": 0,
+                "failover_blocks": 0,
             }
-            if by_shard:
+            map_version_seen = 0
+            if groups:
                 # Span stacks are thread-local: capture the fan-out
                 # context on this thread so worker spans join the trace.
                 opener = self.tracer.fork("cluster.shard")
-                ordered = sorted(by_shard.items())
+                ordered = sorted(groups.items())
                 with ThreadPoolExecutor(
                     max_workers=self.max_workers or len(ordered)
                 ) as pool:
                     futures = [
                         pool.submit(
-                            self._shard_worker, shard, blocks, array_name,
+                            self._shard_worker, leader, items, array_name,
                             values, roi, opener,
                         )
-                        for shard, blocks in ordered
+                        for leader, items in ordered
                     ]
                     for future in futures:
                         results, shard_stats = future.result()
@@ -243,9 +361,14 @@ class ClusterClient:
                         for k in (
                             "wire_bytes", "stored_bytes", "raw_bytes",
                             "fallback_blocks", "fallback_bytes",
-                            "integrity_retries",
+                            "integrity_retries", "hedges", "hedge_wins",
+                            "failovers", "failover_blocks",
                         ):
                             stats[k] += shard_stats[k]
+                        map_version_seen = max(
+                            map_version_seen,
+                            shard_stats.get("map_version_seen", 0),
+                        )
                         if "fallback_reason" in shard_stats:
                             stats["last_fallback_reason"] = (
                                 shard_stats["fallback_reason"]
@@ -259,7 +382,52 @@ class ClusterClient:
             stats["total_points"] = stitched.total_points
             with self.tracer.span("postfilter", points=stitched.count):
                 polydata = postfilter_contour(stitched, values, roi=roi)
+            if map_version_seen > m.map_version:
+                # A shard is serving a newer map than we routed with:
+                # this gather already completed correctly (replies are
+                # self-describing), so refresh for the *next* request.
+                stats["stale_map"] = True
+                stats["map_refreshed"] = self.refresh_map()
         return polydata, stats
+
+    # ------------------------------------------------------------------
+    def refresh_map(self) -> bool:
+        """Re-fetch the manifest and swap it in if the generation advanced.
+
+        Returns ``True`` when a newer map was installed.  Requires
+        ``manifest_fs``; without one the client keeps serving from its
+        (still-correct, possibly suboptimal) map.
+        """
+        if self.manifest_fs is None:
+            return False
+        with self._map_lock:
+            current = self.manifest
+            fresh = load_manifest(
+                self.manifest_fs, current.manifest_key,
+                sign_key=self.sign_key,
+            )
+            if fresh.map_version <= current.map_version:
+                return False
+            if fresh.shards > len(self.pool):
+                # Elastic growth: new shards must be dialable.  The
+                # manifest may carry their addresses in meta.endpoints.
+                endpoints = list((fresh.meta or {}).get("endpoints") or [])
+                for addr in endpoints[len(self.pool):fresh.shards]:
+                    self.pool.add_address(addr)
+                if fresh.shards > len(self.pool):
+                    raise ReproError(
+                        f"refreshed manifest names {fresh.shards} shards "
+                        f"but the pool has only {len(self.pool)} endpoints "
+                        f"and no addresses to grow by"
+                    )
+            self.manifest = fresh
+            self.recorder.record(
+                "cluster.map_refresh", map_version=fresh.map_version,
+            )
+            self.tracer.add_event(
+                "cluster.map_refresh", map_version=fresh.map_version,
+            )
+            return True
 
     # ------------------------------------------------------------------
     def close(self) -> None:

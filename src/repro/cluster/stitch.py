@@ -74,8 +74,21 @@ def stitch_selections(block_selections, dims, origin, spacing, array_name: str,
     ``block_selections`` is an iterable of ``(spec, selection)`` pairs;
     order does not matter — blocks are folded in ascending block index so
     seam deduplication is deterministic regardless of gather order.
+
+    Each block index may appear at most once.  With replicated serving a
+    block has several eligible sources, and a gather bug that lets two
+    replicas both deliver the same block would silently survive the
+    union (identical selections) right up until the day the copies
+    disagree — so duplication is rejected loudly here instead.
     """
     pairs = sorted(block_selections, key=lambda pair: pair[0].index)
+    for prev, cur in zip(pairs, pairs[1:]):
+        if prev[0].index == cur[0].index:
+            raise SelectionError(
+                f"block {cur[0].index} delivered more than once to the "
+                f"stitcher (replica gather must pick exactly one source "
+                f"per block)"
+            )
     stitched = empty_selection(dims, origin, spacing, array_name, value_dtype,
                                axes=axes)
     for spec, selection in pairs:

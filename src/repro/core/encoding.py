@@ -192,8 +192,13 @@ def encode_selection(
     return a if wire_size(a) <= wire_size(b) else b
 
 
-# Keys excluded from the digest: the stamp itself.
-_CHECKSUM_KEYS = frozenset({"crc", "crc_algo"})
+# Keys excluded from the digest: the stamp itself, plus the live shard-map
+# version token.  ``map_version`` is advisory routing metadata stamped
+# *after* the cached reply body (a server must be able to advertise a new
+# map on a cache hit without recomputing the digest), and the manifest the
+# token points at is independently signed — so excluding it costs no
+# integrity coverage.
+_CHECKSUM_KEYS = frozenset({"crc", "crc_algo", "map_version"})
 
 
 def _digest_bytes(encoded: dict) -> bytes:

@@ -147,8 +147,14 @@ class NDPServer:
         profiler="auto",
         dump_dir: str | None = None,
         slo_shed: bool = False,
+        map_version=None,
     ):
         self.fs = fs
+        #: live shard-map generation advertised in every pre-filter reply:
+        #: an int, a zero-arg callable (e.g. ``ManifestWatcher.version``),
+        #: or ``None`` to omit the token entirely (monolithic serving —
+        #: keeps those replies byte-identical to pre-replication peers).
+        self.map_version = map_version
         self.testbed = testbed
         self.fused_streaming = fused_streaming
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -205,6 +211,11 @@ class NDPServer:
         self._integrity_failures = self.registry.counter(
             "integrity_failures",
             "checksum mismatches detected on at-rest reads")
+        self._hedged_requests = self.registry.counter(
+            "hedged_requests", "requests tagged as client hedge attempts")
+        self._failover_requests = self.registry.counter(
+            "failover_requests",
+            "requests tagged as client failover attempts")
         self.registry.register("admission", self.admission.info)
         if self.array_cache is not None:
             self.registry.register("array_cache", self.array_cache.info)
@@ -239,6 +250,10 @@ class NDPServer:
             recorder=self.recorder if self.recorder else None,
             slo=self.slo,
             slo_shed=self.slo_shed,
+            ctx_counters={
+                "hedge": self._hedged_requests.inc,
+                "failover": self._failover_requests.inc,
+            },
         )
 
     # ------------------------------------------------------------------
@@ -517,7 +532,19 @@ class NDPServer:
         self._record(encoded["stats"])
         # Shallow copy: cached replies are shared across threads and the
         # dispatcher/transport must be free to mutate its own frame dict.
-        return dict(encoded)
+        out = dict(encoded)
+        version = self._current_map_version()
+        if version is not None:
+            # Stamped on the copy, post-cache: a cached reply body still
+            # advertises the *live* generation.  ``map_version`` is
+            # checksum-exempt (see encoding._CHECKSUM_KEYS) precisely so
+            # this stamp never invalidates the cached digest.
+            out["map_version"] = version
+        return out
+
+    def _current_map_version(self):
+        v = self.map_version() if callable(self.map_version) else self.map_version
+        return int(v) if v is not None else None
 
     def _record(self, stats: dict) -> None:
         """Accumulate per-request statistics (instruments are thread-safe:
@@ -559,7 +586,12 @@ class NDPServer:
             "integrity_failures": int(self._integrity_failures.value),
             "array_cache": self._cache_info(self.array_cache),
             "selection_cache": self._cache_info(self.selection_cache),
+            "hedged_requests": int(self._hedged_requests.value),
+            "failover_requests": int(self._failover_requests.value),
         }
+        version = self._current_map_version()
+        if version is not None:
+            out["map_version"] = version
         if self._fair_queue is not None:
             out["serving_core"] = "async"
             out["fair_queue"] = self._fair_queue.info()
@@ -602,6 +634,11 @@ class NDPServer:
         if self._fair_queue is not None:
             out["fair_queue"] = self._fair_queue.info()
         out["integrity_failures"] = int(self._integrity_failures.value)
+        out["hedged_requests"] = int(self._hedged_requests.value)
+        out["failover_requests"] = int(self._failover_requests.value)
+        version = self._current_map_version()
+        if version is not None:
+            out["map_version"] = version
         return out
 
     def stats_snapshot(self) -> dict:

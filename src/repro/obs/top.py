@@ -22,16 +22,26 @@ __all__ = ["TopModel", "render", "poll_stats", "run_top"]
 
 
 def poll_stats(pool, addresses: list[str]) -> list[dict]:
-    """Call ``stats`` on every endpoint; errors become rows, not raises."""
+    """Call ``stats`` on every endpoint; errors become rows, not raises.
+
+    Each row also carries the *client-side* breaker state for its
+    endpoint (``pool.endpoint_state``) — an open breaker is visible even
+    while the poll itself still succeeds through a half-open probe, and
+    it is the console's earliest signal that hedges/failovers are about
+    to route around a shard.
+    """
+    state_of = getattr(pool, "endpoint_state", lambda i: "none")
     polls = []
     for i, address in enumerate(addresses):
         try:
             snapshot = pool.client(i).call("stats")
-            polls.append({"address": address, "snapshot": snapshot})
+            polls.append({"address": address, "snapshot": snapshot,
+                          "breaker": state_of(i)})
         except Exception as exc:
             polls.append({
                 "address": address,
                 "error": f"{type(exc).__name__}: {exc}",
+                "breaker": state_of(i),
             })
     return polls
 
@@ -92,7 +102,8 @@ class TopModel:
             address = poll["address"]
             if "error" in poll:
                 shards.append({"address": address, "status": "unreachable",
-                               "error": poll["error"]})
+                               "error": poll["error"],
+                               "breaker": poll.get("breaker", "none")})
                 continue
             snap = poll.get("snapshot") or {}
             counters = snap.get("counters") or {}
@@ -124,6 +135,9 @@ class TopModel:
                 "p99": _hist_quantile(latency, 0.99),
                 "integrity_failures": int(
                     counters.get("integrity_failures", 0)),
+                "breaker": poll.get("breaker", "none"),
+                "hedged": int(counters.get("hedged_requests", 0)),
+                "failover": int(counters.get("failover_requests", 0)),
             }
             shards.append(row)
             total_requests += requests
@@ -188,20 +202,24 @@ def render(view: dict) -> str:
         f"pending {totals['pending']}  inflight {totals['inflight']}  "
         f"shed {totals['shed']}  requests {totals['requests']}",
         "",
-        f"{'SHARD':<22}{'STATE':<12}{'REQ/S':>8}{'PEND':>6}{'INFL':>6}"
-        f"{'SHED':>7}{'CACHE':>7}{'P50':>9}{'P99':>9}",
+        f"{'SHARD':<22}{'STATE':<12}{'BRKR':<10}{'REQ/S':>8}{'PEND':>6}"
+        f"{'INFL':>6}{'SHED':>7}{'HEDGE':>7}{'FO':>5}{'CACHE':>7}"
+        f"{'P50':>9}{'P99':>9}",
     ]
     for shard in view["shards"]:
         if shard["status"] != "ok":
             lines.append(
                 f"{shard['address']:<22}{'unreachable':<12}"
+                f"{shard.get('breaker', 'none'):<10}"
                 f"{shard.get('error', '')}"
             )
             continue
         lines.append(
             f"{shard['address']:<22}{shard['status']:<12}"
+            f"{shard.get('breaker', 'none'):<10}"
             f"{shard['rate']:>8.1f}{shard['pending']:>6}"
             f"{shard['inflight']:>6}{shard['shed']:>7}"
+            f"{shard.get('hedged', 0):>7}{shard.get('failover', 0):>5}"
             f"{_pct(shard['cache_hit_rate']):>7}"
             f"{shard['p50'] * 1e3:>7.1f}ms{shard['p99'] * 1e3:>7.1f}ms"
         )

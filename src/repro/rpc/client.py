@@ -115,8 +115,13 @@ class RPCClient:
     def _base_ctx(self) -> dict | None:
         return {"tenant": self.tenant} if self.tenant else None
 
-    def call(self, method: str, *params: Any) -> Any:
+    def call(self, method: str, *params: Any, ctx_extra: dict | None = None) -> Any:
         """Invoke a remote method and return its result.
+
+        ``ctx_extra`` merges additional keys into the request's optional
+        ctx map (the replication layer tags hedge/failover attempts this
+        way so servers can count them).  ``None`` — the default — leaves
+        frames byte-identical to the classic protocol.
 
         Raises
         ------
@@ -127,13 +132,18 @@ class RPCClient:
             On protocol violations (bad frame shape, msgid mismatch).
         """
         if not self.tracer:
+            ctx = self._base_ctx()
+            if ctx_extra:
+                ctx = dict(ctx or {}, **ctx_extra)
             return self._roundtrip(
-                next(self._msgid), method, list(params), ctx=self._base_ctx()
+                next(self._msgid), method, list(params), ctx=ctx
             )
         with self.tracer.span("rpc.call", method=method) as span:
             ctx = dict(self.tracer.inject() or {})
             if self.tenant:
                 ctx["tenant"] = self.tenant
+            if ctx_extra:
+                ctx.update(ctx_extra)
             result = self._roundtrip(
                 next(self._msgid), method, list(params), ctx=ctx or None,
                 anchor=span,

@@ -98,6 +98,12 @@ class RPCServer:
         requests from tenants currently burning their error budget are
         shed pre-dispatch while the admission gate is saturated —
         budget-burning tenants lose first under overload.
+    ctx_counters:
+        Optional ``{ctx_key: zero-arg callable}`` map.  When a REQUEST
+        frame's ctx map carries one of these keys with a truthy value,
+        the callable fires before dispatch — how replica-aware clients'
+        ``hedge``/``failover`` attempt tags become server-side counters
+        without widening any handler signature.
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class RPCServer:
         recorder=None,
         slo=None,
         slo_shed: bool = False,
+        ctx_counters: dict[str, Callable[[], Any]] | None = None,
     ):
         self._handlers: dict[str, Callable[..., Any]] = {}
         self._on_error = on_error
@@ -119,6 +126,7 @@ class RPCServer:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.slo = slo
         self.slo_shed = bool(slo_shed)
+        self.ctx_counters = dict(ctx_counters or {})
         if handlers:
             for name, fn in handlers.items():
                 self.bind(name, fn)
@@ -187,6 +195,10 @@ class RPCServer:
             t = ctx.get("tenant")
             if isinstance(t, str) and t:
                 tenant = t
+            for flag, count in self.ctx_counters.items():
+                if ctx.get(flag):
+                    with contextlib.suppress(Exception):
+                        count()
         method_name = method if isinstance(method, str) else repr(method)
         if self.recorder:
             self.recorder.record(

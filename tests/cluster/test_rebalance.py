@@ -1,0 +1,176 @@
+"""Hot-shard detection and re-replication planning.
+
+Plans must be pure data and deterministic — same manifest + same loads
+in, same chain rewrites out — because two operators running ``repro
+rebalance`` concurrently resolve their race through the stale-plan
+check in :func:`apply_plan`, not through luck.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ShardLoad,
+    apply_plan,
+    load_manifest,
+    loads_from_manifest,
+    loads_from_polls,
+    plan_rebalance,
+    shard_object,
+)
+from repro.errors import ReproError
+from repro.filters import contour_grid
+from repro.io import write_vgf
+from repro.storage.object_store import MemoryBackend, ObjectStore
+from repro.storage.s3fs import S3FileSystem
+
+from tests.conftest import make_wave_grid
+
+SHARDS = 4
+
+
+@pytest.fixture
+def cluster():
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    grid = make_wave_grid(16)
+    fs.write_object("w.vgf", write_vgf(grid, codec="lz4"))
+    manifest = shard_object(fs, "w.vgf", blocks=(2, 2, 2), shards=SHARDS,
+                            replicas=2)
+    return fs, manifest
+
+
+def flat_loads(*scores):
+    return {i: ShardLoad(i, float(s)) for i, s in enumerate(scores)}
+
+
+class TestPlanning:
+    def test_balanced_cluster_plans_no_moves(self, cluster):
+        _, manifest = cluster
+        plan = plan_rebalance(manifest, loads=flat_loads(10, 10, 10, 10))
+        assert plan.empty
+        assert plan.hot_shards == ()
+        assert plan.map_version == manifest.map_version
+
+    def test_plan_is_deterministic(self, cluster):
+        _, manifest = cluster
+        loads = flat_loads(100, 10, 10, 10)
+        a = plan_rebalance(manifest, loads=loads)
+        b = plan_rebalance(manifest, loads=loads)
+        assert [m.to_dict() for m in a.moves] == [m.to_dict() for m in b.moves]
+
+    def test_pad_chains_to_target_replicas(self, cluster):
+        _, manifest = cluster
+        plan = plan_rebalance(manifest, replicas=3,
+                              loads=flat_loads(1, 1, 1, 1))
+        assert plan.replicas == 3
+        assert len(plan.moves) == len(manifest.block_objects)
+        for move in plan.moves:
+            assert len(move.after) == 3
+            assert move.after[:2] == move.before  # pad appends, never reorders
+            assert len(set(move.after)) == 3
+
+    def test_truncate_chains_to_smaller_target(self, cluster):
+        _, manifest = cluster
+        plan = plan_rebalance(manifest, replicas=1,
+                              loads=flat_loads(1, 1, 1, 1))
+        for move in plan.moves:
+            assert move.after == move.before[:1]
+
+    def test_hot_shard_rotates_primaries_to_cool_replicas(self, cluster):
+        _, manifest = cluster
+        loads = flat_loads(500, 1, 1, 1)
+        plan = plan_rebalance(manifest, loads=loads)
+        assert plan.hot_shards == (0,)
+        rotated = [m for m in plan.moves
+                   if m.before[0] == 0 and m.after[0] != 0]
+        assert rotated, "hot shard 0 kept every primary"
+        for move in rotated:
+            # Rotation re-heads the chain; membership is unchanged.
+            assert set(move.after) == set(move.before)
+            assert move.after[0] in move.before[1:]
+
+    def test_replicas_out_of_range_is_typed(self, cluster):
+        _, manifest = cluster
+        with pytest.raises(ReproError):
+            plan_rebalance(manifest, replicas=0)
+        with pytest.raises(ReproError):
+            plan_rebalance(manifest, replicas=SHARDS + 1)
+
+    def test_loads_from_manifest_counts_primaries(self, cluster):
+        _, manifest = cluster
+        loads = loads_from_manifest(manifest)
+        assert sum(load.score for load in loads.values()) == len(
+            manifest.block_objects
+        )
+
+    def test_loads_from_polls_reads_counters_and_p99(self):
+        polls = [
+            {"address": "a:1", "snapshot": {
+                "counters": {"requests": 42},
+                "histograms": {"request_latency_seconds": {
+                    "count": 10, "sum": 1.0,
+                    "buckets": [{"le": 0.1, "count": 9},
+                                {"le": "+Inf", "count": 1}],
+                }},
+            }},
+            {"address": "b:2", "error": "RPCTransportError: down"},
+        ]
+        loads = loads_from_polls(polls)
+        assert loads[0].score == 42.0
+        assert loads[0].p99 > 0
+        # Unreachable shard: not serving, so by definition not hot.
+        assert loads[1].score == 0.0
+
+
+class TestApply:
+    def test_apply_bumps_generation_and_rewrites_chains(self, cluster):
+        fs, manifest = cluster
+        plan = plan_rebalance(manifest, replicas=3,
+                              loads=flat_loads(1, 1, 1, 1))
+        fresh = apply_plan(fs, manifest, plan)
+        assert fresh.map_version == manifest.map_version + 1
+        assert fresh.replication_factor == 3
+        for bo in fresh.block_objects:
+            assert bo.shard == bo.replicas[0]
+        # And it round-trips through storage.
+        loaded = load_manifest(fs, manifest.manifest_key)
+        assert loaded.map_version == fresh.map_version
+        assert loaded.replication_factor == 3
+
+    def test_stale_plan_is_rejected(self, cluster):
+        fs, manifest = cluster
+        plan_a = plan_rebalance(manifest, replicas=3,
+                                loads=flat_loads(1, 1, 1, 1))
+        fresh = apply_plan(fs, manifest, plan_a)
+        # A second operator computed against generation 1; the manifest
+        # is now at generation 2 — their plan must not clobber it.
+        plan_b = plan_rebalance(manifest, replicas=2,
+                                loads=flat_loads(9, 1, 1, 1))
+        with pytest.raises(ReproError, match="stale"):
+            apply_plan(fs, fresh, plan_b)
+
+    def test_applied_plan_still_contours_byte_identically(self, cluster):
+        fs, manifest = cluster
+        grid = make_wave_grid(16)
+        reference = contour_grid(grid, "f", [0.2])
+        plan = plan_rebalance(manifest, replicas=3,
+                              loads=flat_loads(500, 1, 1, 1))
+        apply_plan(fs, manifest, plan)
+
+        from repro.cluster import ClusterClient
+        from repro.core.ndp_server import NDPServer
+        from repro.rpc.pool import EndpointPool
+        from repro.rpc.transport import InProcessTransport
+
+        from tests.cluster.test_stitch import assert_poly_bytes_equal
+
+        fresh = load_manifest(fs, manifest.manifest_key)
+        pool = EndpointPool([
+            InProcessTransport(NDPServer(fs).rpc.dispatch)
+            for _ in range(SHARDS)
+        ])
+        result, stats = ClusterClient(pool, fresh).contour("f", [0.2])
+        assert_poly_bytes_equal(result, reference)
+        assert stats["replicas"] == 3
+        assert stats["map_version"] == 2
