@@ -696,6 +696,22 @@ def cmd_health(args) -> int:
         print(f"unreachable: {exc}")
         return 1
     report = results[0][1]
+    if report.get("kind") == "edge":
+        print(
+            f"status: {report['status']} (edge, "
+            f"upstream_reachable={report.get('upstream_reachable')}, "
+            f"requests_served={report.get('requests_served', 0)})"
+        )
+        edge = report.get("edge") or {}
+        print(
+            f"edge: hit_rate {float(edge.get('hit_rate') or 0.0):.0%}, "
+            f"revalidations {int(edge.get('revalidations', 0))}, "
+            f"invalidations {int(edge.get('invalidations', 0))}, "
+            f"upstream_errors {int(edge.get('upstream_errors', 0))}"
+        )
+        if report.get("upstream_error"):
+            print(f"upstream_error: {report['upstream_error']}")
+        return 0 if report["status"] == "ok" else 1
     print(
         f"status: {report['status']} "
         f"(store_reachable={report['store_reachable']}, "
@@ -808,6 +824,92 @@ def _print_cache_line(label: str, cache: dict) -> None:
     print(line)
 
 
+def cmd_serve_edge(args) -> int:
+    """Run an edge cache server fronting one or more upstream NDP servers.
+
+    Clients point ``repro contour --connect`` at the edge exactly as they
+    would at a storage-side server; warm requests are served from the
+    edge's version-token-coherent caches without crossing the (possibly
+    WAN) upstream links.  ``--wan-profile`` throttles the *upstream* dial
+    through a named latency/bandwidth model — handy for demonstrating the
+    edge win on one machine.
+    """
+    import signal
+    import threading
+
+    from repro.edge import EdgeCacheServer
+    from repro.rpc.transport import ThrottledTransport
+    from repro.storage.netsim import WAN_PROFILES
+
+    addresses = _split_addresses(args.upstream)
+    if addresses is None:
+        return 2
+    transports = []
+    for _label, host, port in addresses:
+        transport = TCPTransport(host, port, timeout=args.upstream_timeout,
+                                 lazy=True)
+        if args.wan_profile:
+            transport = ThrottledTransport(transport,
+                                           WAN_PROFILES[args.wan_profile])
+        # propagate_deadline=False: forwarded frames must stay
+        # byte-identical; the client's own ctx already carries a deadline
+        # when it set one.
+        transports.append(ResilientTransport(
+            transport,
+            retry=RetryPolicy(max_attempts=2),
+            breaker=CircuitBreaker(),
+            propagate_deadline=False,
+        ))
+    tracer = Tracer(process="edge") if args.trace_out else None
+    server = EdgeCacheServer(
+        transports,
+        cache_bytes=args.cache_bytes,
+        reply_cache_bytes=args.reply_cache,
+        coherence=args.coherence,
+        serve_stale=args.serve_stale,
+        promote_after=args.promote_after,
+        verify_checksums=args.verify_checksums == "on",
+        tracer=tracer,
+        watch_interval=args.watch_interval if args.watch_interval > 0
+        else None,
+    )
+    max_conns = args.max_connections if args.max_connections > 0 else None
+    listener = server.serve_tcp(host=args.host, port=args.port,
+                                max_connections=max_conns)
+    upstream_desc = ",".join(label for label, _h, _p in addresses)
+    print(f"edge cache on {listener.host}:{listener.port} "
+          f"(upstream={upstream_desc}"
+          f"{', wan=' + args.wan_profile if args.wan_profile else ''}, "
+          f"coherence={args.coherence}, "
+          f"block_cache={args.cache_bytes // 2**20} MiB, "
+          f"reply_cache={args.reply_cache // 2**20} MiB, "
+          f"serve_stale={'on' if args.serve_stale else 'off'}"
+          f"{', tracing on' if tracer else ''})", flush=True)
+
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, _frame):
+            print(f"\nsignal {signum}: stopping edge")
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    try:
+        stop.wait(args.timeout if args.timeout > 0 else None)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        info = server.server_stats()
+        print(f"stopped edge ({info['requests']} requests, "
+              f"hit_rate {info['hit_rate']:.0%}, "
+              f"{info['forwards']} forwards, "
+              f"{info['upstream_errors']} upstream errors)")
+        if tracer is not None:
+            _write_trace(tracer, args.trace_out)
+    return 0
+
+
 def cmd_stats(args) -> int:
     """Fetch and pretty-print a server's unified registry snapshot.
 
@@ -868,6 +970,18 @@ def cmd_stats(args) -> int:
     collected = snapshot.get("collected", {})
     for label in ("array_cache", "selection_cache"):
         _print_cache_line(label, collected.get(label, {}))
+    edge = collected.get("edge") or {}
+    if edge.get("kind") == "edge":
+        print(
+            f"edge: hit_rate {float(edge.get('hit_rate') or 0.0):.0%}  "
+            f"revalidations {int(edge.get('revalidations', 0))}  "
+            f"invalidations {int(edge.get('invalidations', 0))}  "
+            f"stale_served {int(edge.get('stale_served', 0))}  "
+            f"upstream_errors {int(edge.get('upstream_errors', 0))}  "
+            f"local_computes {int(edge.get('local_computes', 0))}"
+        )
+        for label in ("reply_cache", "block_cache"):
+            _print_cache_line(label, collected.get(label, {}))
     admission = collected.get("admission") or {}
     if admission:
         limit = admission.get("max_inflight", 0) or "unlimited"
@@ -1263,6 +1377,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="min seconds between manifest re-reads for the "
                         "live map_version token (default 1)")
     p.set_defaults(func=cmd_serve_cluster)
+
+    p = sub.add_parser("serve-edge", help="run an edge cache in front of "
+                                          "one or more NDP servers")
+    p.add_argument("--upstream", required=True, metavar="ADDR[,ADDR...]",
+                   help="upstream NDP server address(es), in failover order")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=0,
+                   help="exit after N seconds (0 = run forever)")
+    p.add_argument("--cache-bytes", type=int, default=128 * 2**20,
+                   help="decoded-array block cache budget in bytes "
+                        "(default 128 MiB; 0 disables local compute)")
+    p.add_argument("--reply-cache", type=int, default=64 * 2**20,
+                   metavar="BYTES",
+                   help="encoded-reply cache budget in bytes "
+                        "(default 64 MiB; 0 makes the edge a pure proxy)")
+    p.add_argument("--coherence", choices=["strict", "watch"],
+                   default="strict",
+                   help="strict: revalidate upstream per serve (never "
+                        "stale); watch: serve from last-known tokens, "
+                        "re-probed every --watch-interval")
+    p.add_argument("--watch-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="background re-probe period for --coherence=watch "
+                        "(default 1; 0 disables the poller)")
+    p.add_argument("--serve-stale", action="store_true",
+                   help="when the upstream is unreachable, serve the "
+                        "last-known-fresh cached reply instead of the "
+                        "transport error")
+    p.add_argument("--promote-after", type=int, default=2, metavar="N",
+                   help="reply misses per (object, array) before the edge "
+                        "pulls the block and computes contours locally "
+                        "(default 2)")
+    p.add_argument("--wan-profile", default="",
+                   choices=["", "lan", "wan-metro", "wan-cross-country",
+                            "wan-transatlantic"],
+                   help="throttle the upstream dial through a named WAN "
+                        "latency/bandwidth model (default: none)")
+    p.add_argument("--upstream-timeout", type=float, default=30.0,
+                   help="socket timeout for upstream dials (default 30)")
+    p.add_argument("--max-connections", type=int, default=0,
+                   help="refuse TCP connections beyond this many concurrent "
+                        "(0 = unlimited)")
+    p.add_argument("--verify-checksums", choices=["on", "off"], default="on",
+                   help="stamp CRCs on locally computed replies (must match "
+                        "the upstream server's setting)")
+    p.add_argument("--trace-out", default="",
+                   help="write the edge's trace spans here on exit")
+    p.set_defaults(func=cmd_serve_edge)
 
     p = sub.add_parser("contour", help="offloaded contour of a stored array")
     p.add_argument("--connect", default="", metavar="HOST:PORT",

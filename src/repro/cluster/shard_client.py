@@ -301,14 +301,17 @@ class ClusterClient:
             groups.setdefault(chain[0], []).append((bo, chain))
         return groups
 
-    def contour(self, array_name: str, values, roi: Bounds | None = None):
-        """Scatter–gather contour: returns ``(polydata, stats)``.
+    def prefilter(self, array_name: str, values, roi: Bounds | None = None,
+                  _span_name: str = "cluster.contour"):
+        """Scatter–gather the pre-filter only: ``(selection, stats)``.
 
-        Bit-identical to the monolithic paths for any shard layout, any
-        replication factor, and any failover combination: same points,
-        same polys, same point-data bytes as both a single-server
-        :func:`~repro.core.ndp_client.ndp_contour` and a baseline
-        full-read :func:`~repro.filters.contour.contour_grid`.
+        Everything :meth:`contour` does short of the client-side
+        post-filter: route blocks to shard leaders, gather the per-block
+        encoded selections, stitch them into one global sparse
+        :class:`~repro.filters.selection.PointSelection`.  The edge cache
+        tier fronts a cluster through this — it re-encodes the stitched
+        selection for its own clients and leaves post-filtering to them,
+        keeping the pushdown semantics intact across all three tiers.
         """
         values = normalize_values(values)
         m = self.manifest
@@ -317,7 +320,7 @@ class ClusterClient:
         wanted = m.intersecting(roi)
         groups = self._route(wanted)
         with self.tracer.span(
-            "cluster.contour", array=array_name, shards=m.shards,
+            _span_name, array=array_name, shards=m.shards,
             shards_queried=len(groups), blocks=len(wanted),
         ):
             gathered = []
@@ -380,14 +383,27 @@ class ClusterClient:
                 )
             stats["selected_points"] = stitched.count
             stats["total_points"] = stitched.total_points
-            with self.tracer.span("postfilter", points=stitched.count):
-                polydata = postfilter_contour(stitched, values, roi=roi)
             if map_version_seen > m.map_version:
                 # A shard is serving a newer map than we routed with:
                 # this gather already completed correctly (replies are
                 # self-describing), so refresh for the *next* request.
                 stats["stale_map"] = True
                 stats["map_refreshed"] = self.refresh_map()
+        return stitched, stats
+
+    def contour(self, array_name: str, values, roi: Bounds | None = None):
+        """Scatter–gather contour: returns ``(polydata, stats)``.
+
+        Bit-identical to the monolithic paths for any shard layout, any
+        replication factor, and any failover combination: same points,
+        same polys, same point-data bytes as both a single-server
+        :func:`~repro.core.ndp_client.ndp_contour` and a baseline
+        full-read :func:`~repro.filters.contour.contour_grid`.
+        """
+        values = normalize_values(values)
+        stitched, stats = self.prefilter(array_name, values, roi=roi)
+        with self.tracer.span("postfilter", points=stitched.count):
+            polydata = postfilter_contour(stitched, values, roi=roi)
         return polydata, stats
 
     # ------------------------------------------------------------------

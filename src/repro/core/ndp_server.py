@@ -239,6 +239,8 @@ class NDPServer:
                 "read_array": self.read_array,
                 "list_objects": self.list_objects,
                 "describe": self.describe,
+                "object_version": self.object_version,
+                "read_block": self.read_block,
                 "server_stats": self.server_stats,
                 "stats": self.stats_snapshot,
                 "health": self.health,
@@ -282,6 +284,75 @@ class NDPServer:
                 for a in info.arrays
             ],
         }
+
+    def object_version(self, key: str) -> dict:
+        """Coherence probe for downstream cache tiers (metadata only).
+
+        Returns the store's version token for ``key`` plus the live shard
+        ``map_version`` when one is configured — everything an edge cache
+        needs to decide whether its entries for this object are still
+        fresh, in one cheap round trip that never touches array data.
+        Unlike :meth:`_store_version` this *raises* for a missing object
+        (as a typed storage error over the wire): an edge must be able to
+        tell "object gone" from "no version surface".
+        """
+        version = getattr(self.fs, "version", None)
+        token = version(key) if version is not None else None
+        out = {"version": list(token) if isinstance(token, tuple) else token}
+        map_version = self._current_map_version()
+        if map_version is not None:
+            out["map_version"] = map_version
+        return out
+
+    def read_block(self, key: str, array: str) -> dict:
+        """Ship one array's *stored* block plus its decode recipe.
+
+        The edge tier promotes hot objects by pulling the compressed
+        block once and decoding it locally, after which nearby-ROI
+        requests never cross the WAN.  The reply carries exactly what
+        :func:`~repro.io.vgf.read_vgf_array` needs: grid structure,
+        the :class:`~repro.io.vgf.ArrayInfo` decode fields, the stored
+        (still-compressed, checksum-verified) bytes, and the version
+        token the block was read under, so the edge caches it coherently.
+        """
+        check_deadline("store read")
+        try:
+            with self.tracer.span("store.read", key=key, array=array), \
+                    self.recorder.phase("store.read", key=key, array=array):
+                with self.fs.open(key) as fh:
+                    info = read_vgf_info(fh)
+                    entry = info.array(array)
+                    stored, _ = read_vgf_block(
+                        fh, array, info, verify=self.verify_checksums
+                    )
+        except IntegrityError:
+            self._integrity_failures.inc()
+            self.tracer.add_event("integrity.failure", key=key, array=array)
+            self.recorder.record("integrity.failure", key=key, array=array)
+            raise
+        token = self._store_version(key)
+        out = {
+            "dims": list(info.dims),
+            "origin": list(info.origin),
+            "spacing": list(info.spacing),
+            "array": {
+                "name": entry.name,
+                "dtype": entry.dtype,
+                "components": entry.components,
+                "association": entry.association,
+                "codec": entry.codec,
+                "stored_bytes": entry.stored_bytes,
+                "raw_bytes": entry.raw_bytes,
+            },
+            "stored": stored,
+            "version": list(token) if isinstance(token, tuple) else token,
+        }
+        if info.axes is not None:
+            out["axes"] = [
+                np.ascontiguousarray(axis, dtype=np.float64).tobytes()
+                for axis in info.axes
+            ]
+        return out
 
     def _store_version(self, key: str):
         """Invalidation token for ``key`` (store mtime/version + size).

@@ -1,0 +1,10 @@
+"""Edge cache tier: a WAN-side caching facade over the NDP protocol.
+
+See :mod:`repro.edge.server` for the server and
+:mod:`repro.edge.coherence` for the version-token coherence protocol.
+"""
+
+from repro.edge.coherence import CoherenceTracker
+from repro.edge.server import EdgeCacheServer
+
+__all__ = ["CoherenceTracker", "EdgeCacheServer"]

@@ -1,0 +1,145 @@
+"""Version-token coherence between cache tiers.
+
+The edge cache never uses TTLs: every cached entry is keyed by the
+upstream *version token* for its object (store mtime/generation + size)
+plus the cluster ``map_version``, so freshness is a property of the key —
+a stale entry is simply never looked up again, and ages out of the LRU
+tail.  What this module decides is *when the edge learns tokens changed*:
+
+``strict``
+    Every serve issues a metadata-only ``object_version`` probe upstream,
+    initiated after the client's request arrived.  An overwrite that
+    completes before a request is therefore never served stale, at the
+    cost of one WAN round trip of latency per request (still no data
+    bytes).  This is the default and what the coherence suite asserts.
+
+``watch``
+    The tracker remembers the last observed tokens and serves from them;
+    an explicit :meth:`poll` (driven by a background thread or the test)
+    re-probes every known key.  Staleness is bounded by the poll cadence
+    — bounded like the replicated cluster's shard-map watcher, and warm
+    requests stay at LAN latency because nothing crosses the WAN.  Tokens
+    piggybacked on forwarded replies (``map_version`` stamps) are folded
+    in between polls via :meth:`note_map_version`.
+
+Either way an upstream overwrite or rebalance changes the token, the next
+lookup misses, and the edge re-fetches — coherent invalidation with zero
+TTLs, per Bethel et al.'s network-data-cache design.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+
+__all__ = ["CoherenceTracker"]
+
+
+class CoherenceTracker:
+    """Tracks upstream version tokens per object key.
+
+    Parameters
+    ----------
+    probe:
+        ``probe(key) -> (version, map_version)``; raises the upstream's
+        typed error when the object is missing or the site is down.
+    mode:
+        ``"strict"`` or ``"watch"`` (see module docstring).
+    counters:
+        Optional dict of metric counters; ``revalidations``,
+        ``revalidate_hits``, and ``invalidations`` are incremented when
+        present.
+    """
+
+    MODES = ("strict", "watch")
+
+    def __init__(self, probe, mode: str = "strict", counters: dict | None = None):
+        if mode not in self.MODES:
+            raise ReproError(
+                f"unknown coherence mode {mode!r}; use one of {self.MODES}"
+            )
+        self._probe = probe
+        self.mode = mode
+        self._counters = counters or {}
+        self._lock = threading.Lock()
+        #: key -> (version, map_version), as last observed upstream
+        self._known: dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        counter = self._counters.get(name)
+        if counter is not None:
+            counter.inc()
+
+    def _probe_and_record(self, key: str) -> tuple:
+        result = self._probe(key)
+        self._count("revalidations")
+        with self._lock:
+            previous = self._known.get(key)
+            self._known[key] = result
+        if previous is not None:
+            if previous != result:
+                self._count("invalidations")
+            else:
+                self._count("revalidate_hits")
+        return result
+
+    # ------------------------------------------------------------------
+    def revalidate(self, key: str) -> tuple:
+        """Current ``(version, map_version)`` for ``key``, per the mode.
+
+        ``strict`` probes upstream now; ``watch`` returns the last
+        observed tokens, probing only when the key has never been seen.
+        """
+        if self.mode == "strict":
+            return self._probe_and_record(key)
+        with self._lock:
+            known = self._known.get(key)
+        if known is not None:
+            return known
+        return self._probe_and_record(key)
+
+    def last_known(self, key: str) -> tuple | None:
+        """Most recently observed tokens, without probing (stale-serve path)."""
+        with self._lock:
+            return self._known.get(key)
+
+    def note_map_version(self, key: str, map_version) -> None:
+        """Fold a reply-piggybacked ``map_version`` stamp into the record.
+
+        Pre-filter replies advertise the live map generation even on
+        upstream cache hits; in ``watch`` mode this moves invalidation of
+        rebalances from the next poll to the next *miss*, for free.
+        """
+        if map_version is None:
+            return
+        with self._lock:
+            known = self._known.get(key)
+            if known is not None and known[1] != map_version:
+                self._known[key] = (known[0], map_version)
+
+    def poll(self, keys=None) -> int:
+        """Re-probe ``keys`` (default: every known key); returns how many
+        tokens changed.  Probe failures leave the old tokens in place —
+        a down upstream must not mass-invalidate a still-fresh cache."""
+        with self._lock:
+            targets = list(keys) if keys is not None else list(self._known)
+        changed = 0
+        for key in targets:
+            with self._lock:
+                previous = self._known.get(key)
+            try:
+                if self._probe_and_record(key) != previous:
+                    changed += 1
+            except Exception:
+                continue
+        return changed
+
+    def forget(self, key: str) -> None:
+        with self._lock:
+            self._known.pop(key, None)
+
+    def known_keys(self) -> list[str]:
+        with self._lock:
+            return list(self._known)

@@ -95,6 +95,7 @@ class TopModel:
         """One renderable cluster state from one round of polls."""
         now = self._clock()
         shards = []
+        edges = []
         tenants: dict[str, dict] = {}
         total_requests = total_rate = total_pending = total_inflight = 0.0
         total_shed = 0
@@ -114,6 +115,32 @@ class TopModel:
             if prev is not None and now > prev[0]:
                 rate = max(0.0, (requests - prev[1]) / (now - prev[0]))
             self._prev[address] = (now, requests)
+            edge = collected.get("edge") or {}
+            if edge.get("kind") == "edge":
+                # An edge cache answered this address: it gets an EDGE row
+                # (hit rate, coherence traffic, upstream health) instead of
+                # a SHARD row — its counters mean different things.
+                hists = snap.get("histograms") or {}
+                latency = hists.get("request_latency_seconds") or {}
+                edges.append({
+                    "address": address,
+                    "status": "ok",
+                    "requests": int(requests),
+                    "rate": rate,
+                    "hit_rate": edge.get("hit_rate"),
+                    "revalidations": int(edge.get("revalidations", 0)),
+                    "invalidations": int(edge.get("invalidations", 0)),
+                    "negative_hits": int(edge.get("negative_hits", 0)),
+                    "stale_served": int(edge.get("stale_served", 0)),
+                    "upstream_errors": int(edge.get("upstream_errors", 0)),
+                    "local_computes": int(edge.get("local_computes", 0)),
+                    "p50": _hist_quantile(latency, 0.50),
+                    "p99": _hist_quantile(latency, 0.99),
+                    "breaker": poll.get("breaker", "none"),
+                })
+                total_requests += requests
+                total_rate += rate
+                continue
             admission = collected.get("admission") or {}
             fair = collected.get("fair_queue") or {}
             pending = int(fair.get("pending", admission.get("pending", 0)))
@@ -176,6 +203,7 @@ class TopModel:
                 row["slo_sheds"] += int(state.get("slo_sheds", 0))
         return {
             "shards": shards,
+            "edges": edges,
             "tenants": sorted(tenants.values(), key=lambda r: r["tenant"]),
             "totals": {
                 "requests": int(total_requests),
@@ -185,6 +213,7 @@ class TopModel:
                 "shed": total_shed,
                 "reachable": sum(1 for s in shards if s["status"] == "ok"),
                 "shards": len(shards),
+                "edges": len(edges),
             },
         }
 
@@ -223,6 +252,23 @@ def render(view: dict) -> str:
             f"{_pct(shard['cache_hit_rate']):>7}"
             f"{shard['p50'] * 1e3:>7.1f}ms{shard['p99'] * 1e3:>7.1f}ms"
         )
+    if view.get("edges"):
+        lines += [
+            "",
+            f"{'EDGE':<22}{'STATE':<12}{'BRKR':<10}{'REQ/S':>8}{'HIT':>6}"
+            f"{'REVAL':>7}{'INVAL':>7}{'NEG':>6}{'STALE':>7}{'UPERR':>7}"
+            f"{'LOCAL':>7}{'P50':>9}{'P99':>9}",
+        ]
+        for edge in view["edges"]:
+            lines.append(
+                f"{edge['address']:<22}{edge['status']:<12}"
+                f"{edge.get('breaker', 'none'):<10}"
+                f"{edge['rate']:>8.1f}{_pct(edge['hit_rate']):>6}"
+                f"{edge['revalidations']:>7}{edge['invalidations']:>7}"
+                f"{edge['negative_hits']:>6}{edge['stale_served']:>7}"
+                f"{edge['upstream_errors']:>7}{edge['local_computes']:>7}"
+                f"{edge['p50'] * 1e3:>7.1f}ms{edge['p99'] * 1e3:>7.1f}ms"
+            )
     if view["tenants"]:
         lines += [
             "",

@@ -27,12 +27,14 @@ from repro.rpc.mux import AsyncServerTransport, MuxTransport
 from repro.rpc.pool import EndpointPool
 from repro.rpc.resilience import CircuitBreaker, ResilientTransport, RetryPolicy
 from repro.rpc.server import RPCServer
+from repro.rpc.forward import ForwardingHandler
 from repro.rpc.transport import (
     FrameBuffer,
     InProcessTransport,
     SimulatedTransport,
     TCPServerTransport,
     TCPTransport,
+    ThrottledTransport,
     Transport,
 )
 
@@ -53,7 +55,9 @@ __all__ = [
     "FairScheduler",
     "FrameBuffer",
     "inject_tenant",
+    "ForwardingHandler",
     "SimulatedTransport",
+    "ThrottledTransport",
     "ResilientTransport",
     "EndpointPool",
     "RetryPolicy",

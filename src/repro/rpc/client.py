@@ -21,11 +21,13 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any
 
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExpiredError,
     IntegrityError,
     RPCError,
     RPCRemoteError,
     RPCTimeoutError,
+    RPCTransportError,
     ServerOverloadedError,
 )
 from repro.obs.trace import NULL_TRACER
@@ -60,6 +62,16 @@ def _raise_remote(method: str, error_line: str) -> None:
         raise DeadlineExpiredError(f"remote call {method!r}: {error_line}")
     if error_line.startswith("IntegrityError"):
         raise IntegrityError(f"remote call {method!r}: {error_line}")
+    # A proxy tier (the edge cache) reports *its* upstream transport
+    # failures over the error channel; reconstructing the transport types
+    # lets a client's fallback ladder react to a dead storage site behind
+    # an otherwise-healthy edge exactly as it would to a dead direct link.
+    if error_line.startswith("CircuitOpenError"):
+        raise CircuitOpenError(f"remote call {method!r}: {error_line}")
+    if error_line.startswith("RPCTimeoutError"):
+        raise RPCTimeoutError(f"remote call {method!r}: {error_line}")
+    if error_line.startswith("RPCTransportError"):
+        raise RPCTransportError(f"remote call {method!r}: {error_line}")
     raise RPCRemoteError(method, error_line)
 
 
@@ -150,7 +162,8 @@ class RPCClient:
             )
         return result
 
-    def call_async(self, method: str, *params: Any) -> "PendingCall":
+    def call_async(self, method: str, *params: Any,
+                   ctx_extra: dict | None = None) -> "PendingCall":
         """Pipeline a call: returns a :class:`PendingCall` immediately.
 
         Over a multiplexing transport (one with ``submit``) the request
@@ -160,11 +173,20 @@ class RPCClient:
         transport the call degrades gracefully: it completes synchronously
         and the :class:`PendingCall` is born resolved, so calling code
         does not need to know which transport it got.
+
+        The ctx map carries the same keys :meth:`call` would send: the
+        active trace context (so a handler that re-forwards work while
+        pipelining keeps the span tree connected — async calls used to
+        drop it), the tenant, and any ``ctx_extra`` overrides.
         """
         msgid = next(self._msgid)
         frame = [_REQUEST, msgid, method, list(params)]
-        ctx = self._base_ctx()
-        if ctx is not None:
+        ctx = dict(self.tracer.inject() or {}) if self.tracer else {}
+        if self.tenant:
+            ctx["tenant"] = self.tenant
+        if ctx_extra:
+            ctx.update(ctx_extra)
+        if ctx:
             frame.append(ctx)
         payload = pack(frame)
         submit = getattr(self._transport, "submit", None)

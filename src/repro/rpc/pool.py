@@ -500,6 +500,14 @@ class EndpointPool:
     def client(self, i: int) -> RPCClient:
         return self._clients[i]
 
+    def transport(self, i: int):
+        """Endpoint ``i``'s (possibly resilience-wrapped) transport.
+
+        Frame-level proxies (:class:`~repro.rpc.forward.ForwardingHandler`)
+        relay raw bytes and so need the transport itself, not the client.
+        """
+        return self._transports[i]
+
     def health(self, i: int) -> EndpointHealth:
         return self._health[i]
 

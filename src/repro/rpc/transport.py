@@ -34,6 +34,7 @@ __all__ = [
     "TCPTransport",
     "TCPServerTransport",
     "SimulatedTransport",
+    "ThrottledTransport",
     "FrameBuffer",
     "read_frame",
     "write_frame",
@@ -157,21 +158,67 @@ class SimulatedTransport(Transport):
         :class:`repro.storage.netsim.LinkModel` bound to a
         :class:`repro.storage.netsim.SimClock`.  Both request and response
         bytes are charged, like the paper's client<->storage hop.
+    response_link:
+        Optional second link for the server→client direction.  WAN hops
+        are asymmetric (see :data:`repro.storage.netsim.WAN_PROFILES`);
+        when given, requests charge ``link`` and responses charge
+        ``response_link``, each paying its own one-way latency.
     """
 
-    def __init__(self, inner: Transport, link):
+    def __init__(self, inner: Transport, link, response_link=None):
         self._inner = inner
         self._link = link
+        self._response_link = response_link if response_link is not None else link
 
     def request(self, payload: bytes) -> bytes:
         self._link.charge(len(payload))
         response = self._inner.request(payload)
-        self._link.charge(len(response) if response is not None else 0)
+        self._response_link.charge(len(response) if response is not None else 0)
         return response
 
     def send(self, payload: bytes) -> None:
         self._link.charge(len(payload))
         self._inner.send(payload)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class ThrottledTransport(Transport):
+    """Wraps a transport in *real* wall-clock WAN delay.
+
+    The simulated-clock :class:`SimulatedTransport` keeps benchmarks fast;
+    this one actually sleeps, which is what a multi-process CI chain needs
+    to demonstrate edge caching over a WAN with nothing but localhost
+    sockets.  ``profile`` is anything with ``one_way_latency_s`` /
+    ``up_bps`` / ``down_bps`` — in practice a
+    :class:`repro.storage.netsim.WanProfile`.
+    """
+
+    def __init__(self, inner: Transport, profile, sleep=time.sleep):
+        self._inner = inner
+        self._profile = profile
+        self._sleep = sleep
+
+    def _delay(self, nbytes: int, bps: float) -> None:
+        p = self._profile
+        self._sleep(p.one_way_latency_s + (nbytes / bps if bps else 0.0))
+
+    def request(self, payload: bytes) -> bytes:
+        self._delay(len(payload), self._profile.up_bps)
+        response = self._inner.request(payload)
+        self._delay(len(response) if response is not None else 0,
+                    self._profile.down_bps)
+        return response
+
+    def send(self, payload: bytes) -> None:
+        self._delay(len(payload), self._profile.up_bps)
+        self._inner.send(payload)
+
+    def reconnect(self) -> None:
+        reconnect = getattr(self._inner, "reconnect", None)
+        if reconnect is not None:
+            reconnect()
 
     def close(self) -> None:
         self._inner.close()

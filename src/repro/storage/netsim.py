@@ -20,6 +20,8 @@ decompress throughputs follow from the 3.96x / 4.63x standalone speedups.
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -31,6 +33,9 @@ __all__ = [
     "CodecTiming",
     "Testbed",
     "PAPER_TESTBED",
+    "WanProfile",
+    "WAN_PROFILES",
+    "wan_link_pair",
     "MB",
 ]
 
@@ -93,14 +98,45 @@ class DeviceModel:
 
 
 class LinkModel(DeviceModel):
-    """A network link; ``charge`` is the transport-facing spelling of read."""
+    """A network link; ``charge`` is the transport-facing spelling of read.
+
+    Chunked readers pipeline many transfers over one logical request, and
+    a request pays the propagation latency *once* — only bandwidth scales
+    with the chunk count.  Wrap the chunk loop in :meth:`request` and
+    every ``charge`` after the first inside that scope is bandwidth-only;
+    outside a scope each charge stands alone (latency + bytes/bandwidth),
+    which keeps single-shot callers unchanged.
+    """
 
     def __init__(self, clock: SimClock, bandwidth_bps: float, latency_s: float = 0.0,
                  name: str = "link"):
         super().__init__(clock, bandwidth_bps, latency_s, name)
+        self._pipeline = threading.local()
 
     def charge(self, nbytes: int) -> None:
+        state = self._pipeline
+        if getattr(state, "depth", 0) > 0:
+            if getattr(state, "latency_paid", False):
+                # Follow-up chunk of a pipelined request: bandwidth only.
+                dt = nbytes / self.bandwidth_bps
+                self.clock.advance(dt)
+                self.total_bytes += nbytes
+                self.total_time += dt
+                return
+            state.latency_paid = True
         self.read(nbytes)
+
+    @contextlib.contextmanager
+    def request(self):
+        """Scope in which chained charges pay the link latency once."""
+        state = self._pipeline
+        state.depth = getattr(state, "depth", 0) + 1
+        try:
+            yield self
+        finally:
+            state.depth -= 1
+            if state.depth == 0:
+                state.latency_paid = False
 
 
 @dataclass(frozen=True)
@@ -185,3 +221,64 @@ class Testbed:
 def PAPER_TESTBED() -> Testbed:
     """A fresh testbed with the paper-calibrated defaults (DESIGN.md §6)."""
     return Testbed()
+
+
+@dataclass(frozen=True)
+class WanProfile:
+    """A named wide-area hop: one-way latency plus per-direction bandwidth.
+
+    Real WANs are asymmetric (uplink from a viewer's site is usually the
+    thinner pipe), so the profile carries a bandwidth per direction.  The
+    ``up`` direction is client→server (requests), ``down`` is server→client
+    (replies).  One *request* over the hop costs one-way latency each
+    direction plus the transfer times — the :class:`LinkModel` pipelining
+    scope keeps multi-chunk transfers from paying latency per chunk.
+    """
+
+    name: str
+    one_way_latency_s: float
+    up_bps: float
+    down_bps: float
+
+    @property
+    def rtt_s(self) -> float:
+        return 2.0 * self.one_way_latency_s
+
+
+#: Named hop presets.  Latencies are typical great-circle one-way figures;
+#: bandwidths are deliberately modest (a loaded shared path, not the line
+#: rate) so the presets reproduce the "gather wire dominates again" regime
+#: the edge tier exists to fix.
+WAN_PROFILES: dict[str, WanProfile] = {
+    "lan": WanProfile("lan", one_way_latency_s=200e-6,
+                      up_bps=63.5 * MB, down_bps=63.5 * MB),
+    "wan-metro": WanProfile("wan-metro", one_way_latency_s=0.008,
+                            up_bps=6.25 * MB, down_bps=12.5 * MB),
+    "wan-cross-country": WanProfile(
+        "wan-cross-country", one_way_latency_s=0.035,
+        up_bps=1.25 * MB, down_bps=2.5 * MB),
+    "wan-transatlantic": WanProfile(
+        "wan-transatlantic", one_way_latency_s=0.045,
+        up_bps=0.625 * MB, down_bps=1.25 * MB),
+}
+
+
+def wan_link_pair(profile: WanProfile | str, clock: SimClock) -> tuple[LinkModel, LinkModel]:
+    """(uplink, downlink) :class:`LinkModel` pair for one WAN hop.
+
+    Each direction carries the full one-way latency, so a request/reply
+    round trip over the pair costs ``profile.rtt_s`` plus transfer time —
+    feed the pair to ``SimulatedTransport(..., link=up, response_link=down)``.
+    """
+    if isinstance(profile, str):
+        try:
+            profile = WAN_PROFILES[profile]
+        except KeyError:
+            raise ReproError(
+                f"unknown WAN profile {profile!r}; known: {sorted(WAN_PROFILES)}"
+            ) from None
+    up = LinkModel(clock, profile.up_bps, profile.one_way_latency_s,
+                   name=f"{profile.name}-up")
+    down = LinkModel(clock, profile.down_bps, profile.one_way_latency_s,
+                     name=f"{profile.name}-down")
+    return up, down

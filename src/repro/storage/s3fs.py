@@ -17,6 +17,7 @@ baseline-vs-NDP distinction the benchmarks flip.
 
 from __future__ import annotations
 
+import contextlib
 import io
 
 from repro.errors import NoSuchBucketError, NoSuchObjectError, StorageError
@@ -162,20 +163,25 @@ class S3File(io.RawIOBase):
         pos = self._pos
         remaining = n
         chunk_bytes = self._fs.chunk_bytes
-        while remaining > 0:
-            chunk_idx = pos // chunk_bytes
-            chunk_start = chunk_idx * chunk_bytes
-            if chunk_start != self._cache_start:
-                length = min(chunk_bytes, self._size - chunk_start)
-                self._cache = self._fs._fetch(self._key, chunk_start, length)
-                self._cache_start = chunk_start
-            local = pos - chunk_start
-            take = min(remaining, len(self._cache) - local)
-            if take <= 0:
-                break  # object shrank under us; stop rather than spin
-            out += self._cache[local : local + take]
-            pos += take
-            remaining -= take
+        # A multi-chunk read is one pipelined request over the link: the
+        # ranged GETs stream back-to-back, so latency is charged once.
+        link = self._fs.link
+        scope = link.request() if hasattr(link, "request") else contextlib.nullcontext()
+        with scope:
+            while remaining > 0:
+                chunk_idx = pos // chunk_bytes
+                chunk_start = chunk_idx * chunk_bytes
+                if chunk_start != self._cache_start:
+                    length = min(chunk_bytes, self._size - chunk_start)
+                    self._cache = self._fs._fetch(self._key, chunk_start, length)
+                    self._cache_start = chunk_start
+                local = pos - chunk_start
+                take = min(remaining, len(self._cache) - local)
+                if take <= 0:
+                    break  # object shrank under us; stop rather than spin
+                out += self._cache[local : local + take]
+                pos += take
+                remaining -= take
         self._pos = pos
         return bytes(out)
 

@@ -72,7 +72,7 @@ class TestTopModel:
         ])
         assert view["totals"] == {
             "requests": 10, "rate": 0.0, "pending": 0, "inflight": 0,
-            "shed": 0, "reachable": 1, "shards": 2,
+            "shed": 0, "reachable": 1, "shards": 2, "edges": 0,
         }
         down = view["shards"][1]
         assert down["status"] == "unreachable"

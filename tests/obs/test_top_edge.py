@@ -1,0 +1,140 @@
+"""`repro top` / `repro stats` with heterogeneous server kinds.
+
+A fleet can now mix storage shards and edge caches behind one address
+list.  The top model must route edge snapshots into EDGE rows (hit rate,
+coherence traffic, upstream errors) without disturbing the SHARD table,
+and ``merge_snapshots`` must merge a shard snapshot with an edge snapshot
+without mangling either's collector tree.
+"""
+
+from repro.core import NDPServer
+from repro.edge import EdgeCacheServer
+from repro.io import write_vgf
+from repro.obs.metrics import merge_snapshots
+from repro.obs.top import TopModel, render
+from repro.rpc import InProcessTransport, RPCClient
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+
+from tests.conftest import make_sphere_grid
+
+
+def make_pair():
+    """A live (storage server, edge server) pair with some traffic."""
+    store = ObjectStore(MemoryBackend())
+    store.create_bucket("sim")
+    fs = S3FileSystem(store, "sim")
+    fs.write_object("g.vgf", write_vgf(make_sphere_grid(10), codec="lz4"))
+    server = NDPServer(fs)
+    edge = EdgeCacheServer([InProcessTransport(server.dispatch)])
+    client = RPCClient(InProcessTransport(edge.dispatch))
+    for _ in range(3):
+        client.call("prefilter_contour", "g.vgf", "r", [3.0])
+    return server, edge
+
+
+def polls_for(server, edge):
+    return [
+        {"address": "shard:1", "snapshot": server.stats_snapshot(),
+         "breaker": "none"},
+        {"address": "edge:1", "snapshot": edge.stats_snapshot(),
+         "breaker": "none"},
+    ]
+
+
+class TestTopModelEdgeRows:
+    def test_edge_snapshot_becomes_edge_row(self):
+        server, edge = make_pair()
+        view = TopModel().view(polls_for(server, edge))
+        assert [s["address"] for s in view["shards"]] == ["shard:1"]
+        assert [e["address"] for e in view["edges"]] == ["edge:1"]
+        row = view["edges"][0]
+        assert row["hit_rate"] == 2 / 3
+        assert row["revalidations"] == 3
+        assert row["upstream_errors"] == 0
+        assert view["totals"]["edges"] == 1
+        assert view["totals"]["shards"] == 1
+
+    def test_edge_requests_count_into_totals(self):
+        server, edge = make_pair()
+        view = TopModel().view(polls_for(server, edge))
+        shard_requests = view["shards"][0]["requests"]
+        assert view["totals"]["requests"] == (
+            shard_requests + view["edges"][0]["requests"])
+
+    def test_edge_rate_is_first_difference(self):
+        server, edge = make_pair()
+        times = iter([0.0, 10.0])
+        model = TopModel(clock=lambda: next(times))
+        model.view(polls_for(server, edge))
+        client = RPCClient(InProcessTransport(edge.dispatch))
+        for _ in range(5):
+            client.call("prefilter_contour", "g.vgf", "r", [3.0])
+        view = model.view(polls_for(server, edge))
+        assert view["edges"][0]["rate"] == 5 / 10.0
+
+    def test_unreachable_address_still_a_shard_row(self):
+        view = TopModel().view(
+            [{"address": "edge:9", "error": "RPCTransportError: refused",
+              "breaker": "open"}])
+        assert view["shards"][0]["status"] == "unreachable"
+        assert view["edges"] == []
+
+    def test_render_draws_edge_table_without_breaking_shard_table(self):
+        server, edge = make_pair()
+        view = TopModel().view(polls_for(server, edge))
+        text = render(view)
+        lines = text.splitlines()
+        shard_header = next(l for l in lines if l.startswith("SHARD"))
+        edge_header = next(l for l in lines if l.startswith("EDGE"))
+        # the SHARD header layout is unchanged by the EDGE addition
+        assert shard_header.split() == [
+            "SHARD", "STATE", "BRKR", "REQ/S", "PEND", "INFL", "SHED",
+            "HEDGE", "FO", "CACHE", "P50", "P99"]
+        assert edge_header.split() == [
+            "EDGE", "STATE", "BRKR", "REQ/S", "HIT", "REVAL", "INVAL",
+            "NEG", "STALE", "UPERR", "LOCAL", "P50", "P99"]
+        edge_row = lines[lines.index(edge_header) + 1]
+        assert edge_row.startswith("edge:1")
+        assert "67%" in edge_row
+
+    def test_shard_only_view_unchanged(self):
+        server, edge = make_pair()
+        view = TopModel().view(polls_for(server, edge)[:1])
+        assert view["edges"] == []
+        assert not any(l.startswith("EDGE")
+                       for l in render(view).splitlines())
+
+
+class TestHeterogeneousMerge:
+    def test_merge_shard_and_edge_snapshots(self):
+        server, edge = make_pair()
+        merged = merge_snapshots(
+            [server.stats_snapshot(), edge.stats_snapshot()])
+        counters = merged["counters"]
+        # requests sum across kinds (edge served 3, upstream saw 1 miss);
+        # kind-specific counters survive
+        assert counters["requests"] == 4
+        assert "edge_revalidations" in counters
+        assert "prefilter_calls" in counters
+        collected = merged["collected"]
+        assert collected["edge"]["kind"] == "edge"
+        assert "admission" in collected
+        # latency histograms merged bucket-wise
+        hist = merged["histograms"]["request_latency_seconds"]
+        assert hist["count"] >= 4
+
+    def test_merge_order_does_not_crash(self):
+        server, edge = make_pair()
+        a = merge_snapshots([edge.stats_snapshot(), server.stats_snapshot()])
+        b = merge_snapshots([server.stats_snapshot(), edge.stats_snapshot()])
+        assert a["counters"]["requests"] == b["counters"]["requests"]
+
+    def test_merged_snapshot_renders_as_top_row(self):
+        # a merged snapshot is itself a valid snapshot for the model
+        server, edge = make_pair()
+        merged = merge_snapshots(
+            [server.stats_snapshot(), edge.stats_snapshot()])
+        view = TopModel().view(
+            [{"address": "merged", "snapshot": merged, "breaker": "none"}])
+        assert view["edges"] or view["shards"]
+        render(view)  # must not raise

@@ -1,0 +1,161 @@
+"""WAN link models: named profiles, asymmetry, latency-once pipelining.
+
+The link model used to charge propagation latency per ranged GET, which
+made a chunked read of a big object pay hundreds of fake round trips —
+wildly wrong over a 35 ms WAN hop.  :meth:`LinkModel.request` scopes a
+logical request so pipelined chunks pay latency once; these tests pin
+that arithmetic and the named asymmetric WAN profiles built on it.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.rpc import InProcessTransport, RPCClient, RPCServer
+from repro.rpc.transport import ThrottledTransport
+from repro.storage import MemoryBackend, ObjectStore, S3FileSystem
+from repro.storage.netsim import (
+    MB,
+    LinkModel,
+    SimClock,
+    WAN_PROFILES,
+    WanProfile,
+    wan_link_pair,
+)
+
+
+class TestWanProfiles:
+    def test_named_presets_exist(self):
+        assert {"lan", "wan-metro", "wan-cross-country",
+                "wan-transatlantic"} <= set(WAN_PROFILES)
+
+    def test_wan_profiles_are_asymmetric(self):
+        for name in ("wan-metro", "wan-cross-country", "wan-transatlantic"):
+            profile = WAN_PROFILES[name]
+            assert profile.down_bps > profile.up_bps
+
+    def test_latency_ordering_matches_distance(self):
+        lat = {name: WAN_PROFILES[name].one_way_latency_s
+               for name in WAN_PROFILES}
+        assert (lat["lan"] < lat["wan-metro"]
+                < lat["wan-cross-country"] < lat["wan-transatlantic"])
+
+    def test_rtt_is_twice_one_way(self):
+        profile = WAN_PROFILES["wan-cross-country"]
+        assert profile.rtt_s == pytest.approx(2 * profile.one_way_latency_s)
+
+    def test_link_pair_carries_directional_bandwidth(self):
+        clock = SimClock()
+        up, down = wan_link_pair("wan-metro", clock)
+        profile = WAN_PROFILES["wan-metro"]
+        assert up.bandwidth_bps == profile.up_bps
+        assert down.bandwidth_bps == profile.down_bps
+        assert up.latency_s == down.latency_s == profile.one_way_latency_s
+
+    def test_link_pair_accepts_profile_object(self):
+        custom = WanProfile("custom", 0.001, 1 * MB, 2 * MB)
+        up, down = wan_link_pair(custom, SimClock())
+        assert up.bandwidth_bps == 1 * MB
+        assert down.bandwidth_bps == 2 * MB
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError, match="unknown WAN profile"):
+            wan_link_pair("wan-lunar", SimClock())
+
+    def test_round_trip_cost_over_pair(self):
+        clock = SimClock()
+        up, down = wan_link_pair("wan-cross-country", clock)
+        up.charge(1000)
+        down.charge(100_000)
+        profile = WAN_PROFILES["wan-cross-country"]
+        expected = (profile.rtt_s + 1000 / profile.up_bps
+                    + 100_000 / profile.down_bps)
+        assert clock.now == pytest.approx(expected)
+
+
+class TestLatencyOncePipelining:
+    def test_scoped_charges_pay_latency_once(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=1 * MB, latency_s=0.035)
+        with link.request():
+            for _ in range(3):
+                link.charge(1 * MB)
+        assert clock.now == pytest.approx(0.035 + 3.0)
+
+    def test_unscoped_charges_pay_latency_each(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=1 * MB, latency_s=0.035)
+        for _ in range(3):
+            link.charge(1 * MB)
+        assert clock.now == pytest.approx(3 * 0.035 + 3.0)
+
+    def test_scope_resets_between_requests(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=1 * MB, latency_s=0.01)
+        for _ in range(2):
+            with link.request():
+                link.charge(1 * MB)
+        assert clock.now == pytest.approx(2 * 0.01 + 2.0)
+
+    def test_nested_scopes_still_pay_once(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=1 * MB, latency_s=0.01)
+        with link.request():
+            link.charge(1 * MB)
+            with link.request():
+                link.charge(1 * MB)
+        assert clock.now == pytest.approx(0.01 + 2.0)
+
+    def test_chunked_object_read_charges_latency_once(self):
+        # A 4-chunk read through the s3fs layer is ONE logical request:
+        # 1 latency + bandwidth, not 4 latencies.
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=10 * MB, latency_s=0.035)
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("sim")
+        fs = S3FileSystem(store, "sim", link=link, chunk_bytes=1 * MB)
+        payload = bytes(4 * MB)
+        store.put_object("sim", "big.bin", payload)
+        with fs.open("big.bin") as fh:
+            assert fh.read() == payload
+        assert link.total_requests == 1  # chunks folded into one request
+        assert clock.now == pytest.approx(0.035 + 4 * MB / (10 * MB))
+
+    def test_separate_reads_are_separate_requests(self):
+        clock = SimClock()
+        link = LinkModel(clock, bandwidth_bps=10 * MB, latency_s=0.035)
+        store = ObjectStore(MemoryBackend())
+        store.create_bucket("sim")
+        fs = S3FileSystem(store, "sim", link=link, chunk_bytes=1 * MB)
+        store.put_object("sim", "big.bin", bytes(2 * MB))
+        with fs.open("big.bin") as fh:
+            fh.read(1 * MB)
+            fh.read(1 * MB)
+        # two read() calls = two pipelined requests = two latencies
+        assert clock.now == pytest.approx(2 * 0.035 + 2 * MB / (10 * MB))
+
+
+class TestThrottledTransport:
+    def test_request_pays_rtt_plus_transfer(self):
+        slept = []
+        server = RPCServer({"echo": lambda x: x})
+        transport = ThrottledTransport(
+            InProcessTransport(server.dispatch),
+            WAN_PROFILES["wan-cross-country"],
+            sleep=slept.append,
+        )
+        client = RPCClient(transport)
+        assert client.call("echo", "x" * 1000) == "x" * 1000
+        assert len(slept) == 2  # one delay per direction
+        profile = WAN_PROFILES["wan-cross-country"]
+        assert sum(slept) > profile.rtt_s
+
+    def test_send_pays_uplink_only(self):
+        slept = []
+        server = RPCServer({"note": lambda x: None})
+        transport = ThrottledTransport(
+            InProcessTransport(server.dispatch),
+            WAN_PROFILES["wan-metro"],
+            sleep=slept.append,
+        )
+        transport.send(b"x" * 100)
+        assert len(slept) == 1
